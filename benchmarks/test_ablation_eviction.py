@@ -1,0 +1,43 @@
+"""Ablation: eviction policies under hot-spot churn.
+
+The prototype evicts least-recently-used stale atoms.  Because the three
+hot spots use disjoint atom sets and their combined demand exceeds the
+fabric, almost everything stale is equally dead when a hot spot returns
+— so the eviction policy should be *second-order* compared to the
+scheduler.  This benchmark verifies that claim (and that even the
+adversarial MRU policy cannot do much damage), which justifies the
+paper's silence on the topic.
+"""
+
+from repro import HEFScheduler, RisppSimulator, generate_workload
+from repro.fabric import get_eviction_policy
+
+
+def test_ablation_eviction_policies(benchmark, platform):
+    registry, library = platform
+    workload = generate_workload(num_frames=10, seed=17)
+
+    def run_all():
+        totals = {}
+        for name in ("LRU", "FIFO", "LFU", "MRU"):
+            sim = RisppSimulator(
+                library,
+                registry,
+                HEFScheduler(),
+                num_acs=13,
+                eviction_policy=get_eviction_policy(name),
+            )
+            totals[name] = sim.run(workload).total_mcycles
+        return totals
+
+    totals = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(
+        "\n"
+        + " | ".join(f"{k} {v:.1f}M" for k, v in totals.items())
+    )
+    spread = max(totals.values()) / min(totals.values())
+    print(f"spread: {spread:.4f}x (policy is second-order)")
+    assert spread < 1.10
+    # LRU (the prototype policy) is never meaningfully worse than the
+    # best alternative.
+    assert totals["LRU"] <= min(totals.values()) * 1.05

@@ -1,0 +1,55 @@
+"""Ablation: forecasting strategies for the online monitor.
+
+Compares the paper's error-feedback (EWMA) forecaster against last-value,
+sliding-window and trend predictors on a drifting workload with a scene
+cut.  All reasonable forecasters land close together (the decisions are
+robust to moderate estimate noise); the interesting number is the
+prediction error itself.
+"""
+
+from repro import (
+    ExecutionMonitor,
+    HEFScheduler,
+    RisppSimulator,
+    predictor_factory,
+)
+from repro.workload.model import H264WorkloadModel
+
+
+def test_ablation_forecasters(benchmark, platform):
+    registry, library = platform
+    model = H264WorkloadModel(
+        num_frames=16, seed=47, scene_cut_frame=8,
+        activity_amplitude=0.45,
+    )
+    workload = model.generate()
+
+    def run(kind, **kwargs):
+        monitor = ExecutionMonitor(
+            profile=model.offline_profile(),
+            predictor_factory=predictor_factory(kind, **kwargs),
+        )
+        sim = RisppSimulator(
+            library, registry, HEFScheduler(), num_acs=13,
+            monitor=monitor,
+        )
+        cycles = sim.run(workload).total_mcycles
+        error = monitor.stats("ME", "SAD").relative_error
+        return cycles, error
+
+    def run_all():
+        return {
+            "ewma": run("ewma", alpha=0.5),
+            "last": run("last"),
+            "window": run("window", window=4),
+            "trend": run("trend", alpha=0.5, beta=0.3),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for kind, (cycles, error) in results.items():
+        print(f"  {kind:<7s} {cycles:7.1f}M  ME/SAD rel. error {error:6.1%}")
+    cycles_only = [cycles for cycles, _ in results.values()]
+    assert max(cycles_only) / min(cycles_only) < 1.05
+    # Every forecaster tracks the drifting content reasonably.
+    assert all(error < 0.25 for _, error in results.values())

@@ -1,0 +1,51 @@
+"""Ablation: how much of HEF's advantage is the benefit metric?
+
+Compares HEF against a random-but-valid upgrade order (lower bound on
+scheduling intelligence) and against a beam-search lookahead (upper
+bound under the same cost surrogate) at a representative AC count.
+HEF should clearly beat random and sit close to the lookahead, which is
+the paper's implicit claim when calling the greedy metric sufficient.
+"""
+
+from repro import (
+    LookaheadScheduler,
+    RandomScheduler,
+    RisppSimulator,
+    get_scheduler,
+    generate_workload,
+)
+
+
+def _run(platform, scheduler, workload, num_acs=13):
+    registry, library = platform
+    sim = RisppSimulator(library, registry, scheduler, num_acs)
+    return sim.run(workload).total_mcycles
+
+
+def test_ablation_hef_vs_random_vs_lookahead(benchmark, platform):
+    workload = generate_workload(num_frames=10, seed=5)
+
+    def run_all():
+        hef = _run(platform, get_scheduler("HEF"), workload)
+        randoms = [
+            _run(platform, RandomScheduler(seed=s), workload)
+            for s in range(3)
+        ]
+        lookahead = _run(
+            platform, LookaheadScheduler(beam_width=4), workload
+        )
+        return hef, randoms, lookahead
+
+    hef, randoms, lookahead = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    mean_random = sum(randoms) / len(randoms)
+    print(
+        f"\nHEF {hef:.1f}M vs random {mean_random:.1f}M "
+        f"(x{mean_random / hef:.3f}) vs lookahead(4) {lookahead:.1f}M "
+        f"(x{hef / lookahead:.3f})"
+    )
+    # The benefit metric must beat uninformed ordering...
+    assert hef < mean_random
+    # ...and come close to the (costly) lookahead.
+    assert hef < lookahead * 1.10

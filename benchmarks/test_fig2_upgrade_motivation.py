@@ -1,0 +1,31 @@
+"""Figure 2 — SI executions per 100K cycles with vs without upgrades.
+
+The motivating experiment: the Motion Estimation hot spot processed with
+gradual SI upgrades (RISPP/HEF) and without (Molen-like, software until
+the full molecule is reconfigured).  Shape targets from the paper: the
+upgrade run ramps up its execution rate well before the no-upgrade run
+(whose rate only jumps once the full SATD implementation is loaded) and
+finishes the same work earlier.
+"""
+
+from repro.analysis import format_figure2, run_figure2
+
+
+def test_fig2_upgrade_motivation(benchmark):
+    result = benchmark.pedantic(
+        run_figure2, kwargs={"num_acs": 10}, rounds=1, iterations=1
+    )
+    # Shape 1: the with-upgrade run never finishes later.
+    assert result.with_total_cycles <= result.without_total_cycles
+    # Shape 2: the rate ramp starts earlier with upgrades.
+    half_with = result.with_upgrade.max() / 2
+    half_without = result.without_upgrade.max() / 2
+    ramp_with = next(
+        i for i, v in enumerate(result.with_upgrade) if v > half_with
+    )
+    ramp_without = next(
+        i for i, v in enumerate(result.without_upgrade) if v > half_without
+    )
+    assert ramp_with < ramp_without
+    print()
+    print(format_figure2(result))

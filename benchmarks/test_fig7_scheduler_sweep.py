@@ -1,0 +1,43 @@
+"""Figure 7 — execution time vs Atom-Container count per scheduler.
+
+Sweeps ASF, FSFR, SJF and HEF (plus the Molen baseline) over the paper's
+AC range on the calibrated 140-frame CIF workload (REPRO_FRAMES scales
+it down for quick runs).  Shape targets from the paper:
+
+* HEF is never slower than any other scheduler (small tie tolerance),
+* more ACs help HEF monotonically overall (end vs start of the sweep),
+* the naive schedulers show non-monotone behaviour — adding ACs can
+  *hurt* them because the selection picks bigger molecules,
+* everything beats the 7,403 M-cycle pure-software run by an order of
+  magnitude.
+"""
+
+from repro.analysis import ascii_plot_fig7, format_fig7_table
+
+
+def test_fig7_scheduler_sweep(benchmark, fig7_result):
+    result = benchmark.pedantic(
+        lambda: fig7_result, rounds=1, iterations=1
+    )
+    hef = result.mcycles["HEF"]
+    # HEF never loses (1% tolerance for ties at tiny AC counts).
+    for name in ("ASF", "FSFR", "SJF", "Molen"):
+        for h, other in zip(hef, result.mcycles[name]):
+            assert h <= other * 1.01, name
+    # The sweep helps HEF end to end.
+    assert hef[-1] < hef[0]
+    # Non-monotone degradation exists for at least one naive scheduler.
+    degradations = 0
+    for name in ("ASF", "FSFR", "SJF"):
+        series = result.mcycles[name]
+        degradations += sum(
+            1 for a, b in zip(series, series[1:]) if b > a * 1.001
+        )
+    assert degradations > 0
+    # Everything is far better than software.
+    for series in result.mcycles.values():
+        assert all(v < result.software_mcycles / 3 for v in series)
+    print()
+    print(format_fig7_table(result))
+    print()
+    print(ascii_plot_fig7(result))

@@ -1,0 +1,34 @@
+"""Figure 8 — detailed HEF behaviour over ME and EE of one frame.
+
+At 10 ACs the latency lines of SAD/SATD (ME) and MC/DCT (EE) step down
+as the scheduled upgrades land, and the execution-rate bars rise
+accordingly.  Shape targets: every plotted SI shows at least one upgrade
+step inside its hot spot, ME activity precedes EE activity, and the
+execution rate after the upgrades is a multiple of the initial rate.
+"""
+
+import numpy as np
+
+from repro.analysis import format_figure8, run_figure8
+
+
+def test_fig8_hef_detail(benchmark):
+    result = benchmark.pedantic(
+        run_figure8, kwargs={"num_acs": 10}, rounds=1, iterations=1
+    )
+    # Upgrades land for the hot SIs (latency strictly decreases).
+    for name in ("SAD", "SATD", "DCT"):
+        cycles, lats = result.latency_series[name]
+        assert len(lats) >= 2, name
+        assert lats.min() < lats.max(), name
+    # ME (SAD) precedes EE (DCT) — the Figure 1 hot-spot order.
+    sad = result.executions["SAD"]
+    dct = result.executions["DCT"]
+    first_sad = next(i for i, v in enumerate(sad) if v > 0)
+    first_dct = next(i for i, v in enumerate(dct) if v > 0)
+    assert first_sad < first_dct
+    # The rate ramps up within ME as upgrades land.
+    active = sad[sad > 0]
+    assert active.max() > 2 * active[0]
+    print()
+    print(format_figure8(result))

@@ -1,0 +1,72 @@
+"""Microbenchmarks: the run-time decision path itself.
+
+The paper implements HEF in hardware because the decision has to run at
+every hot-spot switch; these benchmarks measure the software cost of one
+full decision (forecast -> selection -> schedule) and of the individual
+pieces, using pytest-benchmark's statistical timing.
+"""
+
+from repro import (
+    ExecutionMonitor,
+    HEFScheduler,
+    RuntimeManager,
+    get_scheduler,
+    select_molecules,
+)
+from repro.h264.silibrary import HOT_SPOT_SIS
+
+
+EXPECTED_EE = {
+    "DCT": 5544.0,
+    "HT2x2": 396.0,
+    "HT4x4": 792.0,
+    "MC": 2633.0,
+    "IPredHDC": 416.0,
+    "IPredVDC": 416.0,
+}
+
+
+def test_micro_selection(benchmark, platform):
+    registry, library = platform
+    sis = library.subset(HOT_SPOT_SIS["EE"])
+    selection = benchmark(select_molecules, sis, EXPECTED_EE, 20)
+    assert selection.num_atoms <= 20
+
+
+def test_micro_hef_schedule(benchmark, platform):
+    registry, library = platform
+    sis = {name: library.get(name) for name in HOT_SPOT_SIS["EE"]}
+    selection = select_molecules(
+        list(sis.values()), EXPECTED_EE, 20
+    ).hardware_selection()
+    scheduler = HEFScheduler()
+    zero = library.space.zero()
+    schedule = benchmark(
+        scheduler.schedule, selection, sis, zero, EXPECTED_EE
+    )
+    assert len(schedule) > 0
+
+
+def test_micro_full_hot_spot_plan(benchmark, platform):
+    registry, library = platform
+    manager = RuntimeManager(
+        library,
+        get_scheduler("HEF"),
+        num_acs=20,
+        monitor=ExecutionMonitor(profile={"EE": EXPECTED_EE}),
+    )
+    plan = benchmark(
+        manager.plan_hot_spot, "EE", HOT_SPOT_SIS["EE"],
+        library.space.zero(),
+    )
+    assert plan.selection.num_atoms <= 20
+
+
+def test_micro_fastest_available(benchmark, platform):
+    registry, library = platform
+    satd = library.get("SATD")
+    available = library.space.molecule(
+        {"QSUB": 1, "REPACK": 1, "HADAMARD": 2, "SAV": 1}
+    )
+    impl = benchmark(satd.fastest_available, available)
+    assert not impl.is_software

@@ -1,0 +1,27 @@
+"""Section 5 anchor — the pure-software (0 ACs) execution time.
+
+The paper reports 7,403 M cycles for encoding 140 CIF frames on the
+base processor alone.  The workload model and trap latencies are
+calibrated to land within 1% of that number at full scale; at reduced
+REPRO_FRAMES the per-frame figure is checked instead.
+"""
+
+from repro import generate_workload, simulate_software
+from repro.calibration import NUM_FRAMES, SOFTWARE_TOTAL_MCYCLES
+
+
+def test_software_baseline_calibration(benchmark, platform, scale):
+    registry, library = platform
+    workload = generate_workload(num_frames=scale.frames)
+    result = benchmark.pedantic(
+        simulate_software, args=(library, workload), rounds=1,
+        iterations=1,
+    )
+    per_frame = result.total_mcycles / scale.frames
+    paper_per_frame = SOFTWARE_TOTAL_MCYCLES / NUM_FRAMES
+    print(
+        f"\nsoftware: {result.total_mcycles:,.0f} M over {scale.frames} "
+        f"frames = {per_frame:.2f} M/frame "
+        f"(paper: {paper_per_frame:.2f} M/frame, 7,403 M total)"
+    )
+    assert abs(per_frame - paper_per_frame) < 0.02 * paper_per_frame

@@ -1,0 +1,34 @@
+"""Table 1 — the implemented SIs of H.264.
+
+Regenerates the SI inventory from the library and checks it against the
+paper's exact counts; the benchmark measures the library construction
+(the static input the run-time system is built from).
+"""
+
+from repro import build_atom_registry, build_si_library
+from repro.analysis import format_table1
+
+PAPER_TABLE1 = {
+    "SAD": (1, 3),
+    "SATD": (4, 20),
+    "DCT": (3, 12),
+    "HT2x2": (1, 2),
+    "HT4x4": (2, 7),
+    "MC": (3, 11),
+    "IPredHDC": (2, 4),
+    "IPredVDC": (1, 3),
+    "LF_BS4": (2, 5),
+}
+
+
+def test_table1_si_inventory(benchmark):
+    registry = build_atom_registry()
+    library = benchmark(build_si_library, registry)
+    inventory = {
+        name: (types, molecules)
+        for name, types, molecules in library.inventory()
+    }
+    assert inventory == PAPER_TABLE1
+    print()
+    print(format_table1(library))
+    print("(matches the paper's Table 1 exactly)")

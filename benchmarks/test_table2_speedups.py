@@ -1,0 +1,38 @@
+"""Table 2 — speedups of HEF vs ASF, ASF vs Molen and HEF vs Molen.
+
+Derived from the Figure 7 sweep.  Shape targets from the paper:
+
+* HEF vs Molen grows with the AC count (paper: 1.09x at 5 ACs up to
+  2.38x at 24),
+* ASF vs Molen grows as well (paper: up to 1.67x),
+* HEF never performs slower than Molen or any other scheduler.
+
+Absolute magnitudes depend on the authors' unpublished molecule latency
+tables; EXPERIMENTS.md records measured-vs-paper values.
+"""
+
+from repro.analysis import format_table2, speedup_table
+
+
+def test_table2_speedups(benchmark, fig7_result):
+    table = benchmark.pedantic(
+        speedup_table, args=(fig7_result,), rounds=1, iterations=1
+    )
+    hef_molen = table["HEF vs Molen"]
+    asf_molen = table["ASF vs Molen"]
+    hef_asf = table["HEF vs ASF"]
+    # Growth with AC count (compare the top third to the bottom third).
+    third = max(1, len(hef_molen) // 3)
+    assert (
+        sum(hef_molen[-third:]) / third
+        > sum(hef_molen[:third]) / third
+    )
+    assert (
+        sum(asf_molen[-third:]) / third
+        >= sum(asf_molen[:third]) / third
+    )
+    # HEF never slower than Molen or ASF (1% tie tolerance).
+    assert all(v >= 0.99 for v in hef_molen)
+    assert all(v >= 0.99 for v in hef_asf)
+    print()
+    print(format_table2(fig7_result))

@@ -1,0 +1,39 @@
+"""Table 3 — hardware implementation results of the HEF scheduler.
+
+The structural cost model reproduces the paper's synthesis numbers
+exactly with the default parameters (12-state FSM, 18-bit cross-
+multiplied benefit pipeline).
+"""
+
+import pytest
+
+from repro.analysis import format_table3
+from repro.hw import HEFSchedulerCostModel, table3
+
+
+def test_table3_hw_costs(benchmark):
+    hef, atom = benchmark(table3)
+    assert hef.slices == 549
+    assert hef.luts == 915
+    assert hef.ffs == 297
+    assert hef.mult18x18 == 5
+    assert hef.gate_equivalents == 30_769
+    assert hef.clock_delay_ns == pytest.approx(12.596)
+    assert atom.slices == 421
+    assert atom.gate_equivalents == 6_944
+    assert hef.fits_one_ac()
+    print()
+    print(format_table3())
+
+
+def test_table3_scaling_what_if(benchmark):
+    """Extension: scheduler cost if the benefit pipeline were 36 bit."""
+    model = HEFSchedulerCostModel(benefit_width=36)
+    wide = benchmark(model.characteristics)
+    narrow, _ = table3()
+    print(
+        f"\n36-bit benefit datapath: {wide.slices} slices / "
+        f"{wide.mult18x18} MULT18X18 vs paper's {narrow.slices} / "
+        f"{narrow.mult18x18}"
+    )
+    assert wide.slices > narrow.slices

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Compare the four atom schedulers of Section 4.4 (mini Figure 7).
+
+Sweeps FSFR, ASF, SJF and HEF (plus the Molen baseline) over a few
+Atom-Container counts and prints the execution times and Table-2-style
+speedups.  Use REPRO_FRAMES=140 for the full paper scale.
+"""
+
+import os
+
+from repro.analysis import (
+    ExperimentScale,
+    format_fig7_table,
+    format_table2,
+    run_figure7,
+)
+
+
+def main() -> None:
+    frames = int(os.environ.get("REPRO_FRAMES", "20"))
+    scale = ExperimentScale(
+        frames=frames, ac_counts=(5, 7, 10, 13, 17, 20, 24)
+    )
+    print(f"Sweeping schedulers over {scale.ac_counts} ACs "
+          f"({frames} frames; set REPRO_FRAMES to change)...")
+    result = run_figure7(scale=scale, progress=True)
+    print()
+    print(format_fig7_table(result))
+    print()
+    print(format_table2(result, include_paper=False))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,230 @@
+"""repro — reproduction of the RISPP run-time Special Instruction Scheduler.
+
+This library reproduces *"Run-time System for an Extensible Embedded
+Processor with Dynamic Instruction Set"* (L. Bauer, M. Shafique,
+S. Kreutz, J. Henkel; DATE 2008): an embedded processor whose Special
+Instructions (SIs) are composed at run time from reconfigurable data
+paths (atoms), gradually upgraded through faster and faster molecules,
+with the atom loading order decided by a run-time scheduler (FSFR, ASF,
+SJF, or the paper's proposed HEF).
+
+Quick start::
+
+    from repro import (
+        build_si_library, build_atom_registry, generate_workload,
+        RisppSimulator, HEFScheduler,
+    )
+
+    registry = build_atom_registry()
+    library = build_si_library(registry)
+    workload = generate_workload(num_frames=5)
+    sim = RisppSimulator(library, registry, HEFScheduler(), num_acs=10)
+    result = sim.run(workload)
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from . import calibration
+from .errors import (
+    RisppError,
+    AtomSpaceMismatchError,
+    UnknownAtomTypeError,
+    UnknownSpecialInstructionError,
+    InvalidMoleculeError,
+    InvalidScheduleError,
+    SelectionError,
+    FabricError,
+    CapacityError,
+    SimulationError,
+    TraceError,
+    CalibrationError,
+)
+from .core import (
+    AtomSpace,
+    Molecule,
+    sup,
+    inf,
+    MoleculeImpl,
+    SpecialInstruction,
+    SILibrary,
+    expand_candidates,
+    clean_candidates,
+    AtomLoad,
+    Schedule,
+    validate_schedule,
+    MoleculeSelection,
+    select_molecules,
+    select_molecules_optimal,
+    Predictor,
+    EwmaPredictor,
+    LastValuePredictor,
+    SlidingWindowPredictor,
+    TrendPredictor,
+    predictor_factory,
+    ExecutionMonitor,
+    RuntimeManager,
+    AtomScheduler,
+    FSFRScheduler,
+    ASFScheduler,
+    SJFScheduler,
+    HEFScheduler,
+    LookaheadScheduler,
+    RandomScheduler,
+    get_scheduler,
+    available_schedulers,
+)
+from .fabric import (
+    AtomType,
+    AtomRegistry,
+    AtomContainer,
+    ContainerState,
+    EvictionPolicy,
+    LRUEviction,
+    FIFOEviction,
+    LFUEviction,
+    MRUEviction,
+    get_eviction_policy,
+    Fabric,
+    ReconfigPort,
+)
+from .isa import BaseProcessor
+from .h264 import (
+    build_atom_registry,
+    build_si_library,
+    paper_si_label,
+    HOT_SPOT_SIS,
+    HOT_SPOT_ORDER,
+    YuvFrame,
+    SyntheticVideo,
+    EncoderConfig,
+    EncodeResult,
+    H264SubsetEncoder,
+)
+from .hw import (
+    HardwareCharacteristics,
+    HEFSchedulerCostModel,
+    average_atom_characteristics,
+)
+from .workload import (
+    HotSpotTrace,
+    Workload,
+    H264WorkloadModel,
+    generate_workload,
+    save_workload,
+    load_workload,
+)
+from .sim import (
+    Segment,
+    LatencyEvent,
+    SimulationResult,
+    RisppSimulator,
+    MolenSimulator,
+    simulate_software,
+    bin_executions,
+    latency_steps,
+    SIBreakdown,
+    RunBreakdown,
+    analyse_run,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "calibration",
+    # errors
+    "RisppError",
+    "AtomSpaceMismatchError",
+    "UnknownAtomTypeError",
+    "UnknownSpecialInstructionError",
+    "InvalidMoleculeError",
+    "InvalidScheduleError",
+    "SelectionError",
+    "FabricError",
+    "CapacityError",
+    "SimulationError",
+    "TraceError",
+    "CalibrationError",
+    # core
+    "AtomSpace",
+    "Molecule",
+    "sup",
+    "inf",
+    "MoleculeImpl",
+    "SpecialInstruction",
+    "SILibrary",
+    "expand_candidates",
+    "clean_candidates",
+    "AtomLoad",
+    "Schedule",
+    "validate_schedule",
+    "MoleculeSelection",
+    "select_molecules",
+    "select_molecules_optimal",
+    "Predictor",
+    "EwmaPredictor",
+    "LastValuePredictor",
+    "SlidingWindowPredictor",
+    "TrendPredictor",
+    "predictor_factory",
+    "ExecutionMonitor",
+    "RuntimeManager",
+    "AtomScheduler",
+    "FSFRScheduler",
+    "ASFScheduler",
+    "SJFScheduler",
+    "HEFScheduler",
+    "LookaheadScheduler",
+    "RandomScheduler",
+    "get_scheduler",
+    "available_schedulers",
+    # fabric
+    "AtomType",
+    "AtomRegistry",
+    "AtomContainer",
+    "ContainerState",
+    "EvictionPolicy",
+    "LRUEviction",
+    "FIFOEviction",
+    "LFUEviction",
+    "MRUEviction",
+    "get_eviction_policy",
+    "Fabric",
+    "ReconfigPort",
+    # isa
+    "BaseProcessor",
+    # h264 application
+    "build_atom_registry",
+    "build_si_library",
+    "paper_si_label",
+    "HOT_SPOT_SIS",
+    "HOT_SPOT_ORDER",
+    "YuvFrame",
+    "SyntheticVideo",
+    "EncoderConfig",
+    "EncodeResult",
+    "H264SubsetEncoder",
+    "HardwareCharacteristics",
+    "HEFSchedulerCostModel",
+    "average_atom_characteristics",
+    # workload
+    "HotSpotTrace",
+    "Workload",
+    "H264WorkloadModel",
+    "generate_workload",
+    "save_workload",
+    "load_workload",
+    # sim
+    "Segment",
+    "LatencyEvent",
+    "SimulationResult",
+    "RisppSimulator",
+    "MolenSimulator",
+    "simulate_software",
+    "bin_executions",
+    "latency_steps",
+    "SIBreakdown",
+    "RunBreakdown",
+    "analyse_run",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — regenerate the paper's tables and figures."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,55 @@
+"""Experiment drivers and report formatting.
+
+One function per table/figure of the paper.  The ``experiments`` module
+runs the simulations and returns structured results; ``tables`` and
+``figures`` render them as text (the benchmarks print these, and
+EXPERIMENTS.md records them against the paper's numbers).
+"""
+
+from .experiments import (
+    ExperimentScale,
+    Fig2Result,
+    Fig4Result,
+    Fig7Result,
+    Fig8Result,
+    run_figure2,
+    run_figure4,
+    run_figure7,
+    run_figure8,
+    speedup_table,
+)
+from .tables import (
+    format_table1,
+    format_table2,
+    format_table3,
+    format_fig7_table,
+)
+from .figures import (
+    format_figure2,
+    format_figure4,
+    format_figure8,
+    ascii_series,
+    ascii_plot_fig7,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "Fig2Result",
+    "Fig4Result",
+    "Fig7Result",
+    "Fig8Result",
+    "run_figure2",
+    "run_figure4",
+    "run_figure7",
+    "run_figure8",
+    "speedup_table",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_fig7_table",
+    "format_figure2",
+    "format_figure4",
+    "format_figure8",
+    "ascii_series",
+    "ascii_plot_fig7",
+]

@@ -1,0 +1,367 @@
+"""Drivers that regenerate every experiment of the paper's Section 5.
+
+Each ``run_*`` function builds the calibrated H.264 platform, replays the
+appropriate workload through the system simulators and returns a
+structured result.  The full paper scale (140 CIF frames, AC counts 5-24,
+four schedulers plus the Molen baseline) takes a few minutes; pass an
+:class:`ExperimentScale` with fewer frames for quick runs — the speedup
+*shapes* stabilise after a handful of frames.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..calibration import AC_COUNT_SWEEP, NUM_FRAMES
+from ..core.molecule import Molecule
+from ..core.schedulers import PAPER_SCHEDULERS, get_scheduler
+from ..core.si import MoleculeImpl, SILibrary, SpecialInstruction
+from ..core.schedule import Schedule
+from ..fabric.atom import AtomRegistry
+from ..h264.silibrary import build_atom_registry, build_si_library
+from ..sim.molen import MolenSimulator
+from ..sim.rispp import RisppSimulator
+from ..sim.software import simulate_software
+from ..sim.results import SimulationResult
+from ..sim.timeline import bin_executions, latency_steps
+from ..workload.model import H264WorkloadModel
+from ..workload.trace import Workload
+
+__all__ = [
+    "ExperimentScale",
+    "Fig2Result",
+    "Fig4Result",
+    "Fig7Result",
+    "Fig8Result",
+    "run_figure2",
+    "run_figure4",
+    "run_figure7",
+    "run_figure8",
+    "speedup_table",
+    "default_scale",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big an experiment run should be.
+
+    ``frames`` scales the workload; ``ac_counts`` the Figure 7 sweep.
+    The paper scale is ``ExperimentScale(frames=140)``.
+    """
+
+    frames: int = NUM_FRAMES
+    seed: int = 2008
+    ac_counts: Tuple[int, ...] = AC_COUNT_SWEEP
+
+    def workload(self) -> Workload:
+        return H264WorkloadModel(
+            num_frames=self.frames, seed=self.seed
+        ).generate()
+
+
+def default_scale() -> ExperimentScale:
+    """Scale taken from the ``REPRO_FRAMES`` environment variable.
+
+    Defaults to a 40-frame run (speedup shapes are stable there); set
+    ``REPRO_FRAMES=140`` for the full paper scale.
+    """
+    frames = int(os.environ.get("REPRO_FRAMES", "40"))
+    return ExperimentScale(frames=frames)
+
+
+def _platform():
+    registry = build_atom_registry()
+    library = build_si_library(registry)
+    return registry, library
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — gradual upgrade vs no upgrade in the ME hot spot
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig2Result:
+    """SI executions per 100 K cycles, with and without gradual upgrade."""
+
+    window: int
+    bin_starts: np.ndarray
+    with_upgrade: np.ndarray     #: combined SAD+SATD executions per bin
+    without_upgrade: np.ndarray
+    total_executions: int
+    upgrade_finish_cycle: int    #: last ME atom load with upgrades
+    no_upgrade_finish_cycle: int
+    with_total_cycles: int
+    without_total_cycles: int
+
+    @property
+    def upgrade_speedup(self) -> float:
+        return self.without_total_cycles / self.with_total_cycles
+
+
+def run_figure2(
+    num_acs: int = 10,
+    scale: Optional[ExperimentScale] = None,
+    window: int = 100_000,
+) -> Fig2Result:
+    """Reproduce Figure 2: the ME hot spot with vs without SI upgrades.
+
+    The with-upgrade system is RISPP with the HEF scheduler; the
+    without-upgrade system is the Molen-like baseline (software until the
+    full molecule is loaded).  Both start from a cold fabric and process
+    the same motion-estimation workload.
+    """
+    scale = scale or ExperimentScale(frames=2)
+    registry, library = _platform()
+    full = scale.workload()
+    me_only = Workload(
+        name=f"{full.name}-ME",
+        traces=[t for t in full.traces if t.hot_spot == "ME"][:2],
+    )
+    rispp = RisppSimulator(
+        library, registry, get_scheduler("HEF"), num_acs,
+        record_segments=True,
+    )
+    with_result = rispp.run(me_only)
+    molen = MolenSimulator(library, registry, num_acs, record_segments=True)
+    without_result = molen.run(me_only)
+
+    end = max(with_result.total_cycles, without_result.total_cycles)
+    _, with_m, names_w = bin_executions(
+        with_result.segments, window=window, end_cycle=end
+    )
+    starts, without_m, names_wo = bin_executions(
+        without_result.segments, window=window, end_cycle=end
+    )
+    with_series = with_m.sum(axis=0)
+    without_series = without_m.sum(axis=0)
+    return Fig2Result(
+        window=window,
+        bin_starts=starts,
+        with_upgrade=with_series,
+        without_upgrade=without_series,
+        total_executions=sum(with_result.si_executions.values()),
+        upgrade_finish_cycle=_last_upgrade_cycle(with_result),
+        no_upgrade_finish_cycle=_last_upgrade_cycle(without_result),
+        with_total_cycles=with_result.total_cycles,
+        without_total_cycles=without_result.total_cycles,
+    )
+
+
+def _last_upgrade_cycle(result: SimulationResult) -> int:
+    if not result.latency_events:
+        return 0
+    return max(e.cycle for e in result.latency_events)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — schedules and molecule availability on the toy example
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig4Result:
+    """Fastest available molecule after each atom load, per schedule."""
+
+    atom_names: Tuple[str, ...]
+    schedules: Dict[str, Tuple[str, ...]]          #: name -> atom sequence
+    availability: Dict[str, List[str]]             #: name -> fastest per load
+    latencies: Dict[str, List[int]]                #: name -> latency per load
+
+
+def build_fig4_library() -> Tuple[AtomRegistry, SILibrary, MoleculeImpl]:
+    """The two-atom-type toy SI of Section 4 / Figure 4.
+
+    One SI over atoms ``A1``/``A2`` with molecules ``m1 = (0, 2)``,
+    ``m2 = (2, 2)`` and the selected ``m3 = (3, 3)``, plus the discussed
+    ``m4 = (1, 3)`` that is *slower* than ``m2`` despite being
+    incomparable in the lattice — the candidate the cleaning step of
+    equation (4) has to evaluate against the current availability.
+    """
+    registry = AtomRegistry.uniform(["A1", "A2"])
+    space = registry.space
+    molecules = [
+        MoleculeImpl("SI", "m1", space.molecule({"A2": 2}), 90),
+        MoleculeImpl("SI", "m2", space.molecule({"A1": 2, "A2": 2}), 55),
+        MoleculeImpl("SI", "m4", space.molecule({"A1": 1, "A2": 3}), 60),
+        MoleculeImpl("SI", "m3", space.molecule({"A1": 3, "A2": 3}), 30),
+    ]
+    si = SpecialInstruction("SI", space, software_latency=500,
+                            molecules=molecules)
+    library = SILibrary(space, [si])
+    return registry, library, si.molecule("m3")
+
+
+def run_figure4() -> Fig4Result:
+    """Reproduce Figure 4: a good (HEF) vs a naive atom schedule."""
+    registry, library, selected = build_fig4_library()
+    space = registry.space
+    si = library.get("SI")
+    selection = {"SI": selected}
+    expected = {"SI": 1000.0}
+
+    hef = get_scheduler("HEF").schedule(
+        selection, {"SI": si}, space.zero(), expected
+    )
+    # The naive schedule of Figure 4 (dashed line): all A1 first.
+    naive_sequence = ["A1", "A1", "A1", "A2", "A2", "A2"]
+
+    schedules = {
+        "HEF": hef.atom_sequence(),
+        "naive": tuple(naive_sequence),
+    }
+    availability: Dict[str, List[str]] = {}
+    latencies: Dict[str, List[int]] = {}
+    for name, sequence in schedules.items():
+        avail = space.zero()
+        fastest: List[str] = []
+        lats: List[int] = []
+        for atom in sequence:
+            counts = list(avail.counts)
+            counts[space.index(atom)] += 1
+            avail = Molecule(space, counts)
+            impl = si.fastest_available(avail)
+            fastest.append(impl.name)
+            lats.append(impl.latency)
+        availability[name] = fastest
+        latencies[name] = lats
+    return Fig4Result(
+        atom_names=space.names,
+        schedules=schedules,
+        availability=availability,
+        latencies=latencies,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 / Table 2 — the scheduler sweep and speedups
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig7Result:
+    """Execution times (Mcycles) per scheduler over the AC sweep."""
+
+    ac_counts: Tuple[int, ...]
+    mcycles: Dict[str, List[float]]   #: scheduler name -> series
+    software_mcycles: float
+    frames: int
+
+    def series(self, name: str) -> List[float]:
+        return self.mcycles[name]
+
+
+def run_figure7(
+    scale: Optional[ExperimentScale] = None,
+    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    include_molen: bool = True,
+    progress: bool = False,
+) -> Fig7Result:
+    """Reproduce Figure 7 (and the data underlying Table 2).
+
+    Runs every scheduler (plus the Molen baseline) at every AC count of
+    the sweep on the same workload.
+    """
+    scale = scale or default_scale()
+    registry, library = _platform()
+    workload = scale.workload()
+    mcycles: Dict[str, List[float]] = {name: [] for name in schedulers}
+    if include_molen:
+        mcycles["Molen"] = []
+    for num_acs in scale.ac_counts:
+        for name in schedulers:
+            sim = RisppSimulator(
+                library, registry, get_scheduler(name), num_acs
+            )
+            mcycles[name].append(sim.run(workload).total_mcycles)
+        if include_molen:
+            sim = MolenSimulator(library, registry, num_acs)
+            mcycles["Molen"].append(sim.run(workload).total_mcycles)
+        if progress:  # pragma: no cover - cosmetic
+            print(f"  swept {num_acs} ACs")
+    software = simulate_software(library, workload)
+    return Fig7Result(
+        ac_counts=tuple(scale.ac_counts),
+        mcycles=mcycles,
+        software_mcycles=software.total_mcycles,
+        frames=scale.frames,
+    )
+
+
+def speedup_table(result: Fig7Result) -> Dict[str, List[float]]:
+    """Table 2 from a Figure 7 sweep: the three speedup rows."""
+    hef = result.mcycles["HEF"]
+    asf = result.mcycles["ASF"]
+    molen = result.mcycles["Molen"]
+    return {
+        "HEF vs ASF": [a / h for a, h in zip(asf, hef)],
+        "ASF vs Molen": [m / a for m, a in zip(molen, asf)],
+        "HEF vs Molen": [m / h for m, h in zip(molen, hef)],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — detailed HEF behaviour over the first two hot spots
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig8Result:
+    """Latency steps and execution bins for SAD/SATD/MC/DCT at 10 ACs."""
+
+    window: int
+    bin_starts: np.ndarray
+    executions: Dict[str, np.ndarray]
+    latency_series: Dict[str, Tuple[np.ndarray, np.ndarray]]
+    span: Tuple[int, int]    #: cycle range covering ME + EE of the frame
+
+
+def run_figure8(
+    num_acs: int = 10,
+    frame_index: int = 1,
+    scale: Optional[ExperimentScale] = None,
+    window: int = 100_000,
+) -> Fig8Result:
+    """Reproduce Figure 8: HEF detail for ME and EE of one frame."""
+    scale = scale or ExperimentScale(frames=max(2, frame_index + 1))
+    registry, library = _platform()
+    workload = scale.workload()
+    sim = RisppSimulator(
+        library, registry, get_scheduler("HEF"), num_acs,
+        record_segments=True,
+    )
+    result = sim.run(workload)
+    spans = [
+        s
+        for s in result.segments
+        if s.frame_index == frame_index and s.hot_spot in ("ME", "EE")
+    ]
+    t0 = min(s.t0 for s in spans)
+    t1 = max(s.t1 for s in spans)
+    si_names = ("SAD", "SATD", "MC", "DCT")
+    starts, matrix, names = bin_executions(
+        spans, window=window, si_names=si_names, end_cycle=t1
+    )
+    first_bin = int(t0 // window)
+    executions = {
+        name: matrix[names.index(name)][first_bin:] for name in si_names
+    }
+    latency_series = {}
+    for name in si_names:
+        cycles, lats = latency_steps(
+            result.latency_events, name, end_cycle=t1
+        )
+        mask = (cycles >= t0 - window) & (cycles <= t1)
+        latency_series[name] = (cycles[mask] - t0, lats[mask])
+    return Fig8Result(
+        window=window,
+        bin_starts=starts[first_bin:] - first_bin * window,
+        executions=executions,
+        latency_series=latency_series,
+        span=(t0, t1),
+    )

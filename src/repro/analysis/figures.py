@@ -1,0 +1,155 @@
+"""Text renderings of the paper's figures (ASCII series)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .experiments import Fig2Result, Fig4Result, Fig8Result
+
+__all__ = [
+    "ascii_series",
+    "ascii_plot_fig7",
+    "format_figure2",
+    "format_figure4",
+    "format_figure8",
+]
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = 40,
+    max_value: Optional[float] = None,
+) -> list:
+    """Render a series as horizontal ASCII bars (one string per value)."""
+    values = list(values)
+    peak = max_value if max_value is not None else max(values or [1.0])
+    peak = peak or 1.0
+    return ["#" * int(round(width * v / peak)) for v in values]
+
+
+def format_figure2(result: Fig2Result, bar_width: int = 40) -> str:
+    """Figure 2: ME SI executions per 100 K cycles, with/without upgrade."""
+    peak = float(
+        max(result.with_upgrade.max(), result.without_upgrade.max(), 1.0)
+    )
+    with_bars = ascii_series(result.with_upgrade, bar_width, peak)
+    without_bars = ascii_series(result.without_upgrade, bar_width, peak)
+    lines = [
+        "Figure 2: SI executions per 100K cycles in the ME hot spot",
+        f"({result.total_executions:,} SI executions; upgrade reaches the "
+        f"final molecules at {result.upgrade_finish_cycle/1e3:,.0f}K cycles,"
+        f" no-upgrade at {result.no_upgrade_finish_cycle/1e3:,.0f}K)",
+        f"{'t[K]':>7s} {'with upgrade':<{bar_width}s}  "
+        f"{'without upgrade':<{bar_width}s}",
+        "-" * (9 + 2 * bar_width),
+    ]
+    for start, wu, wo in zip(result.bin_starts, with_bars, without_bars):
+        lines.append(f"{start // 1000:>7d} {wu:<{bar_width}s}  {wo}")
+    lines.append(
+        f"with upgrade finishes in {result.with_total_cycles/1e6:.2f}M "
+        f"cycles vs {result.without_total_cycles/1e6:.2f}M without "
+        f"({result.upgrade_speedup:.2f}x)"
+    )
+    return "\n".join(lines)
+
+
+def format_figure4(result: Fig4Result) -> str:
+    """Figure 4: fastest available molecule after each atom load."""
+    lines = [
+        "Figure 4: Atom schedules and resulting molecule availability",
+        f"{'# loaded atoms':>15s}"
+        + "".join(f"{name:>14s}" for name in result.schedules),
+        "-" * (15 + 14 * len(result.schedules)),
+    ]
+    length = max(len(seq) for seq in result.schedules.values())
+    for k in range(length):
+        row = f"{k + 1:>15d}"
+        for name in result.schedules:
+            fastest = result.availability[name][k]
+            latency = result.latencies[name][k]
+            label = f"{fastest}({latency})"
+            row += f"{label:>14s}"
+        lines.append(row)
+    for name, seq in result.schedules.items():
+        lines.append(f"{name} loads: {' -> '.join(seq)}")
+    return "\n".join(lines)
+
+
+def format_figure8(result: Fig8Result, bar_width: int = 24) -> str:
+    """Figure 8: HEF latencies (log steps) and execution rates."""
+    lines = [
+        "Figure 8: HEF detail over ME and EE "
+        f"(span {result.span[0]/1e3:,.0f}K..{result.span[1]/1e3:,.0f}K "
+        "cycles)",
+        "",
+        "Latency step-downs (cycle offset -> effective latency):",
+    ]
+    for name, (cycles, lats) in result.latency_series.items():
+        steps = ", ".join(
+            f"{c/1e3:,.0f}K:{l}" for c, l in zip(cycles, lats)
+        )
+        lines.append(f"  {name:<6s} {steps}")
+    lines.append("")
+    lines.append("Executions per 100K cycles:")
+    names = list(result.executions)
+    peak = max(
+        (float(series.max()) for series in result.executions.values()),
+        default=1.0,
+    ) or 1.0
+    header = f"{'t[K]':>7s}" + "".join(f"{n:>10s}" for n in names)
+    lines.append(header)
+    num_bins = len(next(iter(result.executions.values())))
+    for i in range(num_bins):
+        row = f"{int(result.bin_starts[i]) // 1000:>7d}"
+        for name in names:
+            row += f"{result.executions[name][i]:>10.0f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def ascii_plot_fig7(result, height: int = 16) -> str:
+    """Figure 7 as an ASCII line chart (execution time vs AC count).
+
+    Each scheduler gets a marker; rows are Mcycles (top = slowest),
+    columns the AC counts of the sweep.
+    """
+    markers = {"ASF": "a", "FSFR": "f", "SJF": "s", "HEF": "H",
+               "Molen": "M"}
+    series = {name: values for name, values in result.mcycles.items()}
+    lo = min(min(v) for v in series.values())
+    hi = max(max(v) for v in series.values())
+    span = max(hi - lo, 1e-9)
+    width = len(result.ac_counts)
+    grid = [[" "] * width for _ in range(height)]
+    for name, values in series.items():
+        marker = markers.get(name, name[0])
+        for col, value in enumerate(values):
+            row = int(round((hi - value) / span * (height - 1)))
+            cell = grid[row][col]
+            grid[row][col] = "*" if cell not in (" ", marker) else marker
+    lines = [
+        f"Figure 7 (ASCII): execution time, {result.frames} frames "
+        f"(top {hi:,.0f} M, bottom {lo:,.0f} M)"
+    ]
+    for row_index, row in enumerate(grid):
+        label = ""
+        if row_index == 0:
+            label = f"{hi:8,.0f}M "
+        elif row_index == height - 1:
+            label = f"{lo:8,.0f}M "
+        else:
+            label = " " * 10
+        lines.append(label + "|" + " ".join(row))
+    axis = " " * 10 + "+" + "-" * (2 * width - 1)
+    lines.append(axis)
+    lines.append(
+        " " * 11
+        + " ".join(f"{n % 10}" for n in result.ac_counts)
+        + "   (#ACs, last digit)"
+    )
+    legend = ", ".join(f"{m}={n}" for n, m in markers.items()
+                       if n in series)
+    lines.append(" " * 11 + legend + "  (*: overlap)")
+    return "\n".join(lines)

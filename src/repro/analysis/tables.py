@@ -1,0 +1,121 @@
+"""Text renderings of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..calibration import (
+    PAPER_ASF_VS_MOLEN,
+    PAPER_HEF_VS_ASF,
+    PAPER_HEF_VS_MOLEN,
+)
+from ..core.si import SILibrary
+from ..h264.silibrary import HOT_SPOT_SIS, paper_si_label
+from ..hw.area import HardwareCharacteristics, table3 as _hw_table3
+from .experiments import Fig7Result, speedup_table
+
+__all__ = [
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_fig7_table",
+]
+
+
+def format_table1(library: SILibrary) -> str:
+    """Table 1: implemented SIs with atom-type and molecule counts."""
+    hot_spot_of = {
+        si: hs for hs, sis in HOT_SPOT_SIS.items() for si in sis
+    }
+    lines = [
+        "Table 1: Implemented SIs of H.264",
+        f"{'Hot spot':<10s} {'Special Instruction':<20s} "
+        f"{'# Atom-types':>12s} {'# Molecules':>12s}",
+        "-" * 58,
+    ]
+    for name, num_types, num_molecules in library.inventory():
+        lines.append(
+            f"{hot_spot_of.get(name, '-'):<10s} "
+            f"{paper_si_label(name):<20s} {num_types:>12d} "
+            f"{num_molecules:>12d}"
+        )
+    return "\n".join(lines)
+
+
+def _speedup_row(label: str, values: Sequence[float]) -> str:
+    return f"{label:<14s}" + "".join(f"{v:6.2f}" for v in values)
+
+
+def format_table2(
+    result: Fig7Result, include_paper: bool = True
+) -> str:
+    """Table 2: HEF/ASF/Molen speedups per AC count, next to the paper's."""
+    table = speedup_table(result)
+    lines = [
+        f"Table 2: Speedups over the AC sweep ({result.frames} frames)",
+        f"{'#ACs':<14s}" + "".join(f"{n:6d}" for n in result.ac_counts),
+        "-" * (14 + 6 * len(result.ac_counts)),
+    ]
+    paper_rows = {
+        "HEF vs ASF": PAPER_HEF_VS_ASF,
+        "ASF vs Molen": PAPER_ASF_VS_MOLEN,
+        "HEF vs Molen": PAPER_HEF_VS_MOLEN,
+    }
+    for label, values in table.items():
+        lines.append(_speedup_row(label, values))
+        if include_paper and len(result.ac_counts) == len(
+            paper_rows[label]
+        ):
+            lines.append(_speedup_row("  (paper)", paper_rows[label]))
+    avg = sum(table["HEF vs Molen"]) / len(table["HEF vs Molen"])
+    lines.append(
+        f"HEF vs Molen: max {max(table['HEF vs Molen']):.2f}x, "
+        f"avg {avg:.2f}x (paper: max 2.38x, avg 1.71x)"
+    )
+    return "\n".join(lines)
+
+
+def format_fig7_table(result: Fig7Result) -> str:
+    """Figure 7 as a table: execution time (Mcycles) per scheduler."""
+    names = list(result.mcycles)
+    lines = [
+        f"Figure 7: Execution time [Mcycles] encoding {result.frames} "
+        f"frames (software: {result.software_mcycles:,.0f} M)",
+        f"{'#ACs':>5s}" + "".join(f"{n:>10s}" for n in names),
+        "-" * (5 + 10 * len(names)),
+    ]
+    for i, num_acs in enumerate(result.ac_counts):
+        lines.append(
+            f"{num_acs:>5d}"
+            + "".join(f"{result.mcycles[n][i]:10.1f}" for n in names)
+        )
+    return "\n".join(lines)
+
+
+def _hw_row(label: str, ours, atom) -> str:
+    return f"{label:<22s}{ours:>16,}{atom:>12,}"
+
+
+def format_table3(
+    characteristics: Optional[HardwareCharacteristics] = None,
+) -> str:
+    """Table 3: hardware implementation results of the HEF scheduler."""
+    hef, atom = _hw_table3()
+    if characteristics is not None:
+        hef = characteristics
+    lines = [
+        "Table 3: Hardware implementation results",
+        f"{'Characteristic':<22s}{'HEF scheduler':>16s}{'Avg. atom':>12s}",
+        "-" * 50,
+        _hw_row("# Slices", hef.slices, atom.slices),
+        _hw_row("# LUTs", hef.luts, atom.luts),
+        _hw_row("# FFs", hef.ffs, atom.ffs),
+        _hw_row("# MULT18X18", hef.mult18x18, atom.mult18x18),
+        _hw_row("Gate equivalents", hef.gate_equivalents,
+                atom.gate_equivalents),
+        f"{'Clock delay [ns]':<22s}{hef.clock_delay_ns:>16.3f}"
+        f"{atom.clock_delay_ns:>12.3f}",
+        f"(HEF uses {hef.slice_ratio_to(atom):.2f}x the slices of the "
+        f"average atom and fits one 1024-slice AC: {hef.fits_one_ac()})",
+    ]
+    return "\n".join(lines)

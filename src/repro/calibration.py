@@ -1,0 +1,156 @@
+"""Calibration constants taken from the paper, with provenance.
+
+Every quantitative statement the paper makes about its platform is captured
+here as a named constant, together with the derived quantities the
+behavioural simulator needs (most importantly the reconfiguration time of
+one atom expressed in *cycles*).
+
+Provenance notes
+----------------
+* ``RECONFIG_TIME_US`` — Section 5: "This results in an average
+  reconfiguration time of 874.03 us [23] (for 66 MB/s reconfiguration
+  bandwidth via the SelectMap/ICAP [6] interface)".
+* ``BITSTREAM_BYTES_AVG`` — Section 5: "the partial Bitstream requires in
+  average only 60,488 Bytes".
+* ``RECONFIG_BANDWIDTH_MBPS`` — Section 5, same sentence: 66 MB/s.
+* ``CLOCK_MHZ`` — not stated explicitly; derived.  Figure 2 shows the SAD
+  reconfiguration (a two-atom molecule) finishing around 160K cycles and
+  the SATD reconfiguration (six further atoms, eight in total) around 700K
+  cycles; both are consistent with roughly 87K cycles per atom, i.e.
+  874.03 us at a 100 MHz core clock.  The Leon2/DLX prototypes of the
+  RISPP project ran in that frequency band.
+* ``SOFTWARE_TOTAL_MCYCLES`` — Section 5: "down to the execution speed of a
+  general-purpose processor in case of zero ACs: 7,403M cycles" for
+  encoding 140 CIF frames.
+* ``CIF_WIDTH/HEIGHT``, ``NUM_FRAMES`` — Section 5: "a CIF-video (352x288)
+  with 140 frames".
+* ``ME_SI_EXECUTIONS_PER_FRAME`` — Figure 2 annotation: "The 31,977
+  executions of two Special Instructions in the Motion Estimation (ME) hot
+  spot".
+* ``AC_SLICES`` — Section 5: "would therefore fit into one AC (1024
+  slices)"; average atom size 421 slices (Table 3).
+"""
+
+from __future__ import annotations
+
+from .errors import CalibrationError
+
+__all__ = [
+    "CLOCK_MHZ",
+    "RECONFIG_TIME_US",
+    "RECONFIG_BANDWIDTH_MBPS",
+    "BITSTREAM_BYTES_AVG",
+    "RECONFIG_CYCLES_PER_ATOM",
+    "SOFTWARE_TOTAL_MCYCLES",
+    "CIF_WIDTH",
+    "CIF_HEIGHT",
+    "NUM_FRAMES",
+    "MACROBLOCK_SIZE",
+    "MACROBLOCKS_PER_CIF_FRAME",
+    "ME_SI_EXECUTIONS_PER_FRAME",
+    "AC_SLICES",
+    "AVG_ATOM_SLICES",
+    "AC_COUNT_SWEEP",
+    "PAPER_HEF_VS_ASF",
+    "PAPER_ASF_VS_MOLEN",
+    "PAPER_HEF_VS_MOLEN",
+    "PAPER_FIG7_SCHEDULERS",
+    "bitstream_bytes_to_cycles",
+    "reconfig_cycles",
+]
+
+#: Core clock of the modelled prototype in MHz (derived, see module docs).
+CLOCK_MHZ = 100.0
+
+#: Average partial-reconfiguration time of one atom, in microseconds.
+RECONFIG_TIME_US = 874.03
+
+#: Configuration-port bandwidth (SelectMap/ICAP) in MB/s.
+RECONFIG_BANDWIDTH_MBPS = 66.0
+
+#: Average partial-bitstream size of one atom, in bytes.
+BITSTREAM_BYTES_AVG = 60_488
+
+#: Average atom reconfiguration time expressed in core-clock cycles.
+RECONFIG_CYCLES_PER_ATOM = int(round(RECONFIG_TIME_US * CLOCK_MHZ))
+
+#: Pure-software execution time for the whole 140-frame benchmark (Mcycles).
+SOFTWARE_TOTAL_MCYCLES = 7_403
+
+#: CIF luma resolution used throughout the evaluation.
+CIF_WIDTH = 352
+CIF_HEIGHT = 288
+
+#: Number of encoded frames in the paper's benchmark runs.
+NUM_FRAMES = 140
+
+#: H.264 macroblock edge length in luma pixels.
+MACROBLOCK_SIZE = 16
+
+#: 22 x 18 macroblocks for a CIF frame.
+MACROBLOCKS_PER_CIF_FRAME = (CIF_WIDTH // MACROBLOCK_SIZE) * (
+    CIF_HEIGHT // MACROBLOCK_SIZE
+)
+
+#: Combined SAD + SATD executions inside one frame's ME hot spot (Figure 2).
+ME_SI_EXECUTIONS_PER_FRAME = 31_977
+
+#: Slices provided by a single Atom Container (Section 5).
+AC_SLICES = 1024
+
+#: Average atom size in slices (Table 3).
+AVG_ATOM_SLICES = 421
+
+#: The Atom-Container counts swept in Figure 7 and Table 2.
+AC_COUNT_SWEEP = tuple(range(5, 25))
+
+#: Table 2, row "HEF vs ASF" (speedup per AC count, 5..24).
+PAPER_HEF_VS_ASF = (
+    1.00, 1.04, 1.04, 1.06, 1.05, 1.08, 1.06, 1.06, 1.13, 1.18,
+    1.21, 1.26, 1.36, 1.48, 1.45, 1.52, 1.51, 1.39, 1.26, 1.52,
+)
+
+#: Table 2, row "ASF vs Molen".
+PAPER_ASF_VS_MOLEN = (
+    1.08, 1.07, 1.12, 1.12, 1.21, 1.22, 1.26, 1.38, 1.39, 1.34,
+    1.40, 1.36, 1.41, 1.50, 1.54, 1.56, 1.54, 1.58, 1.67, 1.57,
+)
+
+#: Table 2, row "HEF vs Molen" (up to 2.38x, average 1.71x).
+PAPER_HEF_VS_MOLEN = (
+    1.09, 1.12, 1.16, 1.19, 1.28, 1.31, 1.34, 1.46, 1.57, 1.58,
+    1.70, 1.70, 1.92, 2.22, 2.23, 2.38, 2.32, 2.21, 2.11, 2.38,
+)
+
+#: Scheduler names in the order Figure 7 lists them.
+PAPER_FIG7_SCHEDULERS = ("ASF", "FSFR", "SJF", "HEF")
+
+
+def bitstream_bytes_to_cycles(num_bytes: int, clock_mhz: float = CLOCK_MHZ,
+                              bandwidth_mbps: float = RECONFIG_BANDWIDTH_MBPS) -> int:
+    """Convert a partial-bitstream size to a reconfiguration latency in cycles.
+
+    The configuration port streams ``num_bytes`` at ``bandwidth_mbps``
+    (decimal MB/s, as in the paper's "66 MB/s"); the resulting wall-clock
+    time is expressed in core-clock cycles at ``clock_mhz``.
+
+    >>> bitstream_bytes_to_cycles(60_488)
+    91648
+    """
+    if num_bytes < 0:
+        raise CalibrationError(f"bitstream size must be >= 0, got {num_bytes}")
+    if clock_mhz <= 0 or bandwidth_mbps <= 0:
+        raise CalibrationError("clock and bandwidth must be positive")
+    seconds = num_bytes / (bandwidth_mbps * 1_000_000.0)
+    return int(round(seconds * clock_mhz * 1_000_000.0))
+
+
+def reconfig_cycles(num_atoms: int) -> int:
+    """Cycles needed to sequentially reconfigure ``num_atoms`` average atoms.
+
+    Atoms are loaded strictly one after another through the single
+    configuration port, so the total is linear in the atom count.
+    """
+    if num_atoms < 0:
+        raise CalibrationError(f"atom count must be >= 0, got {num_atoms}")
+    return num_atoms * RECONFIG_CYCLES_PER_ATOM

@@ -1,0 +1,145 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro table1            # SI inventory (Table 1)
+    python -m repro table2            # speedup table (Table 2)
+    python -m repro table3            # scheduler hardware (Table 3)
+    python -m repro fig2              # upgrade motivation (Figure 2)
+    python -m repro fig4              # schedule example (Figure 4)
+    python -m repro fig7              # scheduler sweep (Figure 7)
+    python -m repro fig8              # HEF detail (Figure 8)
+    python -m repro all               # everything above
+
+The environment variable ``REPRO_FRAMES`` scales the workload of the
+sweep-based experiments (default 40; the paper uses 140).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .analysis import (
+    ascii_plot_fig7,
+    format_fig7_table,
+    format_figure2,
+    format_figure4,
+    format_figure8,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_figure2,
+    run_figure4,
+    run_figure7,
+    run_figure8,
+)
+from .analysis.experiments import default_scale
+from .h264.silibrary import build_si_library
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    return format_table1(build_si_library())
+
+
+def _cmd_table3(args: argparse.Namespace) -> str:
+    return format_table3()
+
+
+def _cmd_fig2(args: argparse.Namespace) -> str:
+    return format_figure2(run_figure2(num_acs=args.acs))
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    return format_figure4(run_figure4())
+
+
+def _cmd_fig8(args: argparse.Namespace) -> str:
+    return format_figure8(run_figure8(num_acs=args.acs))
+
+
+class _SweepCache:
+    """Figure 7 feeds both fig7 and table2; run it at most once."""
+
+    def __init__(self) -> None:
+        self.result = None
+
+    def get(self, progress: bool = True):
+        if self.result is None:
+            self.result = run_figure7(
+                scale=default_scale(), progress=progress
+            )
+        return self.result
+
+
+_SWEEP = _SweepCache()
+
+
+def _cmd_fig7(args: argparse.Namespace) -> str:
+    result = _SWEEP.get()
+    return format_fig7_table(result) + "\n\n" + ascii_plot_fig7(result)
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    return format_table2(_SWEEP.get())
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "fig2": _cmd_fig2,
+    "fig4": _cmd_fig4,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of 'Run-time System for "
+            "an Extensible Embedded Processor with Dynamic Instruction "
+            "Set' (DATE 2008)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which experiments to regenerate",
+    )
+    parser.add_argument(
+        "--acs",
+        type=int,
+        default=10,
+        help="Atom-Container count for fig2/fig8 (default 10)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    names: List[str] = []
+    for name in args.experiments:
+        if name == "all":
+            names.extend(sorted(_COMMANDS))
+        else:
+            names.append(name)
+    seen = set()
+    for name in names:
+        if name in seen:
+            continue
+        seen.add(name)
+        print(_COMMANDS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

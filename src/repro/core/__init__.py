@@ -1,0 +1,76 @@
+"""Core of the reproduction: the paper's primary contribution.
+
+This package contains the hierarchical Special-Instruction composition
+model (atoms / molecules / meta-molecules, Section 4.1 of the paper), the
+candidate expansion and cleaning steps (equations (3) and (4)), the
+scheduling-function formalism (equations (1) and (2)), the four atom
+schedulers (FSFR, ASF, SJF and the proposed HEF), the molecule selection,
+the online execution-frequency monitor and the Run-Time Manager that ties
+them together.
+"""
+
+from .molecule import AtomSpace, Molecule, sup, inf
+from .si import MoleculeImpl, SpecialInstruction, SILibrary
+from .candidates import expand_candidates, clean_candidates
+from .schedule import AtomLoad, Schedule, validate_schedule
+from .selection import (
+    MoleculeSelection,
+    select_molecules,
+    select_molecules_optimal,
+)
+from .monitor import ExecutionMonitor
+from .forecast import (
+    Predictor,
+    EwmaPredictor,
+    LastValuePredictor,
+    SlidingWindowPredictor,
+    TrendPredictor,
+    predictor_factory,
+)
+from .runtime import RuntimeManager
+from .schedulers import (
+    AtomScheduler,
+    FSFRScheduler,
+    ASFScheduler,
+    SJFScheduler,
+    HEFScheduler,
+    LookaheadScheduler,
+    RandomScheduler,
+    get_scheduler,
+    available_schedulers,
+)
+
+__all__ = [
+    "AtomSpace",
+    "Molecule",
+    "sup",
+    "inf",
+    "MoleculeImpl",
+    "SpecialInstruction",
+    "SILibrary",
+    "expand_candidates",
+    "clean_candidates",
+    "AtomLoad",
+    "Schedule",
+    "validate_schedule",
+    "MoleculeSelection",
+    "select_molecules",
+    "select_molecules_optimal",
+    "ExecutionMonitor",
+    "Predictor",
+    "EwmaPredictor",
+    "LastValuePredictor",
+    "SlidingWindowPredictor",
+    "TrendPredictor",
+    "predictor_factory",
+    "RuntimeManager",
+    "AtomScheduler",
+    "FSFRScheduler",
+    "ASFScheduler",
+    "SJFScheduler",
+    "HEFScheduler",
+    "LookaheadScheduler",
+    "RandomScheduler",
+    "get_scheduler",
+    "available_schedulers",
+]

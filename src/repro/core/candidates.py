@@ -1,0 +1,104 @@
+"""Candidate expansion and cleaning — equations (3) and (4) of the paper.
+
+The schedulers do not work on raw atoms but on *molecule candidates*: all
+molecules that are smaller (in the lattice order) than a selected molecule
+of the same SI.  These candidates are the possible intermediate upgrade
+steps on a scheduling path up to ``sup(M)``.
+
+Equation (3) — expansion::
+
+    M' = { o | exists m in M:  o <= m  and  o.getSI() == m.getSI() }
+
+Equation (4) — cleaning, relative to the currently available *or already
+scheduled* atoms ``a``::
+
+    M'' = { o in M' | |a ⊖ o| > 0
+                      and o.getLatency() <
+                          o.getSI().getFastestAvailableMolecule(a).getLatency() }
+
+i.e. a candidate is dropped once it is already implicitly available, and a
+candidate that would not improve on the currently fastest available (or
+scheduled) molecule of its SI is never worth loading — even if its vector
+is not dominated.  The paper's ``m4 = (1, 3)`` example shows why this
+cannot be decided at compile time: whether ``m4`` is useful depends on the
+atoms that happen to be available when the schedule is computed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from .molecule import Molecule
+from .si import MoleculeImpl, SpecialInstruction
+
+__all__ = ["expand_candidates", "clean_candidates", "best_latency_map"]
+
+
+def expand_candidates(
+    selection: Mapping[str, MoleculeImpl],
+    sis: Mapping[str, SpecialInstruction],
+) -> List[MoleculeImpl]:
+    """Equation (3): all molecules that are intermediate steps towards the
+    selected molecules.
+
+    Parameters
+    ----------
+    selection:
+        SI name -> selected molecule (the scheduling input ``M``).
+    sis:
+        SI name -> :class:`SpecialInstruction` (the library view).
+
+    Returns
+    -------
+    The candidate list ``M'`` in a deterministic order (selection order,
+    then each SI's canonical molecule order).  Only hardware molecules are
+    returned — the software implementation is the zero molecule and never
+    needs to be scheduled.  The selected molecule itself is always part of
+    its SI's candidates.
+    """
+    candidates: List[MoleculeImpl] = []
+    for si_name, selected in selection.items():
+        si = sis[si_name]
+        for impl in si.molecules:
+            if impl.atoms <= selected.atoms:
+                candidates.append(impl)
+    return candidates
+
+
+def best_latency_map(
+    selection: Mapping[str, MoleculeImpl],
+    sis: Mapping[str, SpecialInstruction],
+    available: Molecule,
+) -> Dict[str, int]:
+    """Initialise the paper's ``bestLatency`` array (Figure 6, lines 6-9).
+
+    For every SI of the selection the latency of the fastest *currently
+    available* implementation is recorded; the scheduler then updates the
+    entry whenever it schedules a faster molecule.
+    """
+    return {
+        si_name: sis[si_name].available_latency(available)
+        for si_name in selection
+    }
+
+
+def clean_candidates(
+    candidates: Iterable[MoleculeImpl],
+    available: Molecule,
+    best_latency: Mapping[str, int],
+) -> List[MoleculeImpl]:
+    """Equation (4): drop candidates that are already available or no
+    longer an improvement.
+
+    ``available`` is the meta-molecule of currently available **or already
+    scheduled** atoms ``a``; ``best_latency`` maps each SI to the latency
+    of its fastest available/scheduled molecule.
+    """
+    cleaned: List[MoleculeImpl] = []
+    for impl in candidates:
+        if available.missing(impl.atoms).determinant == 0:
+            continue  # already (implicitly) available
+        if impl.latency >= best_latency[impl.si_name]:
+            continue  # not an improvement over what is available/scheduled
+        cleaned.append(impl)
+    return cleaned

@@ -1,0 +1,172 @@
+"""Forecasting strategies for SI execution frequencies.
+
+The paper's monitor ([24]) uses light-weight error feedback —
+exponential smoothing in software terms.  The RISPP follow-on work
+explored alternatives; this module provides a small family of
+per-signal predictors so the monitor's forecasting strategy is pluggable
+and can be ablated:
+
+* :class:`EwmaPredictor` — exponential smoothing (the default),
+* :class:`LastValuePredictor` — expect exactly the last measurement,
+* :class:`SlidingWindowPredictor` — mean of the last ``k`` measurements,
+* :class:`TrendPredictor` — EWMA on the value plus EWMA on its slope
+  (double exponential smoothing), anticipating drifting workloads.
+
+All predictors share the tiny interface the monitor needs: ``predict()``
+returns the current estimate, ``update(measured)`` feeds one
+observation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Callable, Deque, Dict
+
+from ..errors import CalibrationError
+
+__all__ = [
+    "Predictor",
+    "EwmaPredictor",
+    "LastValuePredictor",
+    "SlidingWindowPredictor",
+    "TrendPredictor",
+    "predictor_factory",
+]
+
+
+class Predictor(ABC):
+    """Forecasts one scalar signal (one SI in one hot spot)."""
+
+    def __init__(self, initial: float):
+        if initial < 0:
+            raise CalibrationError(
+                f"initial estimate must be >= 0, got {initial}"
+            )
+        self._initial = float(initial)
+
+    @abstractmethod
+    def predict(self) -> float:
+        """The expected value of the next measurement."""
+
+    @abstractmethod
+    def update(self, measured: float) -> None:
+        """Feed one observed value."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(predict={self.predict():.1f})"
+
+
+class EwmaPredictor(Predictor):
+    """Exponential smoothing: ``est += alpha * (measured - est)``."""
+
+    def __init__(self, initial: float, alpha: float = 0.5):
+        super().__init__(initial)
+        if not 0.0 < alpha <= 1.0:
+            raise CalibrationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self._estimate = self._initial
+
+    def predict(self) -> float:
+        return self._estimate
+
+    def update(self, measured: float) -> None:
+        self._estimate += self.alpha * (measured - self._estimate)
+
+
+class LastValuePredictor(Predictor):
+    """Expect exactly what happened last time (EWMA with alpha = 1)."""
+
+    def __init__(self, initial: float):
+        super().__init__(initial)
+        self._last = self._initial
+
+    def predict(self) -> float:
+        return self._last
+
+    def update(self, measured: float) -> None:
+        self._last = float(measured)
+
+
+class SlidingWindowPredictor(Predictor):
+    """Mean of the last ``window`` measurements."""
+
+    def __init__(self, initial: float, window: int = 4):
+        super().__init__(initial)
+        if window < 1:
+            raise CalibrationError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._values: Deque[float] = deque(maxlen=self.window)
+
+    def predict(self) -> float:
+        if not self._values:
+            return self._initial
+        return sum(self._values) / len(self._values)
+
+    def update(self, measured: float) -> None:
+        self._values.append(float(measured))
+
+
+class TrendPredictor(Predictor):
+    """Double exponential smoothing (level + trend).
+
+    Anticipates drifting content (the camera pan of the workload model):
+    the prediction extrapolates one step along the estimated slope,
+    clamped at zero.
+    """
+
+    def __init__(self, initial: float, alpha: float = 0.5,
+                 beta: float = 0.3):
+        super().__init__(initial)
+        if not 0.0 < alpha <= 1.0 or not 0.0 < beta <= 1.0:
+            raise CalibrationError("alpha and beta must be in (0, 1]")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self._level = self._initial
+        self._trend = 0.0
+        self._seeded = False
+
+    def predict(self) -> float:
+        return max(0.0, self._level + self._trend)
+
+    def update(self, measured: float) -> None:
+        previous_level = self._level
+        forecast = self._level + self._trend if self._seeded else measured
+        self._level = forecast + self.alpha * (measured - forecast)
+        self._trend += self.beta * (
+            (self._level - previous_level) - self._trend
+        )
+        self._seeded = True
+
+
+#: Factory signature the monitor accepts: initial estimate -> Predictor.
+PredictorFactory = Callable[[float], Predictor]
+
+_FACTORIES: Dict[str, PredictorFactory] = {
+    "ewma": lambda initial: EwmaPredictor(initial),
+    "last": lambda initial: LastValuePredictor(initial),
+    "window": lambda initial: SlidingWindowPredictor(initial),
+    "trend": lambda initial: TrendPredictor(initial),
+}
+
+
+def predictor_factory(name: str, **kwargs) -> PredictorFactory:
+    """A factory for the named predictor kind, closing over ``kwargs``.
+
+    >>> make = predictor_factory("ewma", alpha=0.25)
+    >>> make(10.0).alpha
+    0.25
+    """
+    kinds = {
+        "ewma": EwmaPredictor,
+        "last": LastValuePredictor,
+        "window": SlidingWindowPredictor,
+        "trend": TrendPredictor,
+    }
+    try:
+        cls = kinds[name.lower()]
+    except KeyError:
+        raise CalibrationError(
+            f"unknown predictor {name!r}; known: {sorted(kinds)}"
+        ) from None
+    return lambda initial: cls(initial, **kwargs)

@@ -1,0 +1,150 @@
+"""Latency model for molecule implementations.
+
+The paper assigns each molecule a *latency* — the number of cycles one
+execution of the corresponding Special Instruction takes when that
+molecule implements it.  More atom instances expose more molecule-level
+parallelism and reduce the latency, with diminishing returns (and
+occasionally *without* any return: the paper's ``m4 = (1, 3)`` example is
+a molecule that is larger than ``m2 = (2, 2)`` on one axis yet slower,
+which is exactly what the cleaning step of equation (4) must cope with).
+
+We model a molecule as a pipelined datapath in which each atom *role*
+(e.g. the ``TRANSFORM`` stage of SATD) has to perform a fixed number of
+passes per SI execution.  Replicating an atom ``k`` times divides its pass
+count by ``k`` (rounded up).  The stages operate as a pipeline, so the
+slowest stage dominates the steady state while every stage contributes a
+fill/drain term:
+
+``latency(m) = setup + max_r ceil(passes_r / m_r) * cycles_r
+             + drain * (#roles - 1)``
+
+This simple model reproduces the qualitative latency curves of the RISPP
+publications: steep improvement for the first one or two instances of the
+bottleneck atom, a long flat tail, and natural non-Pareto points whenever
+a molecule spends atoms on a non-bottleneck role.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..errors import InvalidMoleculeError
+from .molecule import Molecule
+
+__all__ = ["AtomRole", "PipelineLatencyModel"]
+
+
+@dataclass(frozen=True)
+class AtomRole:
+    """One pipeline stage of an SI datapath.
+
+    Attributes
+    ----------
+    atom_type:
+        Name of the atom type that implements this stage.
+    passes:
+        How many passes of this stage one SI execution requires when a
+        single atom instance is available.
+    cycles_per_pass:
+        Cycles one pass takes on one atom instance.
+    """
+
+    atom_type: str
+    passes: int
+    cycles_per_pass: int
+
+    def __post_init__(self) -> None:
+        if self.passes <= 0:
+            raise InvalidMoleculeError(
+                f"role {self.atom_type!r}: passes must be positive, got {self.passes}"
+            )
+        if self.cycles_per_pass <= 0:
+            raise InvalidMoleculeError(
+                f"role {self.atom_type!r}: cycles_per_pass must be positive, "
+                f"got {self.cycles_per_pass}"
+            )
+
+    def stage_cycles(self, instances: int) -> int:
+        """Cycles this stage needs when ``instances`` atoms serve it."""
+        if instances <= 0:
+            raise InvalidMoleculeError(
+                f"role {self.atom_type!r} executed with {instances} instances"
+            )
+        return math.ceil(self.passes / instances) * self.cycles_per_pass
+
+
+class PipelineLatencyModel:
+    """Computes per-molecule latencies for one Special Instruction.
+
+    Parameters
+    ----------
+    roles:
+        The pipeline stages, in dataflow order.  Each atom type may appear
+        at most once.
+    setup_cycles:
+        Fixed per-execution overhead (operand fetch, result write-back).
+    drain_cycles:
+        Pipeline fill/drain contribution per stage boundary.
+    """
+
+    def __init__(
+        self,
+        roles: Sequence[AtomRole],
+        setup_cycles: int = 4,
+        drain_cycles: int = 2,
+    ):
+        if not roles:
+            raise InvalidMoleculeError("a latency model needs at least one role")
+        seen = set()
+        for role in roles:
+            if role.atom_type in seen:
+                raise InvalidMoleculeError(
+                    f"atom type {role.atom_type!r} appears in two roles"
+                )
+            seen.add(role.atom_type)
+        if setup_cycles < 0 or drain_cycles < 0:
+            raise InvalidMoleculeError("setup/drain cycles must be >= 0")
+        self._roles: Tuple[AtomRole, ...] = tuple(roles)
+        self._setup = int(setup_cycles)
+        self._drain = int(drain_cycles)
+
+    @property
+    def roles(self) -> Tuple[AtomRole, ...]:
+        return self._roles
+
+    @property
+    def atom_types(self) -> Tuple[str, ...]:
+        """The atom types this SI uses, in pipeline order."""
+        return tuple(role.atom_type for role in self._roles)
+
+    def latency_of_counts(self, instance_counts: Mapping[str, int]) -> int:
+        """Latency for a molecule given a name->instance-count mapping.
+
+        Every role must be served by at least one instance — molecules
+        that drop a role entirely cannot implement the SI in hardware.
+        """
+        slowest = 0
+        for role in self._roles:
+            instances = instance_counts.get(role.atom_type, 0)
+            slowest = max(slowest, role.stage_cycles(instances))
+        return self._setup + slowest + self._drain * (len(self._roles) - 1)
+
+    def latency_of(self, molecule: Molecule) -> int:
+        """Latency for a :class:`~repro.core.molecule.Molecule` vector."""
+        counts: Dict[str, int] = {
+            role.atom_type: molecule.count(role.atom_type) for role in self._roles
+        }
+        return self.latency_of_counts(counts)
+
+    def minimal_counts(self) -> Dict[str, int]:
+        """The smallest molecule that implements the SI: one instance of
+        every role's atom type."""
+        return {role.atom_type: 1 for role in self._roles}
+
+    def __repr__(self) -> str:
+        stages = ", ".join(
+            f"{r.atom_type}:{r.passes}x{r.cycles_per_pass}" for r in self._roles
+        )
+        return f"PipelineLatencyModel({stages}, setup={self._setup}, drain={self._drain})"

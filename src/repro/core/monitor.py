@@ -1,0 +1,172 @@
+"""Online monitoring of SI execution frequencies (Section 3.1, point II).
+
+The Run-Time Manager observes how often every SI executes within a hot
+spot.  After executing the hot spot, the measured value is compared to
+the previous expectation to update the expectation for the next execution
+iteration of this hot spot — the light-weight error-feedback scheme whose
+hardware implementation the authors demonstrated in [24].
+
+We model it as a per-(hot spot, SI) predictor — exponential smoothing by
+default::
+
+    estimate <- estimate + alpha * (measured - estimate)
+
+seeded from an offline profile (or a neutral default) on the first
+encounter of a hot spot.  Alternative forecasting strategies from
+:mod:`repro.core.forecast` (last-value, sliding window, trend) can be
+plugged in via ``predictor_factory``.  The monitor also keeps simple
+error statistics so experiments can report prediction quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import CalibrationError
+from .forecast import EwmaPredictor, Predictor, PredictorFactory
+
+__all__ = ["ExecutionMonitor", "MonitorStats"]
+
+
+@dataclass
+class MonitorStats:
+    """Prediction-quality statistics for one (hot spot, SI) pair."""
+
+    num_updates: int = 0
+    abs_error_sum: float = 0.0
+    measured_sum: float = 0.0
+
+    @property
+    def mean_abs_error(self) -> float:
+        return self.abs_error_sum / self.num_updates if self.num_updates else 0.0
+
+    @property
+    def mean_measured(self) -> float:
+        return self.measured_sum / self.num_updates if self.num_updates else 0.0
+
+    @property
+    def relative_error(self) -> float:
+        """Mean absolute error relative to the mean measured value."""
+        return (
+            self.mean_abs_error / self.mean_measured
+            if self.mean_measured
+            else 0.0
+        )
+
+
+class ExecutionMonitor:
+    """Per-hot-spot SI execution-frequency forecaster.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in (0, 1]; 1.0 means "expect exactly what was
+        measured last time".
+    profile:
+        Optional offline profile: hot-spot name -> SI name -> expected
+        executions, used before the first measurement of a hot spot.
+    default_estimate:
+        First-encounter estimate for SIs without a profile entry.  A
+        positive value ensures every SI initially looks worth
+        accelerating.
+    predictor_factory:
+        Optional forecasting strategy (see :mod:`repro.core.forecast`);
+        defaults to exponential smoothing with ``alpha``.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        profile: Optional[Mapping[str, Mapping[str, float]]] = None,
+        default_estimate: float = 1.0,
+        predictor_factory: Optional["PredictorFactory"] = None,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise CalibrationError(f"alpha must be in (0, 1], got {alpha}")
+        if default_estimate < 0.0:
+            raise CalibrationError(
+                f"default estimate must be >= 0, got {default_estimate}"
+            )
+        self.alpha = float(alpha)
+        self.default_estimate = float(default_estimate)
+        self._factory: "PredictorFactory" = (
+            predictor_factory
+            if predictor_factory is not None
+            else (lambda initial: EwmaPredictor(initial, alpha=self.alpha))
+        )
+        self._profile: Dict[str, Dict[str, float]] = {
+            hs: dict(entries) for hs, entries in (profile or {}).items()
+        }
+        self._predictors: Dict[Tuple[str, str], Predictor] = {}
+        self._stats: Dict[Tuple[str, str], MonitorStats] = {}
+
+    # -- prediction ----------------------------------------------------------
+
+    def _initial(self, hot_spot: str, si_name: str) -> float:
+        return self._profile.get(hot_spot, {}).get(
+            si_name, self.default_estimate
+        )
+
+    def _predictor(self, hot_spot: str, si_name: str) -> Predictor:
+        key = (hot_spot, si_name)
+        predictor = self._predictors.get(key)
+        if predictor is None:
+            predictor = self._factory(self._initial(hot_spot, si_name))
+            self._predictors[key] = predictor
+        return predictor
+
+    def predict(
+        self, hot_spot: str, si_names: Sequence[str]
+    ) -> Dict[str, float]:
+        """Expected executions of each SI in the next run of ``hot_spot``."""
+        return {
+            si_name: self._predictor(hot_spot, si_name).predict()
+            for si_name in si_names
+        }
+
+    # -- feedback ------------------------------------------------------------
+
+    def update(self, hot_spot: str, measured: Mapping[str, float]) -> None:
+        """Feed the measured execution counts of a finished hot spot back.
+
+        Implements the error feedback: the estimate moves towards the
+        measurement by a factor ``alpha``.
+        """
+        for si_name, value in measured.items():
+            if value < 0:
+                raise CalibrationError(
+                    f"negative execution count for {si_name}: {value}"
+                )
+            key = (hot_spot, si_name)
+            predictor = self._predictor(hot_spot, si_name)
+            stats = self._stats.setdefault(key, MonitorStats())
+            stats.num_updates += 1
+            stats.abs_error_sum += abs(value - predictor.predict())
+            stats.measured_sum += float(value)
+            predictor.update(float(value))
+
+    # -- inspection ------------------------------------------------------------
+
+    def estimate(self, hot_spot: str, si_name: str) -> float:
+        """Current estimate for one (hot spot, SI) pair."""
+        return self._predictor(hot_spot, si_name).predict()
+
+    def stats(self, hot_spot: str, si_name: str) -> MonitorStats:
+        """Prediction-error statistics (zeroed if never updated)."""
+        return self._stats.get((hot_spot, si_name), MonitorStats())
+
+    def known_hot_spots(self) -> Tuple[str, ...]:
+        """Hot spots for which at least one measurement arrived."""
+        return tuple(sorted({hs for hs, _ in self._stats}))
+
+    def reset(self) -> None:
+        """Forget all measurements (profile entries are kept)."""
+        self._predictors.clear()
+        self._stats.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionMonitor(alpha={self.alpha}, "
+            f"{len(self._predictors)} live predictors)"
+        )

@@ -1,0 +1,163 @@
+"""The Run-Time Manager (Section 3.1).
+
+The Run-Time Manager controls the run-time behaviour of the RISPP
+pipeline.  Its three tasks, and where they live here:
+
+I.   *Controlling the execution of SIs* — :meth:`RuntimeManager.dispatch`
+     either returns the fastest available hardware molecule for an SI or
+     the software implementation (the synchronous-exception / trap path
+     on the base ISA).
+II.  *Observing and adapting to changing constraints* — the
+     :class:`~repro.core.monitor.ExecutionMonitor` predicts per-hot-spot
+     SI execution frequencies and is updated after each hot-spot run.
+III. *Determining atom re-loading decisions* — molecule selection picks
+     the target implementation per SI, and the pluggable atom scheduler
+     (Section 4) orders the loads.
+
+The manager is a pure decision component: it never advances time.  The
+behavioural simulators in :mod:`repro.sim` own the clock and feed the
+manager's decisions into the fabric model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..errors import UnknownSpecialInstructionError
+from .molecule import Molecule
+from .monitor import ExecutionMonitor
+from .schedule import Schedule, validate_schedule
+from .schedulers.base import AtomScheduler
+from .selection import MoleculeSelection, select_molecules
+from .si import MoleculeImpl, SILibrary
+
+__all__ = ["HotSpotPlan", "RuntimeManager"]
+
+
+@dataclass(frozen=True)
+class HotSpotPlan:
+    """Everything the Run-Time Manager decided at a hot-spot entry."""
+
+    hot_spot: str
+    expected: Mapping[str, float]
+    selection: MoleculeSelection
+    schedule: Schedule
+
+    @property
+    def num_scheduled_atoms(self) -> int:
+        return len(self.schedule)
+
+
+class RuntimeManager:
+    """Decision core of the run-time system.
+
+    Parameters
+    ----------
+    library:
+        The application's SI library.
+    scheduler:
+        The atom-scheduling strategy (FSFR/ASF/SJF/HEF/...).
+    num_acs:
+        Number of atom containers of the fabric.
+    monitor:
+        The execution-frequency forecaster; a fresh default monitor is
+        created when omitted.
+    validate_schedules:
+        When True, every schedule is checked against conditions (1)+(2)
+        before being returned — useful in tests, off by default for
+        speed.
+    """
+
+    def __init__(
+        self,
+        library: SILibrary,
+        scheduler: AtomScheduler,
+        num_acs: int,
+        monitor: Optional[ExecutionMonitor] = None,
+        validate_schedules: bool = False,
+    ):
+        self.library = library
+        self.scheduler = scheduler
+        self.num_acs = int(num_acs)
+        self.monitor = monitor if monitor is not None else ExecutionMonitor()
+        self.validate_schedules = bool(validate_schedules)
+        self._sis_by_name = {si.name: si for si in library}
+
+    # -- task III: re-loading decisions --------------------------------------
+
+    def plan_hot_spot(
+        self,
+        hot_spot: str,
+        si_names: Sequence[str],
+        available: Molecule,
+    ) -> HotSpotPlan:
+        """Select molecules and schedule atom loads for a hot-spot entry.
+
+        ``available`` is the fabric's current atom content; atoms already
+        loaded are reused (both by the selection's tie-break and by the
+        scheduler's ``a_0``).
+        """
+        sis = self.library.subset(si_names)
+        expected = self.monitor.predict(hot_spot, si_names)
+        selection = select_molecules(
+            sis, expected, self.num_acs, available=available
+        )
+        hardware = selection.hardware_selection()
+        if hardware:
+            schedule = self.scheduler.schedule(
+                hardware,
+                {si.name: si for si in sis},
+                available,
+                expected,
+            )
+            if self.validate_schedules:
+                validate_schedule(schedule, hardware, available)
+        else:
+            schedule = Schedule(self.library.space)
+        return HotSpotPlan(
+            hot_spot=hot_spot,
+            expected=expected,
+            selection=selection,
+            schedule=schedule,
+        )
+
+    # -- task II: observation / adaptation ------------------------------------
+
+    def finish_hot_spot(
+        self, hot_spot: str, measured: Mapping[str, float]
+    ) -> None:
+        """Feed the measured SI execution counts back into the monitor."""
+        self.monitor.update(hot_spot, measured)
+
+    # -- task I: SI execution control -----------------------------------------
+
+    def dispatch(self, si_name: str, available: Molecule) -> MoleculeImpl:
+        """Resolve one SI execution against the current atom availability.
+
+        Returns the fastest available implementation; when that is the
+        software implementation the caller must account for the trap into
+        the base ISA (see :mod:`repro.isa.processor`).
+        """
+        try:
+            si = self._sis_by_name[si_name]
+        except KeyError:
+            raise UnknownSpecialInstructionError(
+                f"dispatch of unknown SI {si_name!r}"
+            ) from None
+        return si.fastest_available(available)
+
+    def latencies(
+        self, si_names: Sequence[str], available: Molecule
+    ) -> Dict[str, int]:
+        """Current per-SI latencies under ``available`` (no trap cost)."""
+        return {
+            name: self._sis_by_name[name].available_latency(available)
+            for name in si_names
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RuntimeManager({self.scheduler.name}, {self.num_acs} ACs, "
+            f"{len(self._sis_by_name)} SIs)"
+        )

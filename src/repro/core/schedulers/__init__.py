@@ -1,0 +1,40 @@
+"""Atom-scheduling strategies.
+
+The four schedulers of Section 4.4 — FSFR, ASF, SJF and the proposed HEF
+— plus two extensions used by the ablation benchmarks (a bounded
+beam-search lookahead and a random baseline).  All schedulers are
+registered under their short name; use :func:`get_scheduler` to
+instantiate one by name.
+"""
+
+from .base import (
+    AtomScheduler,
+    SchedulerState,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+)
+from .fsfr import FSFRScheduler
+from .asf import ASFScheduler
+from .sjf import SJFScheduler
+from .hef import HEFScheduler
+from .lookahead import LookaheadScheduler
+from .random_sched import RandomScheduler
+
+#: The scheduler line-up of Figure 7, in the paper's legend order.
+PAPER_SCHEDULERS = ("ASF", "FSFR", "SJF", "HEF")
+
+__all__ = [
+    "AtomScheduler",
+    "SchedulerState",
+    "available_schedulers",
+    "get_scheduler",
+    "register_scheduler",
+    "FSFRScheduler",
+    "ASFScheduler",
+    "SJFScheduler",
+    "HEFScheduler",
+    "LookaheadScheduler",
+    "RandomScheduler",
+    "PAPER_SCHEDULERS",
+]

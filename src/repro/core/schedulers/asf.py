@@ -1,0 +1,32 @@
+"""Avoid Software First (ASF), Section 4.4.
+
+One potential problem of the FSFR schedule is that the second SI is not
+accelerated *at all* until the first SI is completely upgraded.  ASF
+therefore first loads one accelerating molecule for every SI (the
+smallest one), and only then follows the FSFR path of completing one SI
+after the other.
+
+Its weakness (Figure 7, 17+ ACs): the initial all-SIs phase spends
+reconfiguration time on SIs that are executed far less often than others,
+delaying the big wins.
+"""
+
+from __future__ import annotations
+
+from .base import AtomScheduler, SchedulerState, register_scheduler
+
+__all__ = ["ASFScheduler"]
+
+
+@register_scheduler
+class ASFScheduler(AtomScheduler):
+    """Smallest accelerating molecule for every SI first, then FSFR."""
+
+    name = "ASF"
+
+    def _run(self, state: SchedulerState) -> None:
+        # Phase 1: get every SI out of software, smallest molecule first.
+        self.load_smallest_molecule_per_si(state)
+        # Phase 2: continue like FSFR.
+        for si_name in state.sis_by_importance():
+            self.upgrade_si_fully(state, si_name)

@@ -1,0 +1,30 @@
+"""First Select First Reconfigure (FSFR), Section 4.4.
+
+FSFR concentrates on first upgrading the most important SI — in terms of
+expected executions and potential performance improvement due to the
+selected molecule — until it reaches the selected molecule, before
+starting the second SI, and so on.
+
+Its weakness (visible in Figure 7 between roughly 7 and 17 ACs): all other
+SIs keep executing in software while the first SI is perfected, and the
+bigger the selected molecules get, the longer that starvation lasts.  Its
+strength appears with many ACs, where ASF's insistence on accelerating
+even rarely-executed SIs first costs more than FSFR's focus.
+"""
+
+from __future__ import annotations
+
+from .base import AtomScheduler, SchedulerState, register_scheduler
+
+__all__ = ["FSFRScheduler"]
+
+
+@register_scheduler
+class FSFRScheduler(AtomScheduler):
+    """Upgrade one SI completely before touching the next."""
+
+    name = "FSFR"
+
+    def _run(self, state: SchedulerState) -> None:
+        for si_name in state.sis_by_importance():
+            self.upgrade_si_fully(state, si_name)

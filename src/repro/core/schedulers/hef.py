@@ -1,0 +1,74 @@
+"""Highest Efficiency First (HEF) — the paper's proposed scheduler
+(Figure 6).
+
+FSFR and ASF concentrate on one SI after the other, SJF on the locally
+smallest upgrade step.  HEF instead decides *situation-dependent* whether
+to continue upgrading one SI or to switch to another, using a benefit
+metric per molecule candidate (Figure 6, line 20)::
+
+    benefit(o) = expectedExecutions(o.SI) * (bestLatency[o.SI] - o.latency)
+                 / |a ⊖ o|
+
+i.e. the performance improvement over the currently fastest
+available/scheduled molecule of the same SI, weighted by how often the SI
+is expected to execute, and relativised by the number of additionally
+required atoms (the reconfiguration effort).  The candidate with the
+highest benefit is scheduled, the availability ``a`` and the
+``bestLatency`` entry are updated, and the loop repeats until the
+candidate list is exhausted.
+
+Hardware note (Section 5): the prototype implements this comparison
+without a divider by cross-multiplying — ``(a*b)/c > (d*e)/f`` is decided
+as ``(a*b)*f > (d*e)*c``, valid because the additional-atom counts are
+always positive.  We follow the same formulation to stay bit-identical
+with an integer-expectation configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..si import MoleculeImpl
+from .base import AtomScheduler, SchedulerState, register_scheduler
+
+__all__ = ["HEFScheduler"]
+
+
+@register_scheduler
+class HEFScheduler(AtomScheduler):
+    """Benefit-greedy scheduling, the paper's contribution."""
+
+    name = "HEF"
+
+    def _run(self, state: SchedulerState) -> None:
+        while True:
+            # Figure 6 lines 13-17: clean the candidate list for the
+            # currently available/scheduled atoms.
+            candidates = state.cleaned_candidates()
+            if not candidates:
+                return
+            best: Optional[MoleculeImpl] = None
+            best_num = 0.0  # numerator of the best benefit
+            best_den = 1.0  # denominator (additional atoms), always > 0
+            # Deterministic candidate order: the expansion order of
+            # equation (3) (selection order, then canonical molecule
+            # order); strict ">" keeps the first maximum, like the
+            # pseudo code.
+            for cand in candidates:
+                num = state.expected[cand.si_name] * state.improvement(cand)
+                den = float(state.additional_atoms(cand))
+                # Cross-multiplied comparison, as in the hardware FSM.
+                if best is None or num * best_den > best_num * den:
+                    best, best_num, best_den = cand, num, den
+            if best is None:  # pragma: no cover - candidates was non-empty
+                return
+            if best_num <= 0.0:
+                # Every remaining candidate has zero expected executions
+                # (benefit 0); the strict ">" of the pseudo code would
+                # select nothing and the loop could not make progress.
+                # Fall back to the smallest remaining step so that the
+                # selected molecules still get composed.
+                best = self.smallest_step(state, candidates)
+                if best is None:
+                    return
+            state.commit(best)

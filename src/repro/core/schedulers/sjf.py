@@ -1,0 +1,39 @@
+"""Smallest Job First (SJF), Section 4.4.
+
+Continues ASF's idea of loading small molecules first: after the initial
+phase (smallest hardware molecule for each SI), *all* remaining molecule
+candidates compete globally, and the one requiring the minimal number of
+additional atoms is scheduled next.  If two or more molecules require the
+same minimal number of additional atoms, the one with the bigger
+performance improvement is scheduled first.
+
+Like FSFR and ASF, SJF is purely locally greedy on step *size*; it ignores
+how often an SI is expected to execute, which is why HEF overtakes it as
+soon as the molecule sets grow (Figure 7, 13+ ACs).
+"""
+
+from __future__ import annotations
+
+from .base import AtomScheduler, SchedulerState, register_scheduler
+
+__all__ = ["SJFScheduler"]
+
+
+@register_scheduler
+class SJFScheduler(AtomScheduler):
+    """Smallest molecule per SI first, then globally smallest upgrades."""
+
+    name = "SJF"
+
+    def _run(self, state: SchedulerState) -> None:
+        # Phase 1: identical to ASF — one small molecule per SI,
+        # smallest first.
+        self.load_smallest_molecule_per_si(state)
+        # Phase 2: globally smallest additional-atom step, ties broken by
+        # the bigger performance improvement (Section 4.4).
+        while True:
+            candidates = state.cleaned_candidates()
+            step = self.smallest_step(state, candidates)
+            if step is None:
+                return
+            state.commit(step)

@@ -1,0 +1,257 @@
+"""Molecule selection for an upcoming hot spot.
+
+Before atoms can be scheduled, the Run-Time Manager must decide *which*
+molecule shall implement each SI of the hot spot (point III in Section
+3.1; the details are "beyond the scope" of the paper and were published
+with the RISPP platform paper [23]).  The selection fixes the scheduling
+input ``M`` and guarantees its feasibility: ``NA = |sup(M)| <= #ACs``.
+
+We implement the profit-greedy selection of the RISPP project:
+
+1. start with the software implementation for every SI,
+2. repeatedly consider every faster molecule ``m`` of every SI and
+   compute
+   * ``profit(m) = expected[si] * (latency(selected[si]) - latency(m))``
+   * ``cost(m)   = |sup(M with m substituted)| - |sup(M)|``
+     (the *additional* atom containers the upgrade occupies — atom types
+     shared with other selected molecules are free),
+3. greedily apply the feasible substitution with the best profit/cost
+   ratio (zero-cost improvements are always taken first) until no
+   feasible improvement remains.
+
+The selection is deliberately blind to reconfiguration *time*: it answers
+"what should eventually run", while making that endpoint cheap to reach
+is exactly the scheduler's job.  This division reproduces the paper's
+Figure 7 observation that bigger AC counts let the selection pick bigger
+molecules, which *punishes* naive schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SelectionError
+from .molecule import Molecule, sup
+from .si import MoleculeImpl, SpecialInstruction
+
+__all__ = ["MoleculeSelection", "select_molecules", "select_molecules_optimal"]
+
+
+@dataclass(frozen=True)
+class MoleculeSelection:
+    """The result of molecule selection for one hot spot.
+
+    Attributes
+    ----------
+    implementations:
+        SI name -> selected molecule.  SIs that stay in software map to
+        their software implementation (and contribute no atoms).
+    meta:
+        ``sup(M)`` over the selected *hardware* molecules — all atoms the
+        hot spot wants loaded.
+    num_acs:
+        The atom-container budget the selection was computed for.
+    """
+
+    implementations: Mapping[str, MoleculeImpl]
+    meta: Molecule
+    num_acs: int
+
+    @property
+    def num_atoms(self) -> int:
+        """``NA = |sup(M)|`` — guaranteed ``<= num_acs``."""
+        return self.meta.determinant
+
+    def hardware_selection(self) -> Dict[str, MoleculeImpl]:
+        """Only the SIs that got a hardware molecule (scheduler input)."""
+        return {
+            name: impl
+            for name, impl in self.implementations.items()
+            if not impl.is_software
+        }
+
+    def latency(self, si_name: str) -> int:
+        """Final latency of ``si_name`` once fully composed."""
+        return self.implementations[si_name].latency
+
+
+def _meta_with(
+    selection: Dict[str, MoleculeImpl],
+    si_name: str,
+    impl: MoleculeImpl,
+    space,
+) -> Molecule:
+    """``sup`` of the selection with ``si_name`` replaced by ``impl``."""
+    atoms = [
+        chosen.atoms
+        for name, chosen in selection.items()
+        if name != si_name and not chosen.is_software
+    ]
+    if not impl.is_software:
+        atoms.append(impl.atoms)
+    return sup(atoms, space)
+
+
+def select_molecules(
+    sis: Sequence[SpecialInstruction],
+    expected: Mapping[str, float],
+    num_acs: int,
+    available: Optional[Molecule] = None,
+) -> MoleculeSelection:
+    """Profit-greedy molecule selection under the AC budget.
+
+    Parameters
+    ----------
+    sis:
+        The Special Instructions of the upcoming hot spot.
+    expected:
+        Expected executions per SI (from the online monitor).  SIs with
+        zero expectation never receive atoms.
+    num_acs:
+        Number of atom containers — the hard capacity bound for
+        ``|sup(M)|``.
+    available:
+        Currently loaded atoms; used only as a deterministic tie-break
+        (prefer upgrades that reuse loaded atoms), never to violate the
+        greedy profit order.
+    """
+    if not sis:
+        raise SelectionError("cannot select molecules for an empty hot spot")
+    if num_acs < 0:
+        raise SelectionError(f"negative atom-container budget: {num_acs}")
+    space = sis[0].space
+    for si in sis:
+        if si.space != space:
+            raise SelectionError("hot-spot SIs use different atom spaces")
+    zero = space.zero()
+    reuse_base = available if available is not None else zero
+
+    selection: Dict[str, MoleculeImpl] = {si.name: si.software for si in sis}
+    by_name: Dict[str, SpecialInstruction] = {si.name: si for si in sis}
+    meta = zero
+
+    while True:
+        best_key: Optional[Tuple[float, float, int, str, str]] = None
+        best_choice: Optional[Tuple[str, MoleculeImpl, Molecule]] = None
+        # sup of the selection with each SI excluded, computed once per
+        # greedy round (every candidate of that SI reuses it).
+        others_sup: Dict[str, Molecule] = {
+            si.name: _meta_with(selection, si.name, si.software, space)
+            for si in sis
+        }
+        for si in sis:
+            exec_weight = float(expected.get(si.name, 0.0))
+            if exec_weight <= 0.0:
+                continue
+            current = selection[si.name]
+            base = others_sup[si.name]
+            for impl in si.molecules:
+                if impl.latency >= current.latency:
+                    continue
+                new_meta = base | impl.atoms
+                if new_meta.determinant > num_acs:
+                    continue
+                cost = new_meta.determinant - meta.determinant
+                profit = exec_weight * (current.latency - impl.latency)
+                # Ratio with cost 0 ranks above everything; encode as the
+                # pair (-is_free, -ratio) so min() picks the best.
+                if cost <= 0:
+                    rank = (0.0, -profit)
+                else:
+                    rank = (1.0, -profit / cost)
+                reuse = reuse_base.missing(impl.atoms).determinant
+                key = rank + (reuse, si.name, impl.name)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_choice = (si.name, impl, new_meta)
+        if best_choice is None:
+            break
+        si_name, impl, meta = best_choice
+        selection[si_name] = impl
+
+    if meta.determinant > num_acs:  # pragma: no cover - defensive
+        raise SelectionError(
+            f"selection uses {meta.determinant} atoms but only "
+            f"{num_acs} ACs are available"
+        )
+    return MoleculeSelection(
+        implementations=dict(selection), meta=meta, num_acs=num_acs
+    )
+
+
+def select_molecules_optimal(
+    sis: Sequence[SpecialInstruction],
+    expected: Mapping[str, float],
+    num_acs: int,
+) -> MoleculeSelection:
+    """Exhaustive (branch-and-bound) molecule selection.
+
+    Finds the selection minimising the expected execution cost
+    ``sum_si expected[si] * latency(selected[si])`` subject to
+    ``|sup(M)| <= num_acs``.  Exponential in the number of SIs times
+    molecules — intended for small instances (tests and the selection
+    ablation), where it bounds how much the greedy heuristic gives away.
+    """
+    if not sis:
+        raise SelectionError("cannot select molecules for an empty hot spot")
+    if num_acs < 0:
+        raise SelectionError(f"negative atom-container budget: {num_acs}")
+    space = sis[0].space
+    zero = space.zero()
+
+    # Per SI: all implementations (software first), pruned to the Pareto
+    # front over (atoms, latency) to keep the search tree small.
+    options: List[List[MoleculeImpl]] = []
+    weights: List[float] = []
+    for si in sis:
+        impls = [si.software] + [
+            impl for impl in si.molecules if impl.determinant <= num_acs
+        ]
+        impls.sort(key=lambda m: m.latency)
+        options.append(impls)
+        weights.append(float(expected.get(si.name, 0.0)))
+
+    best_cost = [float("inf")]
+    best_choice: List[Optional[Tuple[MoleculeImpl, ...]]] = [None]
+
+    def lower_bound(index: int) -> float:
+        """Cost if every remaining SI got its fastest implementation."""
+        return sum(
+            weights[i] * options[i][0].latency
+            for i in range(index, len(options))
+        )
+
+    def recurse(index: int, meta: Molecule, cost: float,
+                chosen: Tuple[MoleculeImpl, ...]) -> None:
+        if cost + lower_bound(index) >= best_cost[0]:
+            return
+        if index == len(options):
+            best_cost[0] = cost
+            best_choice[0] = chosen
+            return
+        weight = weights[index]
+        for impl in options[index]:
+            new_meta = meta if impl.is_software else meta | impl.atoms
+            if new_meta.determinant > num_acs:
+                continue
+            recurse(
+                index + 1,
+                new_meta,
+                cost + weight * impl.latency,
+                chosen + (impl,),
+            )
+
+    recurse(0, zero, 0.0, ())
+    assert best_choice[0] is not None  # software-only is always feasible
+    implementations = {
+        si.name: impl for si, impl in zip(sis, best_choice[0])
+    }
+    meta = sup(
+        [impl.atoms for impl in implementations.values()
+         if not impl.is_software],
+        space,
+    )
+    return MoleculeSelection(
+        implementations=implementations, meta=meta, num_acs=num_acs
+    )

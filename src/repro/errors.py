@@ -1,0 +1,89 @@
+"""Exception hierarchy for the RISPP reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`RisppError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RisppError",
+    "AtomSpaceMismatchError",
+    "UnknownAtomTypeError",
+    "UnknownSpecialInstructionError",
+    "InvalidMoleculeError",
+    "InvalidScheduleError",
+    "SelectionError",
+    "FabricError",
+    "CapacityError",
+    "SimulationError",
+    "TraceError",
+    "CalibrationError",
+]
+
+
+class RisppError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class AtomSpaceMismatchError(RisppError):
+    """Two molecules from different :class:`~repro.core.molecule.AtomSpace`
+    instances were combined.
+
+    The lattice operators (union, intersection, comparison, missing-atoms)
+    are only defined between molecules over the *same* set of atom types.
+    """
+
+
+class UnknownAtomTypeError(RisppError, KeyError):
+    """An atom-type name was looked up that is not part of the atom space."""
+
+
+class UnknownSpecialInstructionError(RisppError, KeyError):
+    """A Special Instruction name was looked up that the library does not
+    define."""
+
+
+class InvalidMoleculeError(RisppError, ValueError):
+    """A molecule definition is malformed (negative counts, wrong arity,
+    duplicate molecule names within one SI, ...)."""
+
+
+class InvalidScheduleError(RisppError, ValueError):
+    """A scheduling function violates condition (2) of the paper: the
+    multiset of loaded unit molecules does not equal the atoms required to
+    reach ``sup(M)`` from the initially available atoms."""
+
+
+class SelectionError(RisppError, ValueError):
+    """Molecule selection could not produce a feasible selection (e.g. the
+    atom-container budget is negative)."""
+
+
+class FabricError(RisppError):
+    """Base class for errors of the reconfigurable-fabric substrate."""
+
+
+class CapacityError(FabricError):
+    """An atom load was requested but no atom container is free or
+    evictable.
+
+    The molecule selection step guarantees ``NA <= #ACs`` for the atoms of
+    the current hot spot, so hitting this error indicates either a
+    scheduler bug (loading atoms outside ``sup(M)``) or an eviction policy
+    that refuses to release stale atoms.
+    """
+
+
+class SimulationError(RisppError):
+    """The behavioural simulator reached an inconsistent state."""
+
+
+class TraceError(RisppError, ValueError):
+    """A workload trace is malformed (negative counts, unknown SI names,
+    shape mismatches between the count matrix and the SI list, ...)."""
+
+
+class CalibrationError(RisppError, ValueError):
+    """A calibration constant was given an out-of-range value."""

@@ -1,0 +1,36 @@
+"""Reconfigurable-fabric substrate.
+
+Models the hardware the run-time system drives: the atom-type registry
+(with per-type partial-bitstream sizes), the Atom Containers, the
+eviction policy and the single serial reconfiguration port
+(SelectMap/ICAP in the prototype).
+"""
+
+from .atom import AtomType, AtomRegistry
+from .container import AtomContainer, ContainerState
+from .eviction import (
+    EvictionPolicy,
+    LRUEviction,
+    FIFOEviction,
+    LFUEviction,
+    MRUEviction,
+    get_eviction_policy,
+)
+from .fabric import Fabric
+from .reconfig import ReconfigPort, LoadCompletion
+
+__all__ = [
+    "AtomType",
+    "AtomRegistry",
+    "AtomContainer",
+    "ContainerState",
+    "EvictionPolicy",
+    "LRUEviction",
+    "FIFOEviction",
+    "LFUEviction",
+    "MRUEviction",
+    "get_eviction_policy",
+    "Fabric",
+    "ReconfigPort",
+    "LoadCompletion",
+]

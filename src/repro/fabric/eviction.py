@@ -1,0 +1,96 @@
+"""Pluggable eviction policies for the Atom-Container array.
+
+When the fabric must load an atom and no container is free, one *stale*
+atom (an instance the current plan does not retain) loses its container.
+Which one is a policy decision; the prototype behaviour corresponds to
+LRU.  The ablation benchmarks compare the alternatives — with the
+near-total churn between hot spots the choice matters less than the
+scheduler, which is itself a reproduction-relevant observation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Sequence, Type
+
+from ..errors import FabricError
+from .container import AtomContainer
+
+__all__ = [
+    "EvictionPolicy",
+    "LRUEviction",
+    "FIFOEviction",
+    "LFUEviction",
+    "MRUEviction",
+    "get_eviction_policy",
+]
+
+
+class EvictionPolicy(ABC):
+    """Chooses the victim among evictable (stale, loaded) containers."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(
+        self, candidates: Sequence[AtomContainer]
+    ) -> AtomContainer:
+        """Return the container to evict; ``candidates`` is non-empty."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LRUEviction(EvictionPolicy):
+    """Least recently *used* atom first (the default)."""
+
+    name = "LRU"
+
+    def choose(self, candidates):
+        return min(candidates, key=lambda c: (c.last_used, c.index))
+
+
+class FIFOEviction(EvictionPolicy):
+    """Oldest *loaded* atom first, regardless of use."""
+
+    name = "FIFO"
+
+    def choose(self, candidates):
+        return min(candidates, key=lambda c: (c.loaded_at, c.index))
+
+
+class LFUEviction(EvictionPolicy):
+    """Least frequently used atom first (ties by LRU)."""
+
+    name = "LFU"
+
+    def choose(self, candidates):
+        return min(
+            candidates, key=lambda c: (c.use_count, c.last_used, c.index)
+        )
+
+
+class MRUEviction(EvictionPolicy):
+    """Most recently used first — an intentionally adversarial policy
+    for the ablation (evicts exactly what the hot spot just needed)."""
+
+    name = "MRU"
+
+    def choose(self, candidates):
+        return max(candidates, key=lambda c: (c.last_used, -c.index))
+
+
+_POLICIES: Dict[str, Type[EvictionPolicy]] = {
+    cls.name: cls
+    for cls in (LRUEviction, FIFOEviction, LFUEviction, MRUEviction)
+}
+
+
+def get_eviction_policy(name: str) -> EvictionPolicy:
+    """Instantiate an eviction policy by name (case-insensitive)."""
+    try:
+        return _POLICIES[name.upper()]()
+    except KeyError:
+        raise FabricError(
+            f"unknown eviction policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,196 @@
+"""The Atom-Container array with its placement/eviction policy.
+
+The fabric tracks which atom sits in which container and answers the one
+question the run-time system keeps asking: *which atoms are usable right
+now* (as a molecule vector).  When the configuration port starts a load
+it asks the fabric for a container; the fabric prefers empty containers
+and otherwise evicts a *stale* atom — one whose loaded instance count
+exceeds what the current hot-spot plan retains — least-recently-used
+first.
+
+Molecule selection guarantees ``NA <= #ACs``, so as long as the port only
+loads atoms of the current plan a victim container always exists; a
+:class:`~repro.errors.CapacityError` therefore indicates a scheduler or
+selection bug, not an expected run-time condition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.molecule import AtomSpace, Molecule
+from ..errors import CapacityError, FabricError
+from .atom import AtomRegistry
+from .container import AtomContainer, ContainerState
+from .eviction import EvictionPolicy, LRUEviction
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """An array of Atom Containers.
+
+    Parameters
+    ----------
+    registry:
+        The atom-type registry (defines the atom space).
+    num_acs:
+        Number of Atom Containers.
+    """
+
+    def __init__(
+        self,
+        registry: AtomRegistry,
+        num_acs: int,
+        eviction_policy: Optional[EvictionPolicy] = None,
+    ):
+        if num_acs < 0:
+            raise FabricError(f"negative AC count: {num_acs}")
+        self.registry = registry
+        self.num_acs = int(num_acs)
+        self.eviction_policy = (
+            eviction_policy if eviction_policy is not None else LRUEviction()
+        )
+        self.containers: List[AtomContainer] = [
+            AtomContainer(i) for i in range(self.num_acs)
+        ]
+        self._evictions = 0
+
+    @property
+    def space(self) -> AtomSpace:
+        return self.registry.space
+
+    @property
+    def num_evictions(self) -> int:
+        """How many loaded atoms were evicted so far (statistics)."""
+        return self._evictions
+
+    # -- availability ----------------------------------------------------------
+
+    def available(self) -> Molecule:
+        """The loaded (usable) atoms as a molecule vector.
+
+        Atoms that are still being written do not count — an atom is
+        usable on an as-soon-as-available basis, i.e. from the cycle its
+        reconfiguration completes.
+        """
+        counts = [0] * self.space.size
+        for container in self.containers:
+            if container.is_loaded:
+                counts[self.space.index(container.atom_type)] += 1
+        return Molecule(self.space, counts)
+
+    def loaded_count(self, atom_type: str) -> int:
+        """Number of usable instances of one atom type."""
+        return sum(
+            1
+            for c in self.containers
+            if c.is_loaded and c.atom_type == atom_type
+        )
+
+    def in_flight(self) -> Optional[str]:
+        """The atom type currently being written, if any."""
+        for container in self.containers:
+            if container.is_loading:
+                return container.atom_type
+        return None
+
+    def occupancy(self) -> Dict[str, int]:
+        """Loaded atom-type counts (diagnostics)."""
+        result: Dict[str, int] = {}
+        for container in self.containers:
+            if container.is_loaded:
+                result[container.atom_type] = (
+                    result.get(container.atom_type, 0) + 1
+                )
+        return result
+
+    # -- placement / eviction ----------------------------------------------------
+
+    def _pick_victim(self, retained: Molecule) -> Optional[AtomContainer]:
+        """A loaded container whose atom exceeds the retained multiset.
+
+        ``retained`` is the meta-molecule of atoms the current plan wants
+        to keep (typically ``sup(M)`` of the active selection).  The
+        configured eviction policy chooses among the stale candidates.
+        """
+        loaded_counts: Dict[str, int] = {}
+        for container in self.containers:
+            if container.is_loaded:
+                loaded_counts[container.atom_type] = (
+                    loaded_counts.get(container.atom_type, 0) + 1
+                )
+        candidates = [
+            container
+            for container in self.containers
+            if container.is_loaded
+            and loaded_counts[container.atom_type]
+            > retained.count(container.atom_type)
+        ]
+        if not candidates:
+            return None
+        return self.eviction_policy.choose(candidates)
+
+    def begin_load(
+        self, atom_type: str, now: int, retained: Molecule
+    ) -> AtomContainer:
+        """Allocate a container and start loading ``atom_type`` into it.
+
+        Empty containers are used first; otherwise a stale atom (w.r.t.
+        ``retained``) is evicted, LRU first.
+
+        Raises
+        ------
+        CapacityError
+            When neither a free nor an evictable container exists.
+        """
+        if atom_type not in self.registry:
+            raise FabricError(f"unknown atom type {atom_type!r}")
+        target: Optional[AtomContainer] = None
+        for container in self.containers:
+            if container.is_empty:
+                target = container
+                break
+        if target is None:
+            target = self._pick_victim(retained)
+            if target is not None:
+                target.evict()
+                self._evictions += 1
+        if target is None:
+            raise CapacityError(
+                f"no free or evictable AC for atom {atom_type!r} "
+                f"(occupancy: {self.occupancy()}, retained: "
+                f"{retained.as_dict()})"
+            )
+        target.begin_load(atom_type, now)
+        return target
+
+    def touch_atoms(self, molecule: Molecule, now: int) -> None:
+        """Mark the loaded instances serving ``molecule`` as just used.
+
+        Keeps the LRU eviction honest: atoms that execute SIs stay,
+        leftovers from previous hot spots age out first.
+        """
+        for atom_type in molecule.atom_names():
+            wanted = molecule.count(atom_type)
+            serving = [
+                c
+                for c in self.containers
+                if c.is_loaded and c.atom_type == atom_type
+            ]
+            serving.sort(key=lambda c: (-c.last_used, c.index))
+            for container in serving[:wanted]:
+                container.touch(now)
+
+    def reset(self) -> None:
+        """Clear all containers (cold fabric)."""
+        self.containers = [AtomContainer(i) for i in range(self.num_acs)]
+        self._evictions = 0
+
+    def __repr__(self) -> str:
+        loaded = sum(1 for c in self.containers if c.is_loaded)
+        loading = sum(1 for c in self.containers if c.is_loading)
+        return (
+            f"Fabric({self.num_acs} ACs: {loaded} loaded, {loading} loading, "
+            f"{self.num_acs - loaded - loading} empty)"
+        )

@@ -1,0 +1,167 @@
+"""The reconfiguration port.
+
+The prototype loads partial bitstreams through a single SelectMap/ICAP
+interface: exactly one atom can be in flight at any time, and loading an
+average atom takes 874.03 microseconds — several orders of magnitude
+longer than an SI execution, which is why the *order* of loads (the
+scheduling problem of Section 4) dominates hot-spot performance.
+
+:class:`ReconfigPort` owns the pending-load FIFO and the in-flight load.
+The simulator drives it with :meth:`advance_to`, collecting
+:class:`LoadCompletion` events; a hot-spot switch replaces the pending
+FIFO via :meth:`replace_queue` (the in-flight load always completes —
+aborting a partial bitstream write would leave the container unusable
+anyway).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence
+
+from ..core.molecule import Molecule
+from ..errors import FabricError
+from .fabric import Fabric
+
+__all__ = ["LoadCompletion", "ReconfigPort"]
+
+
+@dataclass(frozen=True)
+class LoadCompletion:
+    """One finished atom load."""
+
+    cycle: int
+    atom_type: str
+    container_index: int
+
+
+class ReconfigPort:
+    """Serial atom loader attached to a fabric."""
+
+    def __init__(self, fabric: Fabric):
+        self.fabric = fabric
+        self._pending: Deque[str] = deque()
+        #: The meta-molecule of atoms the active plan retains (eviction
+        #: reference); updated on every :meth:`replace_queue`.
+        self._retained: Molecule = fabric.space.zero()
+        self._in_flight: Optional[str] = None
+        self._in_flight_container: Optional[int] = None
+        self._busy_until: int = 0
+        self._loads_started = 0
+        self._loads_completed = 0
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def loads_started(self) -> int:
+        return self._loads_started
+
+    @property
+    def loads_completed(self) -> int:
+        return self._loads_completed
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def is_idle(self) -> bool:
+        return self._in_flight is None and not self._pending
+
+    # -- queue management --------------------------------------------------------
+
+    def replace_queue(
+        self, atom_types: Sequence[str], retained: Molecule, now: int
+    ) -> None:
+        """Install a new load schedule (hot-spot switch).
+
+        Pending loads of the previous plan are dropped; the in-flight
+        load, if any, completes normally.  ``retained`` becomes the new
+        eviction reference.
+
+        The caller computes its load list from the *completed* fabric
+        contents, so an atom currently being written is invisible to it.
+        If that in-flight atom is part of the new plan, its completion
+        will serve the plan — the duplicate entry is removed from the
+        queue here (otherwise a plan that exactly fills the fabric could
+        end up one container short).
+        """
+        pending = list(atom_types)
+        in_flight = self._in_flight
+        if (
+            in_flight is not None
+            and in_flight in pending
+            and self.fabric.loaded_count(in_flight) + 1
+            <= retained.count(in_flight)
+        ):
+            pending.remove(in_flight)
+        self._pending = deque(pending)
+        self._retained = retained
+        self._maybe_start(now)
+
+    def enqueue(self, atom_types: Sequence[str], now: int) -> None:
+        """Append loads to the current plan (keeps the retained set)."""
+        self._pending.extend(atom_types)
+        self._maybe_start(now)
+
+    # -- time advancement -----------------------------------------------------------
+
+    def _maybe_start(self, now: int) -> None:
+        if self._in_flight is not None or not self._pending:
+            return
+        atom_type = self._pending.popleft()
+        container = self.fabric.begin_load(atom_type, now, self._retained)
+        duration = self.fabric.registry.reconfig_cycles(atom_type)
+        self._in_flight = atom_type
+        self._in_flight_container = container.index
+        self._busy_until = now + duration
+        self._loads_started += 1
+
+    def next_completion(self) -> Optional[int]:
+        """Cycle of the next load completion, or None when idle."""
+        return self._busy_until if self._in_flight is not None else None
+
+    def advance_to(self, cycle: int) -> List[LoadCompletion]:
+        """Process all completions up to and including ``cycle``.
+
+        Completed loads immediately trigger the next pending load (the
+        port never idles while work is queued).  Returns the completion
+        events in time order.
+        """
+        events: List[LoadCompletion] = []
+        while self._in_flight is not None and self._busy_until <= cycle:
+            finish = self._busy_until
+            container = self.fabric.containers[self._in_flight_container]
+            if container.atom_type != self._in_flight:  # pragma: no cover
+                raise FabricError(
+                    f"in-flight bookkeeping mismatch on AC"
+                    f"{self._in_flight_container}"
+                )
+            container.complete_load(finish)
+            events.append(
+                LoadCompletion(
+                    cycle=finish,
+                    atom_type=self._in_flight,
+                    container_index=container.index,
+                )
+            )
+            self._loads_completed += 1
+            self._in_flight = None
+            self._in_flight_container = None
+            self._maybe_start(finish)
+        return events
+
+    def drain(self) -> List[LoadCompletion]:
+        """Run the port until every queued load completed (test helper)."""
+        events: List[LoadCompletion] = []
+        while self._in_flight is not None:
+            events.extend(self.advance_to(self._busy_until))
+        return events
+
+    def __repr__(self) -> str:
+        flight = self._in_flight or "-"
+        return (
+            f"ReconfigPort(in_flight={flight}, pending={len(self._pending)}, "
+            f"busy_until={self._busy_until})"
+        )

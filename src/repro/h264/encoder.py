@@ -1,0 +1,370 @@
+"""Functional H.264-subset encoder.
+
+This is the workload substrate in its *functional* form: real pixels run
+through the exact computations the paper's nine SIs implement — a
+two-stage full-pel SAD search with half-pel SATD refinement (ME hot
+spot), motion compensation / intra prediction, 4x4 core transform,
+quantisation and the DC Hadamard transforms (EE hot spot), and BS-4
+deblocking (LF hot spot).  While encoding, the encoder counts every SI
+execution per macroblock and emits the
+:class:`~repro.workload.trace.HotSpotTrace` sequence the run-time system
+consumes, so the behavioural simulators can replay a *real* encode.
+
+Omissions versus a full encoder (all irrelevant to the run-time system,
+which only observes SI executions): entropy coding, rate control,
+multiple reference frames, B frames, and sub-4x4 partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..calibration import MACROBLOCK_SIZE
+from ..errors import TraceError
+from ..workload.trace import HotSpotTrace, Workload
+from .deblock import deblock_vertical_edge
+from .intra import predict_dc, predict_hdc, predict_vdc
+from .mc import compensate
+from .quant import dequantise4x4, quantise4x4
+from .sad import sad16x16
+from .satd import satd4x4
+from .silibrary import HOT_SPOT_SIS
+from .transform import (
+    forward_dct4x4,
+    hadamard2x2,
+    hadamard4x4,
+    inverse_dct4x4,
+    inverse_hadamard4x4,
+)
+from .types import YuvFrame, macroblocks, mb_view
+
+__all__ = ["EncoderConfig", "EncodeResult", "H264SubsetEncoder"]
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Tuning knobs of the functional encoder.
+
+    Attributes
+    ----------
+    qp:
+        Quantisation parameter (0..51).
+    search_range:
+        Full-pel motion search range in pixels.
+    coarse_step:
+        Grid step of the first search stage.
+    intra_sad_threshold:
+        Per-pixel SAD above which a macroblock is coded intra.
+    deblock:
+        Run the loop filter.
+    """
+
+    qp: int = 28
+    search_range: int = 8
+    coarse_step: int = 4
+    intra_sad_threshold: float = 24.0
+    deblock: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.qp <= 51:
+            raise TraceError(f"QP must be in 0..51, got {self.qp}")
+        if self.search_range < 1 or self.coarse_step < 1:
+            raise TraceError("search range and step must be >= 1")
+
+
+@dataclass
+class EncodeResult:
+    """Output of an encode run."""
+
+    workload: Workload
+    reconstructed: List[YuvFrame]
+    psnr_per_frame: List[float]
+    intra_mbs_per_frame: List[int]
+
+    @property
+    def mean_psnr(self) -> float:
+        return float(np.mean(self.psnr_per_frame))
+
+
+class _MbCounters:
+    """Per-macroblock SI execution counters for one frame."""
+
+    def __init__(self, num_mbs: int):
+        self.me = np.zeros((num_mbs, len(HOT_SPOT_SIS["ME"])), np.int64)
+        self.ee = np.zeros((num_mbs, len(HOT_SPOT_SIS["EE"])), np.int64)
+        self.lf = np.zeros((num_mbs, len(HOT_SPOT_SIS["LF"])), np.int64)
+        self._me_cols = {n: i for i, n in enumerate(HOT_SPOT_SIS["ME"])}
+        self._ee_cols = {n: i for i, n in enumerate(HOT_SPOT_SIS["EE"])}
+        self._lf_cols = {n: i for i, n in enumerate(HOT_SPOT_SIS["LF"])}
+
+    def bump(self, hot_spot: str, mb: int, si_name: str, count: int = 1) -> None:
+        if hot_spot == "ME":
+            self.me[mb, self._me_cols[si_name]] += count
+        elif hot_spot == "EE":
+            self.ee[mb, self._ee_cols[si_name]] += count
+        else:
+            self.lf[mb, self._lf_cols[si_name]] += count
+
+
+class H264SubsetEncoder:
+    """Encodes a frame sequence and records the SI-execution workload."""
+
+    #: Non-SI cycles per macroblock, matching the statistical model.
+    ITERATION_OVERHEAD = {"ME": 250, "EE": 400, "LF": 120}
+
+    def __init__(self, config: Optional[EncoderConfig] = None):
+        self.config = config or EncoderConfig()
+
+    # -- motion estimation ---------------------------------------------------
+
+    def _full_pel_search(
+        self,
+        current: np.ndarray,
+        reference: np.ndarray,
+        mb_y: int,
+        mb_x: int,
+        counters: _MbCounters,
+        mb: int,
+    ) -> Tuple[Tuple[int, int], int]:
+        """Two-stage full-pel search; returns (best MV, best SAD)."""
+        cfg = self.config
+        h, w = reference.shape
+        cur = mb_view(current, mb_y, mb_x).astype(np.int64)
+
+        def sad_at(dy: int, dx: int) -> Optional[int]:
+            y, x = mb_y + dy, mb_x + dx
+            if not (0 <= y <= h - 16 and 0 <= x <= w - 16):
+                return None
+            counters.bump("ME", mb, "SAD")
+            return sad16x16(cur, reference[y : y + 16, x : x + 16])
+
+        best_mv, best_sad = (0, 0), sad_at(0, 0)
+        # Stage 1: coarse grid.
+        r, step = cfg.search_range, cfg.coarse_step
+        for dy in range(-r, r + 1, step):
+            for dx in range(-r, r + 1, step):
+                if (dy, dx) == (0, 0):
+                    continue
+                value = sad_at(dy, dx)
+                if value is not None and value < best_sad:
+                    best_mv, best_sad = (dy, dx), value
+        # Stage 2: +-1 refinement around the coarse winner.
+        cy, cx = best_mv
+        for dy in (cy - 1, cy, cy + 1):
+            for dx in (cx - 1, cx, cx + 1):
+                if (dy, dx) == best_mv or (dy, dx) == (0, 0):
+                    continue
+                value = sad_at(dy, dx)
+                if value is not None and value < best_sad:
+                    best_mv, best_sad = (dy, dx), value
+        return best_mv, best_sad
+
+    def _half_pel_refine(
+        self,
+        current: np.ndarray,
+        reference: np.ndarray,
+        mb_y: int,
+        mb_x: int,
+        full_mv: Tuple[int, int],
+        counters: _MbCounters,
+        mb: int,
+    ) -> Tuple[int, int]:
+        """SATD-based half-pel refinement; returns the MV in half-pel
+        units."""
+        cur = mb_view(current, mb_y, mb_x).astype(np.int64)
+        base = (full_mv[0] * 2, full_mv[1] * 2)
+
+        def satd_cost(mv: Tuple[int, int]) -> int:
+            predicted, _ = compensate(reference, mb_y, mb_x, mv)
+            total = 0
+            for by in range(0, 16, 4):
+                for bx in range(0, 16, 4):
+                    counters.bump("ME", mb, "SATD")
+                    total += satd4x4(
+                        cur[by : by + 4, bx : bx + 4],
+                        predicted[by : by + 4, bx : bx + 4],
+                    )
+            return total
+
+        best_mv, best_cost = base, satd_cost(base)
+        for candidate in (
+            (base[0], base[1] + 1),
+            (base[0] + 1, base[1]),
+        ):
+            cost = satd_cost(candidate)
+            if cost < best_cost:
+                best_mv, best_cost = candidate, cost
+        return best_mv
+
+    # -- residual coding -------------------------------------------------------
+
+    def _code_residual(
+        self,
+        residual: np.ndarray,
+        counters: _MbCounters,
+        mb: int,
+    ) -> np.ndarray:
+        """Transform/quantise/reconstruct a 16x16 residual in 4x4 blocks.
+
+        Each non-skipped 4x4 block costs one (I)DCT SI execution (the
+        prototype's DCT SI folds the forward and inverse passes of the
+        reconstruction loop into one instruction).
+        """
+        qp = self.config.qp
+        reconstructed = np.zeros_like(residual)
+        for by in range(0, 16, 4):
+            for bx in range(0, 16, 4):
+                block = residual[by : by + 4, bx : bx + 4]
+                if not block.any():
+                    continue  # coded-block-pattern skip
+                counters.bump("EE", mb, "DCT")
+                coefficients = forward_dct4x4(block)
+                levels = quantise4x4(coefficients, qp)
+                restored = dequantise4x4(levels, qp)
+                reconstructed[by : by + 4, bx : bx + 4] = inverse_dct4x4(
+                    restored
+                )
+        return reconstructed
+
+    # -- frame encoding ---------------------------------------------------------
+
+    def encode(self, frames: Sequence[YuvFrame]) -> EncodeResult:
+        """Encode the sequence and return traces + reconstruction."""
+        frames = list(frames)
+        if not frames:
+            raise TraceError("cannot encode an empty sequence")
+        workload = Workload(
+            name=f"h264-encoder-{frames[0].width}x{frames[0].height}-"
+            f"{len(frames)}f"
+        )
+        reconstructed: List[YuvFrame] = []
+        psnr: List[float] = []
+        intra_counts: List[int] = []
+        reference: Optional[np.ndarray] = None
+        for frame in frames:
+            recon, counters, intra_mbs = self._encode_frame(
+                frame, reference
+            )
+            reference = recon.y.astype(np.int64)
+            reconstructed.append(recon)
+            error = (
+                frame.y.astype(np.float64) - recon.y.astype(np.float64)
+            )
+            mse = float((error ** 2).mean())
+            psnr.append(
+                99.0 if mse == 0 else 10.0 * np.log10(255.0 ** 2 / mse)
+            )
+            intra_counts.append(intra_mbs)
+            for hot_spot, counts in (
+                ("ME", counters.me),
+                ("EE", counters.ee),
+                ("LF", counters.lf),
+            ):
+                workload.append(
+                    HotSpotTrace(
+                        hot_spot=hot_spot,
+                        si_names=HOT_SPOT_SIS[hot_spot],
+                        counts=counts,
+                        overhead_per_iteration=self.ITERATION_OVERHEAD[
+                            hot_spot
+                        ],
+                        frame_index=frame.index,
+                    )
+                )
+        return EncodeResult(
+            workload=workload,
+            reconstructed=reconstructed,
+            psnr_per_frame=psnr,
+            intra_mbs_per_frame=intra_counts,
+        )
+
+    def _encode_frame(
+        self, frame: YuvFrame, reference: Optional[np.ndarray]
+    ) -> Tuple[YuvFrame, _MbCounters, int]:
+        counters = _MbCounters(frame.num_macroblocks)
+        current = frame.y.astype(np.int64)
+        recon = np.zeros_like(current)
+        modes: Dict[int, str] = {}
+        mvs: Dict[int, Tuple[int, int]] = {}
+        intra_mbs = 0
+
+        # --- ME hot spot (all macroblocks) ---
+        if reference is not None:
+            for mb, y, x in macroblocks(frame):
+                full_mv, best_sad = self._full_pel_search(
+                    current, reference, y, x, counters, mb
+                )
+                half_mv = self._half_pel_refine(
+                    current, reference, y, x, full_mv, counters, mb
+                )
+                mvs[mb] = half_mv
+                threshold = self.config.intra_sad_threshold * 256
+                modes[mb] = "intra" if best_sad > threshold else "inter"
+        else:
+            for mb, _, _ in macroblocks(frame):
+                modes[mb] = "intra"
+
+        # --- EE hot spot ---
+        for mb, y, x in macroblocks(frame):
+            cur = mb_view(current, y, x)
+            if modes[mb] == "inter":
+                predicted, mc_count = compensate(
+                    reference, y, x, mvs[mb]
+                )
+                counters.bump("EE", mb, "MC", mc_count)
+            else:
+                intra_mbs += 1
+                left = recon[y : y + 16, x - 1] if x > 0 else None
+                top = recon[y - 1, x : x + 16] if y > 0 else None
+                counters.bump("EE", mb, "IPredHDC")
+                counters.bump("EE", mb, "IPredVDC")
+                hdc = predict_hdc(left)
+                vdc = predict_vdc(top)
+                cost_h = int(np.abs(cur - hdc).sum())
+                cost_v = int(np.abs(cur - vdc).sum())
+                predicted = hdc if cost_h <= cost_v else vdc
+                # Intra 16x16: DC Hadamard over the 4x4 DC coefficients
+                # (forward + inverse -> two HT4x4 SI executions).
+                counters.bump("EE", mb, "HT4x4", 2)
+                dcs = predicted[::4, ::4].astype(np.int64)
+                _ = inverse_hadamard4x4(hadamard4x4(dcs))
+            residual = cur - predicted
+            restored = self._code_residual(residual, counters, mb)
+            recon[y : y + 16, x : x + 16] = np.clip(
+                predicted + restored, 0, 255
+            )
+            # Chroma DC Hadamard (flat synthetic chroma: one 2x2 pass).
+            counters.bump("EE", mb, "HT2x2")
+            _ = hadamard2x2(np.zeros((2, 2), dtype=np.int64))
+
+        # --- LF hot spot ---
+        if self.config.deblock:
+            for mb, y, x in macroblocks(frame):
+                strong = modes[mb] == "intra"
+                qp = min(51, self.config.qp + (4 if strong else 0))
+                for seg in range(0, 16, 4):
+                    if x >= 4 and x + 4 <= frame.width:
+                        fired = deblock_vertical_edge(
+                            recon, x, y + seg, qp
+                        )
+                        counters.bump("LF", mb, "LF_BS4", fired)
+                    if y >= 4 and y + 4 <= frame.height:
+                        # Horizontal edge: filter via the transpose.
+                        view = recon[y - 4 : y + 4, x + seg : x + seg + 4].T
+                        buffer = np.ascontiguousarray(view)
+                        fired = deblock_vertical_edge(buffer, 4, 0, qp)
+                        recon[y - 4 : y + 4, x + seg : x + seg + 4] = (
+                            buffer.T
+                        )
+                        counters.bump("LF", mb, "LF_BS4", fired)
+
+        out = YuvFrame(
+            y=np.clip(recon, 0, 255).astype(np.uint8),
+            cb=frame.cb.copy(),
+            cr=frame.cr.copy(),
+            index=frame.index,
+        )
+        return out, counters, intra_mbs

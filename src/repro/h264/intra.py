@@ -1,0 +1,61 @@
+"""Intra prediction (the ``IPred HDC`` / ``IPred VDC`` SIs).
+
+The paper's two intra SIs compute DC-style predictions: ``IPred HDC``
+collapses the left neighbour column (horizontal DC), ``IPred VDC`` the
+top neighbour row (vertical DC).  The prototype's ``COLLAPSEADD`` atom
+performs the neighbour summation; ``CLIP3`` clamps the horizontal
+variant's gradient-corrected output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = ["predict_hdc", "predict_vdc", "predict_dc"]
+
+
+def _check_neighbours(values: Optional[np.ndarray], size: int) -> Optional[np.ndarray]:
+    if values is None:
+        return None
+    v = np.asarray(values, dtype=np.int64).ravel()
+    if v.size != size:
+        raise TraceError(
+            f"expected {size} neighbour samples, got {v.size}"
+        )
+    return v
+
+
+def predict_hdc(left: Optional[np.ndarray], size: int = 16) -> np.ndarray:
+    """Horizontal-DC prediction: every row takes its left neighbour's
+    value; without neighbours the mid-grey 128 is used."""
+    left = _check_neighbours(left, size)
+    if left is None:
+        return np.full((size, size), 128, dtype=np.int64)
+    return np.repeat(left[:, None], size, axis=1)
+
+
+def predict_vdc(top: Optional[np.ndarray], size: int = 16) -> np.ndarray:
+    """Vertical-DC prediction: every column takes its top neighbour."""
+    top = _check_neighbours(top, size)
+    if top is None:
+        return np.full((size, size), 128, dtype=np.int64)
+    return np.repeat(top[None, :], size, axis=0)
+
+
+def predict_dc(
+    left: Optional[np.ndarray],
+    top: Optional[np.ndarray],
+    size: int = 16,
+) -> np.ndarray:
+    """Plain DC prediction from whichever neighbours exist."""
+    left = _check_neighbours(left, size)
+    top = _check_neighbours(top, size)
+    parts = [v for v in (left, top) if v is not None]
+    if not parts:
+        return np.full((size, size), 128, dtype=np.int64)
+    dc = int(round(float(np.concatenate(parts).mean())))
+    return np.full((size, size), dc, dtype=np.int64)

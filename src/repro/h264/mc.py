@@ -1,0 +1,97 @@
+"""Motion compensation (the ``MC 4`` SI).
+
+H.264 luma sub-pel interpolation: half-pel samples come from the 6-tap
+filter ``(1, -5, 20, 20, -5, 1) / 32`` (the prototype's ``POINTFILTER``
+atom), quarter-pel samples from averaging (``CLIP3``/``BYTEPACK`` finish
+the datapath).  The functional encoder uses half-pel precision — enough
+to exercise the interpolation path; the SI execution counts are what the
+run-time system consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = ["half_pel_filter", "interpolate_block", "compensate"]
+
+_TAPS = np.array([1, -5, 20, 20, -5, 1], dtype=np.int64)
+
+
+def half_pel_filter(samples: np.ndarray) -> np.ndarray:
+    """Apply the 6-tap filter along the last axis (valid positions only).
+
+    Input of length ``n`` yields ``n - 5`` half-pel samples, clipped to
+    8 bit.
+    """
+    x = np.asarray(samples, dtype=np.int64)
+    if x.shape[-1] < 6:
+        raise TraceError("need at least 6 samples for the 6-tap filter")
+    acc = np.zeros(x.shape[:-1] + (x.shape[-1] - 5,), dtype=np.int64)
+    for k, tap in enumerate(_TAPS):
+        acc += tap * x[..., k : k + acc.shape[-1]]
+    return np.clip((acc + 16) >> 5, 0, 255)
+
+
+def interpolate_block(
+    reference: np.ndarray, y: int, x: int, size: int,
+    half_y: bool, half_x: bool,
+) -> np.ndarray:
+    """A ``size x size`` block at (possibly half-pel) position.
+
+    ``(y, x)`` is the full-pel anchor; ``half_x``/``half_y`` select the
+    half-sample offsets.  The reference is edge-padded so positions near
+    the border remain valid.
+    """
+    ref = np.asarray(reference, dtype=np.int64)
+    pad = 3
+    padded = np.pad(ref, pad, mode="edge")
+    py, px = y + pad, x + pad
+    if not half_x and not half_y:
+        return padded[py : py + size, px : px + size]
+    if half_x and not half_y:
+        rows = padded[py : py + size, px - 2 : px + size + 3]
+        return half_pel_filter(rows)
+    if half_y and not half_x:
+        cols = padded[py - 2 : py + size + 3, px : px + size].T
+        return half_pel_filter(cols).T
+    # Diagonal half-pel: horizontal filter first, then vertical.
+    rows = padded[py - 2 : py + size + 3, px - 2 : px + size + 3]
+    horizontal = half_pel_filter(rows)
+    return half_pel_filter(horizontal.T).T
+
+
+def compensate(
+    reference: np.ndarray,
+    mb_y: int,
+    mb_x: int,
+    motion_vector: Tuple[int, int],
+    size: int = 16,
+) -> Tuple[np.ndarray, int]:
+    """Motion-compensate one block.
+
+    ``motion_vector`` is in half-pel units ``(dy, dx)``.  Returns the
+    predicted block and the number of ``MC 4`` SI executions the
+    prototype would issue (one per 4-pixel-wide interpolation group per
+    row when any half-pel component is active, one per four rows for the
+    full-pel copy path).
+    """
+    dy, dx = motion_vector
+    full_y = mb_y + (dy >> 1)
+    full_x = mb_x + (dx >> 1)
+    half_y = bool(dy & 1)
+    half_x = bool(dx & 1)
+    h = np.asarray(reference).shape[0]
+    w = np.asarray(reference).shape[1]
+    full_y = max(0, min(h - size, full_y))
+    full_x = max(0, min(w - size, full_x))
+    block = interpolate_block(reference, full_y, full_x, size,
+                              half_y, half_x)
+    if half_x or half_y:
+        si_executions = (size // 4) * (size // 4)
+    else:
+        si_executions = size // 4
+    return block.astype(np.int64), si_executions

@@ -1,0 +1,48 @@
+"""Quantisation of transform coefficients.
+
+A simplified H.264-style scalar quantiser: the step size doubles every
+six QP values (``Qstep = 0.625 * 2^(QP/6)``), applied uniformly to the
+4x4 core-transform coefficients.  The paper's run-time system never
+looks inside the quantiser — only the *number* of (I)DCT SI executions
+matters — so the per-frequency scaling matrices of the standard are
+deliberately omitted (documented substitution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = ["quant_step", "quantise4x4", "dequantise4x4"]
+
+
+def quant_step(qp: int) -> float:
+    """H.264 quantisation step size for a given QP (0..51)."""
+    if not 0 <= qp <= 51:
+        raise TraceError(f"QP must be in 0..51, got {qp}")
+    return 0.625 * (2.0 ** (qp / 6.0))
+
+
+def quantise4x4(coefficients: np.ndarray, qp: int) -> np.ndarray:
+    """Quantise 4x4 transform coefficients (round-to-nearest).
+
+    The forward core transform scales coefficients by up to 16 (DC), so
+    the effective step includes that gain; we keep the plain step for
+    simplicity — only reconstruction *quality*, not system behaviour,
+    depends on it.
+    """
+    step = quant_step(qp)
+    c = np.asarray(coefficients, dtype=np.int64)
+    if c.shape != (4, 4):
+        raise TraceError(f"quantise4x4 expects 4x4, got {c.shape}")
+    return np.rint(c / step).astype(np.int64)
+
+
+def dequantise4x4(levels: np.ndarray, qp: int) -> np.ndarray:
+    """Reconstruct coefficients from quantised levels."""
+    step = quant_step(qp)
+    l = np.asarray(levels, dtype=np.int64)
+    if l.shape != (4, 4):
+        raise TraceError(f"dequantise4x4 expects 4x4, got {l.shape}")
+    return np.rint(l * step).astype(np.int64)

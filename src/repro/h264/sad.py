@@ -1,0 +1,37 @@
+"""SAD — sum of absolute differences (the paper's ``SAD`` SI).
+
+The 16x16 SAD is the workhorse of the full-pel motion search: for each
+candidate motion vector the current macroblock is compared against the
+reference window.  In the RISPP prototype a single ``SADTREE`` atom
+computes one row of absolute differences per pass; larger molecules work
+on several rows in parallel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = ["sad_block", "sad16x16"]
+
+
+def sad_block(a: np.ndarray, b: np.ndarray) -> int:
+    """Sum of absolute differences between two equally-shaped blocks."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise TraceError(f"SAD shape mismatch: {a.shape} vs {b.shape}")
+    return int(
+        np.abs(a.astype(np.int32) - b.astype(np.int32)).sum()
+    )
+
+
+def sad16x16(current: np.ndarray, reference: np.ndarray) -> int:
+    """16x16 SAD (one execution of the ``SAD`` Special Instruction)."""
+    if current.shape != (16, 16) or reference.shape != (16, 16):
+        raise TraceError(
+            f"SAD16x16 expects 16x16 blocks, got {current.shape} and "
+            f"{reference.shape}"
+        )
+    return sad_block(current, reference)

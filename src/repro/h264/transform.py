@@ -1,0 +1,108 @@
+"""H.264 integer transforms (the ``(I)DCT``, ``(I)HT 4x4`` and
+``(I)HT 2x2`` SIs).
+
+The 4x4 forward core transform is ``Y = C X C^T`` with the integer
+matrix ``C``; the inverse uses the standard reconstruction matrix with a
+``>> 6`` rounding shift so that forward -> inverse reproduces the input
+exactly (in the absence of quantisation).  The Hadamard transforms act on
+the DC coefficients: 4x4 for luma (Intra 16x16 mode), 2x2 for chroma.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = [
+    "forward_dct4x4",
+    "inverse_dct4x4",
+    "hadamard4x4",
+    "inverse_hadamard4x4",
+    "hadamard2x2",
+]
+
+#: H.264 forward core-transform matrix.
+_CF = np.array(
+    [
+        [1, 1, 1, 1],
+        [2, 1, -1, -2],
+        [1, -1, -1, 1],
+        [1, -2, 2, -1],
+    ],
+    dtype=np.int64,
+)
+
+#: Row norms of ``_CF`` squared: CF @ CF.T == diag(4, 10, 4, 10).
+_S = np.array([4, 10, 4, 10], dtype=np.int64)
+
+#: Integer rescale weights: 1600 / (s_i * s_j) (values 100, 40 and 16).
+#: The H.264 standard folds these per-position factors into the
+#: quantisation tables; we apply them explicitly in the inverse so the
+#: forward/inverse pair is exactly lossless.
+_W = (1600 // np.outer(_S, _S)).astype(np.int64)
+
+#: 4x4 Hadamard matrix.
+_H4 = np.array(
+    [
+        [1, 1, 1, 1],
+        [1, 1, -1, -1],
+        [1, -1, -1, 1],
+        [1, -1, 1, -1],
+    ],
+    dtype=np.int64,
+)
+
+
+def _check4x4(block: np.ndarray, name: str) -> np.ndarray:
+    block = np.asarray(block, dtype=np.int64)
+    if block.shape != (4, 4):
+        raise TraceError(f"{name} expects a 4x4 block, got {block.shape}")
+    return block
+
+
+def forward_dct4x4(block: np.ndarray) -> np.ndarray:
+    """Forward 4x4 integer core transform ``Y = C X C^T``."""
+    x = _check4x4(block, "forward_dct4x4")
+    return _CF @ x @ _CF.T
+
+
+def inverse_dct4x4(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse 4x4 core transform.
+
+    Uses the exact inverse ``X = CF^T S^-1 Y S^-1 CF`` in integer
+    arithmetic (the ``S^-1`` position scaling is the part the standard
+    folds into its dequantisation tables).
+    ``inverse_dct4x4(forward_dct4x4(x)) == x`` holds exactly for any
+    integer block — the round trip is lossless, which the tests verify.
+    For coefficients perturbed by quantisation the result is rounded to
+    the nearest integer.
+    """
+    y = _check4x4(coefficients, "inverse_dct4x4")
+    z = _CF.T @ (y * _W) @ _CF
+    return (z + 800) // 1600
+
+
+def hadamard4x4(block: np.ndarray) -> np.ndarray:
+    """Forward 4x4 Hadamard (DC transform of Intra-16x16 luma).
+
+    Unscaled (``H X H``); the inverse carries the full ``1/16``.
+    """
+    x = _check4x4(block, "hadamard4x4")
+    return _H4 @ x @ _H4
+
+
+def inverse_hadamard4x4(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse 4x4 Hadamard: exactly lossless against
+    :func:`hadamard4x4` since ``H (H X H) H == 16 X``."""
+    y = _check4x4(coefficients, "inverse_hadamard4x4")
+    return (_H4 @ y @ _H4 + 8) // 16
+
+
+def hadamard2x2(block: np.ndarray) -> np.ndarray:
+    """2x2 Hadamard (chroma DC transform); self-inverse up to ``// 4``."""
+    x = np.asarray(block, dtype=np.int64)
+    if x.shape != (2, 2):
+        raise TraceError(f"hadamard2x2 expects a 2x2 block, got {x.shape}")
+    h = np.array([[1, 1], [1, -1]], dtype=np.int64)
+    return h @ x @ h

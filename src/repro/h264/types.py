@@ -1,0 +1,91 @@
+"""Frame and macroblock types for the functional H.264 subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..calibration import MACROBLOCK_SIZE
+from ..errors import TraceError
+
+__all__ = ["YuvFrame", "macroblocks", "mb_view"]
+
+
+@dataclass
+class YuvFrame:
+    """One 4:2:0 video frame (8-bit planes).
+
+    Attributes
+    ----------
+    y:
+        Luma plane, shape ``(height, width)``.
+    cb / cr:
+        Chroma planes, shape ``(height/2, width/2)``.
+    index:
+        Display order of the frame.
+    """
+
+    y: np.ndarray
+    cb: np.ndarray
+    cr: np.ndarray
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        self.y = np.asarray(self.y, dtype=np.uint8)
+        self.cb = np.asarray(self.cb, dtype=np.uint8)
+        self.cr = np.asarray(self.cr, dtype=np.uint8)
+        h, w = self.y.shape
+        if h % MACROBLOCK_SIZE or w % MACROBLOCK_SIZE:
+            raise TraceError(
+                f"luma plane {w}x{h} is not macroblock aligned"
+            )
+        if self.cb.shape != (h // 2, w // 2) or self.cr.shape != (
+            h // 2,
+            w // 2,
+        ):
+            raise TraceError("chroma planes must be half the luma size")
+
+    @property
+    def width(self) -> int:
+        return self.y.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.y.shape[0]
+
+    @property
+    def mbs_wide(self) -> int:
+        return self.width // MACROBLOCK_SIZE
+
+    @property
+    def mbs_high(self) -> int:
+        return self.height // MACROBLOCK_SIZE
+
+    @property
+    def num_macroblocks(self) -> int:
+        return self.mbs_wide * self.mbs_high
+
+    def copy(self) -> "YuvFrame":
+        return YuvFrame(
+            self.y.copy(), self.cb.copy(), self.cr.copy(), self.index
+        )
+
+
+def macroblocks(frame: YuvFrame) -> Iterator[Tuple[int, int, int]]:
+    """Yield ``(mb_index, y, x)`` for every macroblock, raster order.
+
+    ``(y, x)`` is the top-left luma pixel of the macroblock.
+    """
+    index = 0
+    for mb_y in range(frame.mbs_high):
+        for mb_x in range(frame.mbs_wide):
+            yield index, mb_y * MACROBLOCK_SIZE, mb_x * MACROBLOCK_SIZE
+            index += 1
+
+
+def mb_view(plane: np.ndarray, y: int, x: int,
+            size: int = MACROBLOCK_SIZE) -> np.ndarray:
+    """A ``size x size`` view into ``plane`` at ``(y, x)``."""
+    return plane[y : y + size, x : x + size]

@@ -1,0 +1,25 @@
+"""Hardware cost model (Table 3 substitution).
+
+The paper synthesised its HEF scheduler FSM for a Xilinx xc2v3000-6 and
+reports slices, LUTs, flip-flops, multipliers, gate equivalents and clock
+delay (Table 3).  Without the FPGA toolchain we reproduce those numbers
+from a parameterised structural cost model calibrated against the paper's
+figures; see :mod:`repro.hw.area`.
+"""
+
+from .area import (
+    HardwareCharacteristics,
+    HEFSchedulerCostModel,
+    average_atom_characteristics,
+    table3,
+)
+from .fsm import FsmTiming, HEFSchedulerFSM
+
+__all__ = [
+    "HardwareCharacteristics",
+    "HEFSchedulerCostModel",
+    "average_atom_characteristics",
+    "table3",
+    "FsmTiming",
+    "HEFSchedulerFSM",
+]

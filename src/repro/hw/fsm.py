@@ -1,0 +1,156 @@
+"""Cycle-level model of the HEF scheduler hardware (Section 5).
+
+The prototype implements HEF as a 12-state FSM with a pipelined,
+division-free benefit datapath.  This module walks the same algorithm as
+:class:`~repro.core.schedulers.hef.HEFScheduler` while counting
+scheduler-clock cycles per FSM state, so experiments can confirm the
+paper's claim that the run-time decision is negligible next to an atom
+reconfiguration (874 µs ≈ 87,000 core cycles; the FSM finishes a full
+hot-spot schedule in a few hundred of its own cycles).
+
+Cycle accounting per state (one memory/datapath operation per cycle):
+
+=================  =====================================================
+State              Cycles
+=================  =====================================================
+IDLE/START         1
+EXPAND             one per molecule scanned for the candidate list M'
+INIT_LATENCY       one per SI (read fastest-available latency)
+CLEAN              one per remaining candidate (eq. (4) test)
+CHECK_EMPTY        1 per loop iteration
+BENEFIT            candidates + (pipeline depth - 1), pipelined
+SELECT             1 per loop iteration (latch the arg-max)
+COMMIT_ATOM        one per atom pushed into the load FIFO
+UPDATE_LATENCY     one per SI (refresh the bestLatency array)
+FINALIZE           one per atom of forced completion steps
+DONE               1
+=================  =====================================================
+
+The produced schedule is **bit-identical** to the software
+:class:`HEFScheduler` (asserted in the tests): the FSM model only adds
+timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.molecule import Molecule
+from ..core.schedule import Schedule
+from ..core.schedulers.base import SchedulerState
+from ..core.schedulers.hef import HEFScheduler
+from ..core.si import MoleculeImpl, SpecialInstruction
+
+__all__ = ["FsmTiming", "HEFSchedulerFSM"]
+
+
+@dataclass
+class FsmTiming:
+    """Cycle breakdown of one FSM scheduling run."""
+
+    per_state: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, state: str, cycles: int) -> None:
+        self.per_state[state] = self.per_state.get(state, 0) + cycles
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.per_state.values())
+
+    def wall_time_us(self, clock_mhz: float = 79.4) -> float:
+        """Wall-clock time at the scheduler's clock (Table 3 reports a
+        12.596 ns critical path => ~79.4 MHz)."""
+        return self.total_cycles / clock_mhz
+
+    def __repr__(self) -> str:
+        return f"FsmTiming({self.total_cycles} cycles, {self.per_state})"
+
+
+class HEFSchedulerFSM(HEFScheduler):
+    """HEF with hardware-FSM cycle accounting.
+
+    Produces exactly the schedule of :class:`HEFScheduler`; after each
+    :meth:`schedule` call, :attr:`last_timing` holds the FSM cycle
+    breakdown.
+
+    Parameters
+    ----------
+    pipeline_depth:
+        Depth of the benefit pipeline (3 in the prototype).
+    """
+
+    name = "HEF-FSM"
+
+    def __init__(self, pipeline_depth: int = 3):
+        if pipeline_depth < 1:
+            raise ValueError(
+                f"pipeline depth must be >= 1, got {pipeline_depth}"
+            )
+        self.pipeline_depth = int(pipeline_depth)
+        self.last_timing: Optional[FsmTiming] = None
+
+    def _run(self, state: SchedulerState) -> None:
+        timing = FsmTiming()
+        timing.add("START", 1)
+        # Candidate expansion: the FSM scans every molecule record of
+        # every selected SI once.
+        scanned = sum(
+            len(state.sis[si_name].molecules) for si_name in state.selection
+        )
+        timing.add("EXPAND", max(1, scanned))
+        timing.add("INIT_LATENCY", len(state.selection))
+
+        while True:
+            candidates = state.cleaned_candidates()
+            # CLEAN walks the remaining (pre-clean) candidate list.
+            remaining = len(
+                [c for c in state.candidates
+                 if state.additional_atoms(c) > 0]
+            )
+            timing.add("CLEAN", max(1, remaining))
+            timing.add("CHECK_EMPTY", 1)
+            if not candidates:
+                break
+            timing.add(
+                "BENEFIT", len(candidates) + self.pipeline_depth - 1
+            )
+            timing.add("SELECT", 1)
+            best: Optional[MoleculeImpl] = None
+            best_num = 0.0
+            best_den = 1.0
+            for cand in candidates:
+                num = state.expected[cand.si_name] * state.improvement(cand)
+                den = float(state.additional_atoms(cand))
+                if best is None or num * best_den > best_num * den:
+                    best, best_num, best_den = cand, num, den
+            if best_num <= 0.0:
+                best = self.smallest_step(state, candidates)
+                if best is None:
+                    break
+            timing.add("COMMIT_ATOM", state.additional_atoms(best))
+            state.commit(best)
+            timing.add("UPDATE_LATENCY", len(state.selection))
+
+        # Forced completion of selected molecules (condition (2)).
+        leftover = 0
+        for si_name in state.selection:
+            leftover += state.additional_atoms(state.selection[si_name])
+        if leftover:
+            timing.add("FINALIZE", leftover)
+        timing.add("DONE", 1)
+        self.last_timing = timing
+
+    def decision_vs_reconfig_ratio(
+        self, reconfig_cycles: int = 87_403, clock_ratio: float = 100 / 79.4
+    ) -> float:
+        """How long the last decision took relative to ONE atom load.
+
+        ``clock_ratio`` converts scheduler cycles to core cycles (the
+        FSM runs at its own, slower clock).  The paper's point holds
+        when this is well below 1.
+        """
+        if self.last_timing is None:
+            raise ValueError("no schedule computed yet")
+        core_cycles = self.last_timing.total_cycles * clock_ratio
+        return core_cycles / reconfig_cycles

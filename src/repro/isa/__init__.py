@@ -1,0 +1,13 @@
+"""Base-processor substrate.
+
+The RISPP prototype extends a typical in-order CPU pipeline (DLX/MIPS and
+Leon2/SPARC V8 variants existed) with the Atom Containers.  For the
+run-time system only two properties of the base processor matter: the
+cost of the synchronous-exception (trap) path that executes an SI on the
+base ISA when its atoms are not yet loaded, and the non-SI instruction
+stream between SI executions.  Both are modelled here.
+"""
+
+from .processor import BaseProcessor
+
+__all__ = ["BaseProcessor"]

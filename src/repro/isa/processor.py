@@ -1,0 +1,88 @@
+"""Cycle-cost model of the base processor.
+
+When an SI shall be executed but the required atoms are not yet loaded, a
+synchronous exception (trap) is automatically triggered and the SI's
+functionality runs on the base instruction set (Section 3).  The trap
+adds a fixed entry/exit overhead on top of the software implementation's
+latency; hardware-implemented SIs issue directly from the pipeline and
+pay no overhead beyond their molecule latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.si import MoleculeImpl
+from ..errors import CalibrationError
+
+__all__ = ["BaseProcessor"]
+
+
+@dataclass(frozen=True)
+class BaseProcessor:
+    """Base-ISA cost parameters.
+
+    Attributes
+    ----------
+    name:
+        Informational label of the modelled core.
+    trap_overhead:
+        Cycles for trap entry + exit around a software SI execution
+        (pipeline flush, handler dispatch, return).
+    hot_spot_entry_overhead:
+        Cycles the Run-Time Manager spends at a hot-spot switch
+        (forecast, selection, scheduling).  The prototype's HEF FSM runs
+        concurrently with execution and is tiny (Table 3), so this is a
+        small constant.
+    """
+
+    name: str = "Leon2-like"
+    trap_overhead: int = 24
+    hot_spot_entry_overhead: int = 200
+
+    def __post_init__(self) -> None:
+        if self.trap_overhead < 0:
+            raise CalibrationError(
+                f"trap overhead must be >= 0, got {self.trap_overhead}"
+            )
+        if self.hot_spot_entry_overhead < 0:
+            raise CalibrationError(
+                "hot-spot entry overhead must be >= 0, got "
+                f"{self.hot_spot_entry_overhead}"
+            )
+
+    def si_execution_cycles(self, impl: MoleculeImpl) -> int:
+        """Cycles for one SI execution with the given implementation.
+
+        Software implementations pay the trap overhead on top of their
+        base-ISA latency; hardware molecules execute as pipeline-coupled
+        custom instructions.
+        """
+        if impl.is_software:
+            return impl.latency + self.trap_overhead
+        return impl.latency
+
+    def effective_latency(self, latency: int, is_software: bool) -> int:
+        """Same as :meth:`si_execution_cycles` on raw numbers (hot path)."""
+        return latency + self.trap_overhead if is_software else latency
+
+    def iteration_cycles(
+        self,
+        si_counts: Mapping[str, int],
+        latencies: Mapping[str, int],
+        software: Mapping[str, bool],
+        overhead: int,
+    ) -> int:
+        """Cycles of one hot-spot iteration (e.g. one macroblock).
+
+        ``si_counts`` gives the SI executions of the iteration,
+        ``latencies``/``software`` the current implementation state, and
+        ``overhead`` the non-SI instructions of the iteration.
+        """
+        total = overhead
+        for si_name, count in si_counts.items():
+            total += count * self.effective_latency(
+                latencies[si_name], software[si_name]
+            )
+        return total

@@ -1,0 +1,40 @@
+"""Behavioural system simulators.
+
+Three system models replay a :class:`~repro.workload.trace.Workload`
+against the fabric substrate:
+
+* :class:`RisppSimulator` — the paper's system: gradual molecule
+  upgrades on an as-soon-as-available basis, driven by a pluggable atom
+  scheduler (FSFR/ASF/SJF/HEF/...),
+* :class:`MolenSimulator` — the Molen/OneChip-like state of the art:
+  one fixed implementation per SI, software execution until that
+  implementation is fully reconfigured,
+* :func:`simulate_software` — the zero-AC base processor.
+
+All simulators account cycles identically (same traces, same trap model,
+same reconfiguration port), so their totals are directly comparable —
+which is exactly how the paper produced Figure 7 and Table 2.
+"""
+
+from .results import LatencyEvent, Segment, SimulationResult
+from .engine import SystemSimulator
+from .rispp import RisppSimulator
+from .molen import MolenSimulator
+from .software import simulate_software
+from .timeline import bin_executions, latency_steps
+from .stats import SIBreakdown, RunBreakdown, analyse_run
+
+__all__ = [
+    "LatencyEvent",
+    "Segment",
+    "SimulationResult",
+    "SystemSimulator",
+    "RisppSimulator",
+    "MolenSimulator",
+    "simulate_software",
+    "bin_executions",
+    "latency_steps",
+    "SIBreakdown",
+    "RunBreakdown",
+    "analyse_run",
+]

@@ -1,0 +1,116 @@
+"""Result structures produced by the system simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Segment", "LatencyEvent", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A time span during which all SI latencies were constant.
+
+    Between two reconfiguration completions nothing changes for the
+    executing hot spot, so the simulators advance analytically and record
+    one segment per span.  ``executions[i]`` counts the executions of
+    ``si_names[i]`` inside the span; Figure 2/8 style per-100K-cycle
+    series are derived from these spans by
+    :func:`repro.sim.timeline.bin_executions`.
+    """
+
+    t0: int
+    t1: int
+    frame_index: int
+    hot_spot: str
+    si_names: Tuple[str, ...]
+    executions: Tuple[int, ...]
+    latencies: Tuple[int, ...]
+
+    @property
+    def duration(self) -> int:
+        return self.t1 - self.t0
+
+    def executions_of(self, si_name: str) -> int:
+        return self.executions[self.si_names.index(si_name)]
+
+    def latency_of(self, si_name: str) -> int:
+        return self.latencies[self.si_names.index(si_name)]
+
+
+@dataclass(frozen=True)
+class LatencyEvent:
+    """One change of an SI's effective latency (an upgrade landing).
+
+    ``latency`` includes the trap overhead while the SI executes in
+    software, so the Figure 8 latency lines show the true per-execution
+    cost the pipeline observes.
+    """
+
+    cycle: int
+    si_name: str
+    latency: int
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulator run produced.
+
+    Cycle totals are always present; ``segments`` and ``latency_events``
+    only when the run was started with ``record_segments=True``.
+    """
+
+    system: str
+    scheduler_name: str
+    num_acs: int
+    workload_name: str
+    total_cycles: int
+    hot_spot_cycles: Dict[str, int]
+    per_frame_cycles: List[int]
+    si_executions: Dict[str, int]
+    loads_started: int = 0
+    loads_completed: int = 0
+    evictions: int = 0
+    segments: Optional[List[Segment]] = None
+    latency_events: Optional[List[LatencyEvent]] = None
+
+    @property
+    def total_mcycles(self) -> float:
+        """Total execution time in millions of cycles (Figure 7's unit)."""
+        return self.total_cycles / 1e6
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        """``other.total_cycles / self.total_cycles`` — how much faster
+        this run is than ``other`` (>1 means faster)."""
+        return other.total_cycles / self.total_cycles
+
+    def executions_per_window(
+        self, si_name: str, window: int = 100_000
+    ) -> np.ndarray:
+        """Executions of one SI per ``window``-cycle bin (Figure 2/8 bars).
+
+        Requires the run to have recorded segments.
+        """
+        from .timeline import bin_executions  # local import avoids a cycle
+
+        if self.segments is None:
+            raise ValueError(
+                "this run did not record segments; re-run with "
+                "record_segments=True"
+            )
+        starts, matrix, names = bin_executions(self.segments, window=window)
+        return matrix[names.index(si_name)]
+
+    def summary(self) -> str:
+        """One-line human-readable result description."""
+        return (
+            f"{self.system}/{self.scheduler_name} @ {self.num_acs} ACs: "
+            f"{self.total_mcycles:,.1f} Mcycles, "
+            f"{self.loads_completed} atom loads, {self.evictions} evictions"
+        )
+
+    def __repr__(self) -> str:
+        return f"SimulationResult({self.summary()})"

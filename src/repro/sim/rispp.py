@@ -1,0 +1,100 @@
+"""The RISPP system simulator — gradual SI upgrades (the paper's system).
+
+At every hot-spot entry the Run-Time Manager forecasts the SI execution
+frequencies, selects molecules for the AC budget and lets the configured
+atom scheduler order the loads.  During execution every SI uses the
+fastest implementation whose atoms are loaded *right now* — molecules
+become usable on an as-soon-as-available basis, which is the paper's
+central architectural feature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.molecule import Molecule
+from ..core.monitor import ExecutionMonitor
+from ..core.runtime import HotSpotPlan, RuntimeManager
+from ..core.schedulers.base import AtomScheduler
+from ..core.si import MoleculeImpl, SILibrary
+from ..fabric.atom import AtomRegistry
+from ..isa.processor import BaseProcessor
+from ..workload.trace import HotSpotTrace
+from .engine import SystemSimulator
+
+__all__ = ["RisppSimulator"]
+
+
+class RisppSimulator(SystemSimulator):
+    """Behavioural model of the RISPP run-time system.
+
+    Parameters
+    ----------
+    scheduler:
+        The atom-scheduling strategy under evaluation.
+    monitor:
+        Execution-frequency forecaster; pass a monitor seeded with an
+        offline profile for realistic first-frame behaviour.
+    validate_schedules:
+        Check every schedule against conditions (1)+(2) (slow; for tests).
+    """
+
+    system_name = "RISPP"
+
+    def __init__(
+        self,
+        library: SILibrary,
+        registry: AtomRegistry,
+        scheduler: AtomScheduler,
+        num_acs: int,
+        processor: Optional[BaseProcessor] = None,
+        monitor: Optional[ExecutionMonitor] = None,
+        record_segments: bool = False,
+        validate_schedules: bool = False,
+        eviction_policy=None,
+    ):
+        super().__init__(
+            library,
+            registry,
+            num_acs,
+            processor=processor,
+            record_segments=record_segments,
+            eviction_policy=eviction_policy,
+        )
+        self.runtime = RuntimeManager(
+            library,
+            scheduler,
+            num_acs,
+            monitor=monitor,
+            validate_schedules=validate_schedules,
+        )
+
+    @property
+    def scheduler_name(self) -> str:
+        return self.runtime.scheduler.name
+
+    def reset(self) -> None:
+        """Cold-start fabric, port *and* the monitor's learned state, so
+        repeated :meth:`run` calls are independent and reproducible."""
+        super().reset()
+        self.runtime.monitor.reset()
+
+    # -- SystemSimulator hooks ------------------------------------------------
+
+    def _plan(
+        self, trace: HotSpotTrace, available: Molecule
+    ) -> Tuple[Sequence[str], Molecule, HotSpotPlan]:
+        plan = self.runtime.plan_hot_spot(
+            trace.hot_spot, trace.si_names, available
+        )
+        # Retain what the plan targets *plus* what is currently loaded and
+        # still part of the target — eviction only touches true leftovers.
+        return plan.schedule.atom_sequence(), plan.selection.meta, plan
+
+    def _impl_for(
+        self, si_name: str, available: Molecule, context: HotSpotPlan
+    ) -> MoleculeImpl:
+        return self.runtime.dispatch(si_name, available)
+
+    def _finish(self, trace: HotSpotTrace, context: HotSpotPlan) -> None:
+        self.runtime.finish_hot_spot(trace.hot_spot, trace.totals())

@@ -1,0 +1,55 @@
+"""Pure-software baseline — the zero-AC configuration.
+
+With no Atom Containers every SI executes via the synchronous-exception
+path on the base instruction set.  The paper reports 7,403 M cycles for
+the 140-frame benchmark in this configuration; the calibrated workload
+model reproduces that total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.si import SILibrary
+from ..isa.processor import BaseProcessor
+from ..workload.trace import Workload
+from .results import SimulationResult
+
+__all__ = ["simulate_software"]
+
+
+def simulate_software(
+    library: SILibrary,
+    workload: Workload,
+    processor: Optional[BaseProcessor] = None,
+) -> SimulationResult:
+    """Account a pure-software (0 ACs) run of ``workload``."""
+    proc = processor if processor is not None else BaseProcessor()
+    total = 0
+    hot_spot_cycles: Dict[str, int] = {}
+    frame_cycles: Dict[int, int] = {}
+    si_totals: Dict[str, int] = {}
+    for trace in workload:
+        cycles = proc.hot_spot_entry_overhead
+        cycles += trace.iterations * trace.overhead_per_iteration
+        for si_name, count in trace.totals().items():
+            latency = library.get(si_name).software_latency
+            cycles += count * (latency + proc.trap_overhead)
+            si_totals[si_name] = si_totals.get(si_name, 0) + count
+        total += cycles
+        hot_spot_cycles[trace.hot_spot] = (
+            hot_spot_cycles.get(trace.hot_spot, 0) + cycles
+        )
+        frame_cycles[trace.frame_index] = (
+            frame_cycles.get(trace.frame_index, 0) + cycles
+        )
+    return SimulationResult(
+        system="Software",
+        scheduler_name="Software",
+        num_acs=0,
+        workload_name=workload.name,
+        total_cycles=total,
+        hot_spot_cycles=hot_spot_cycles,
+        per_frame_cycles=[frame_cycles[idx] for idx in sorted(frame_cycles)],
+        si_executions=si_totals,
+    )

@@ -1,0 +1,137 @@
+"""Post-run statistics: where did the cycles go?
+
+Breaks a recorded simulation down into the quantities the paper reasons
+about: how long each SI executed in software vs hardware, how busy the
+reconfiguration port was, and how much execution time the trap path cost
+— the "inefficiency" the gradual-upgrade architecture removes.
+
+Requires a run with ``record_segments=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..calibration import RECONFIG_CYCLES_PER_ATOM
+from ..core.si import SILibrary
+from ..errors import SimulationError
+from .results import SimulationResult
+
+__all__ = ["SIBreakdown", "RunBreakdown", "analyse_run"]
+
+
+@dataclass
+class SIBreakdown:
+    """Per-SI execution split between software and hardware."""
+
+    si_name: str
+    software_executions: int = 0
+    hardware_executions: int = 0
+    software_cycles: int = 0
+    hardware_cycles: int = 0
+
+    @property
+    def total_executions(self) -> int:
+        return self.software_executions + self.hardware_executions
+
+    @property
+    def software_fraction(self) -> float:
+        """Fraction of executions that went through the trap path."""
+        total = self.total_executions
+        return self.software_executions / total if total else 0.0
+
+    @property
+    def cycles(self) -> int:
+        return self.software_cycles + self.hardware_cycles
+
+
+@dataclass
+class RunBreakdown:
+    """Aggregate cycle accounting of one simulator run."""
+
+    result: SimulationResult
+    per_si: Dict[str, SIBreakdown]
+    si_cycles: int
+    overhead_cycles: int
+    port_busy_cycles: int
+
+    @property
+    def port_utilisation(self) -> float:
+        """Fraction of the run the reconfiguration port was writing."""
+        if not self.result.total_cycles:
+            return 0.0
+        return min(1.0, self.port_busy_cycles / self.result.total_cycles)
+
+    @property
+    def software_cycle_fraction(self) -> float:
+        """Share of all SI cycles spent on the trap path — the quantity
+        gradual upgrading minimises."""
+        total = sum(b.cycles for b in self.per_si.values())
+        if not total:
+            return 0.0
+        software = sum(b.software_cycles for b in self.per_si.values())
+        return software / total
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.result.system}/{self.result.scheduler_name} @ "
+            f"{self.result.num_acs} ACs: "
+            f"{self.result.total_mcycles:,.1f} Mcycles",
+            f"  reconfiguration port busy {self.port_utilisation:6.1%} "
+            f"of the run ({self.result.loads_completed} loads)",
+            f"  SI cycles in software: {self.software_cycle_fraction:6.1%}",
+            f"  {'SI':<10s}{'execs':>10s}{'sw execs':>10s}{'sw cycles %':>12s}",
+        ]
+        for name in sorted(self.per_si):
+            b = self.per_si[name]
+            share = (
+                b.software_cycles / b.cycles if b.cycles else 0.0
+            )
+            lines.append(
+                f"  {name:<10s}{b.total_executions:>10,}"
+                f"{b.software_executions:>10,}{share:>11.1%}"
+            )
+        return "\n".join(lines)
+
+
+def analyse_run(
+    result: SimulationResult, library: SILibrary
+) -> RunBreakdown:
+    """Compute the cycle breakdown from a recorded run.
+
+    Software executions are identified by their effective latency: a
+    segment whose latency for an SI is at least the SI's software latency
+    ran through the trap path (the recorded value includes the trap
+    overhead).
+    """
+    if result.segments is None:
+        raise SimulationError(
+            "breakdown needs a run recorded with record_segments=True"
+        )
+    per_si: Dict[str, SIBreakdown] = {}
+    si_cycles = 0
+    for segment in result.segments:
+        for name, executions, latency in zip(
+            segment.si_names, segment.executions, segment.latencies
+        ):
+            if executions == 0:
+                continue
+            entry = per_si.setdefault(name, SIBreakdown(name))
+            cycles = executions * latency
+            si_cycles += cycles
+            if latency >= library.get(name).software_latency:
+                entry.software_executions += executions
+                entry.software_cycles += cycles
+            else:
+                entry.hardware_executions += executions
+                entry.hardware_cycles += cycles
+    overhead = result.total_cycles - si_cycles
+    port_busy = result.loads_completed * RECONFIG_CYCLES_PER_ATOM
+    return RunBreakdown(
+        result=result,
+        per_si=per_si,
+        si_cycles=si_cycles,
+        overhead_cycles=max(0, overhead),
+        port_busy_cycles=port_busy,
+    )

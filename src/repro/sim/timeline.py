@@ -1,0 +1,111 @@
+"""Timeline post-processing: per-window execution series and latency steps.
+
+The paper's Figure 2 and Figure 8 plot SI executions per 100 K cycles
+(bars) and SI latencies over time (step lines).  The simulators record
+piecewise-constant :class:`~repro.sim.results.Segment` spans; this module
+distributes each span's executions uniformly over its duration and bins
+them into fixed windows, and extracts the latency step functions from
+the recorded :class:`~repro.sim.results.LatencyEvent` stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from .results import LatencyEvent, Segment
+
+__all__ = ["bin_executions", "latency_steps"]
+
+
+def bin_executions(
+    segments: Sequence[Segment],
+    window: int = 100_000,
+    si_names: Optional[Sequence[str]] = None,
+    end_cycle: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+    """Bin segment executions into fixed windows.
+
+    Each segment's executions are spread uniformly over ``[t0, t1)`` and
+    accumulated into ``window``-cycle bins.
+
+    Parameters
+    ----------
+    segments:
+        Recorded execution segments (any order; they must not overlap).
+    window:
+        Bin width in cycles (the paper uses 100 K).
+    si_names:
+        Restrict/order the output rows; defaults to every SI appearing
+        in the segments, in first-appearance order.
+    end_cycle:
+        Last cycle to cover; defaults to the max segment end.
+
+    Returns
+    -------
+    ``(bin_starts, matrix, names)`` where ``matrix[i, j]`` counts the
+    executions of ``names[i]`` inside
+    ``[bin_starts[j], bin_starts[j] + window)``.
+    """
+    if window <= 0:
+        raise SimulationError(f"window must be positive, got {window}")
+    if si_names is None:
+        seen: List[str] = []
+        for segment in segments:
+            for name in segment.si_names:
+                if name not in seen:
+                    seen.append(name)
+        si_names = seen
+    names = list(si_names)
+    index = {name: i for i, name in enumerate(names)}
+    if end_cycle is None:
+        end_cycle = max((s.t1 for s in segments), default=window)
+    num_bins = max(1, int(np.ceil(end_cycle / window)))
+    matrix = np.zeros((len(names), num_bins), dtype=np.float64)
+    for segment in segments:
+        duration = segment.duration
+        if duration <= 0:
+            continue
+        first_bin = segment.t0 // window
+        last_bin = min((segment.t1 - 1) // window, num_bins - 1)
+        for si_name, executions in zip(segment.si_names, segment.executions):
+            if executions == 0 or si_name not in index:
+                continue
+            row = index[si_name]
+            rate = executions / duration
+            for bin_idx in range(first_bin, last_bin + 1):
+                bin_start = bin_idx * window
+                bin_end = bin_start + window
+                overlap = min(segment.t1, bin_end) - max(segment.t0, bin_start)
+                matrix[row, bin_idx] += rate * overlap
+    bin_starts = np.arange(num_bins, dtype=np.int64) * window
+    return bin_starts, matrix, names
+
+
+def latency_steps(
+    events: Iterable[LatencyEvent],
+    si_name: str,
+    end_cycle: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Extract one SI's latency step function from the event stream.
+
+    Returns ``(cycles, latencies)`` suitable for step plotting: the SI's
+    effective latency changed to ``latencies[i]`` at ``cycles[i]``.  When
+    ``end_cycle`` is given, a final point repeating the last latency is
+    appended so the step line spans the full run.
+    """
+    cycles: List[int] = []
+    latencies: List[int] = []
+    for event in events:
+        if event.si_name != si_name:
+            continue
+        cycles.append(event.cycle)
+        latencies.append(event.latency)
+    if end_cycle is not None and cycles and cycles[-1] < end_cycle:
+        cycles.append(end_cycle)
+        latencies.append(latencies[-1])
+    return np.asarray(cycles, dtype=np.int64), np.asarray(
+        latencies, dtype=np.int64
+    )

@@ -1,0 +1,26 @@
+"""Workload substrate: SI-execution traces and their generators.
+
+A workload is the sequence of hot-spot invocations an application
+performs, each carrying the per-iteration (per-macroblock) SI execution
+counts.  Two generators exist:
+
+* :mod:`repro.workload.model` — a calibrated statistical model of the
+  paper's 140-frame CIF H.264 encoding run (fast; used by the Figure 7 /
+  Table 2 sweeps),
+* the functional encoder in :mod:`repro.h264` — real pixel processing
+  that emits the same trace structures (slow; used by examples and
+  cross-validation tests).
+"""
+
+from .trace import HotSpotTrace, Workload
+from .model import H264WorkloadModel, generate_workload
+from .io import save_workload, load_workload
+
+__all__ = [
+    "HotSpotTrace",
+    "Workload",
+    "H264WorkloadModel",
+    "generate_workload",
+    "save_workload",
+    "load_workload",
+]

@@ -1,0 +1,79 @@
+"""Workload serialisation.
+
+Traces are plain integer matrices plus a little metadata, so a whole
+workload round-trips through a single compressed ``.npz`` file.  This
+lets users capture an expensive functional-encoder run once and replay
+it against many simulator configurations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import TraceError
+from .trace import HotSpotTrace, Workload
+
+__all__ = ["save_workload", "load_workload"]
+
+_FORMAT_VERSION = 1
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    """Write a workload to ``path`` (``.npz``, compressed)."""
+    arrays = {}
+    meta = {
+        "version": _FORMAT_VERSION,
+        "name": workload.name,
+        "traces": [],
+    }
+    for index, trace in enumerate(workload.traces):
+        key = f"counts_{index}"
+        arrays[key] = trace.counts
+        meta["traces"].append(
+            {
+                "hot_spot": trace.hot_spot,
+                "si_names": list(trace.si_names),
+                "overhead": trace.overhead_per_iteration,
+                "frame_index": trace.frame_index,
+                "counts": key,
+            }
+        )
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    """Read a workload previously written by :func:`save_workload`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"workload file {path} does not exist")
+    with np.load(str(path)) as data:
+        try:
+            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        except (KeyError, ValueError) as exc:
+            raise TraceError(
+                f"{path} is not a serialized workload: {exc}"
+            ) from None
+        if meta.get("version") != _FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported workload format version "
+                f"{meta.get('version')!r}"
+            )
+        workload = Workload(name=meta["name"])
+        for entry in meta["traces"]:
+            workload.append(
+                HotSpotTrace(
+                    hot_spot=entry["hot_spot"],
+                    si_names=tuple(entry["si_names"]),
+                    counts=data[entry["counts"]],
+                    overhead_per_iteration=entry["overhead"],
+                    frame_index=entry["frame_index"],
+                )
+            )
+    return workload

@@ -1,0 +1,75 @@
+"""Shared fixtures: toy platforms, the calibrated H.264 platform, and
+small workloads."""
+
+import pytest
+
+from repro import (
+    AtomSpace,
+    MoleculeImpl,
+    SILibrary,
+    SpecialInstruction,
+    AtomRegistry,
+    build_atom_registry,
+    build_si_library,
+    generate_workload,
+)
+
+
+@pytest.fixture
+def space():
+    """A three-atom-type space for algebra tests."""
+    return AtomSpace(["A", "B", "C"])
+
+
+@pytest.fixture
+def toy_registry():
+    """Registry matching the toy space (uniform bitstreams)."""
+    return AtomRegistry.uniform(["A", "B", "C"])
+
+
+def make_toy_si(space, name="SI1", software_latency=1000):
+    """An SI over (A, B) with a clean upgrade ladder and one non-Pareto
+    molecule (the paper's m4-style candidate)."""
+    molecules = [
+        MoleculeImpl(name, "m1", space.molecule({"A": 1}), 400),
+        MoleculeImpl(name, "m2", space.molecule({"A": 2, "B": 2}), 120),
+        MoleculeImpl(name, "m4", space.molecule({"A": 1, "B": 3}), 150),
+        MoleculeImpl(name, "m3", space.molecule({"A": 4, "B": 4}), 40),
+    ]
+    return SpecialInstruction(name, space, software_latency, molecules)
+
+
+def make_second_si(space, name="SI2", software_latency=600):
+    """A second SI sharing atom type B and adding C."""
+    molecules = [
+        MoleculeImpl(name, "n1", space.molecule({"C": 1}), 250),
+        MoleculeImpl(name, "n2", space.molecule({"B": 1, "C": 1}), 90),
+        MoleculeImpl(name, "n3", space.molecule({"B": 2, "C": 2}), 35),
+    ]
+    return SpecialInstruction(name, space, software_latency, molecules)
+
+
+@pytest.fixture
+def toy_si(space):
+    return make_toy_si(space)
+
+
+@pytest.fixture
+def toy_library(space):
+    return SILibrary(space, [make_toy_si(space), make_second_si(space)])
+
+
+@pytest.fixture(scope="session")
+def h264_registry():
+    return build_atom_registry()
+
+
+@pytest.fixture(scope="session")
+def h264_library(h264_registry):
+    return build_si_library(h264_registry)
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """Three paper-style frames (fast enough for simulator tests)."""
+    return generate_workload(num_frames=3, seed=11)

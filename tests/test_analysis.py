@@ -1,0 +1,180 @@
+"""Tests for the experiment drivers and report formatting."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentScale,
+    format_figure2,
+    format_figure4,
+    format_figure8,
+    format_fig7_table,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_figure2,
+    run_figure4,
+    run_figure7,
+    run_figure8,
+    speedup_table,
+)
+from repro.analysis.figures import ascii_series
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    """A very small Figure 7 sweep (3 frames, 4 AC points)."""
+    scale = ExperimentScale(frames=3, ac_counts=(6, 10, 16, 24))
+    return run_figure7(scale=scale)
+
+
+class TestFigure2:
+    def test_upgrade_finishes_earlier(self):
+        result = run_figure2(num_acs=10)
+        assert result.with_total_cycles <= result.without_total_cycles
+        assert result.upgrade_speedup >= 1.0
+
+    def test_upgrade_ramps_before_no_upgrade(self):
+        """The paper's key claim: with gradual upgrades the execution
+        rate rises before the full molecules finish loading."""
+        result = run_figure2(num_acs=10)
+        # First bin where each series exceeds half its peak rate.
+        half_with = result.with_upgrade.max() / 2
+        half_without = result.without_upgrade.max() / 2
+        ramp_with = next(
+            i for i, v in enumerate(result.with_upgrade) if v > half_with
+        )
+        ramp_without = next(
+            i
+            for i, v in enumerate(result.without_upgrade)
+            if v > half_without
+        )
+        assert ramp_with < ramp_without
+
+    def test_formatting(self):
+        result = run_figure2(num_acs=8)
+        text = format_figure2(result)
+        assert "with upgrade" in text and "without upgrade" in text
+
+
+class TestFigure4:
+    def test_good_schedule_upgrades_stepwise(self):
+        result = run_figure4()
+        hef = result.availability["HEF"]
+        # HEF reaches an intermediate molecule before the end...
+        assert hef[1] == "m1"
+        assert hef[3] == "m2"
+        assert hef[-1] == "m3"
+
+    def test_naive_schedule_stays_software_longer(self):
+        result = run_figure4()
+        naive = result.latencies["naive"]
+        hef = result.latencies["HEF"]
+        # Cumulative latency along the path is worse for naive.
+        assert sum(naive) > sum(hef)
+        assert naive[-1] == hef[-1] == 30  # both end at m3
+
+    def test_formatting(self):
+        text = format_figure4(run_figure4())
+        assert "m3" in text and "HEF" in text
+
+
+class TestFigure7AndTable2:
+    def test_hef_never_slower_than_other_schedulers(self, tiny_sweep):
+        hef = tiny_sweep.mcycles["HEF"]
+        for name in ("ASF", "FSFR", "SJF"):
+            for h, other in zip(hef, tiny_sweep.mcycles[name]):
+                assert h <= other * 1.01  # 1% tie tolerance
+
+    def test_molen_always_slowest_baseline(self, tiny_sweep):
+        hef = tiny_sweep.mcycles["HEF"]
+        molen = tiny_sweep.mcycles["Molen"]
+        assert all(m >= h for h, m in zip(hef, molen))
+
+    def test_more_acs_help_hef(self, tiny_sweep):
+        hef = tiny_sweep.mcycles["HEF"]
+        assert hef[-1] < hef[0]
+
+    def test_all_faster_than_software(self, tiny_sweep):
+        for series in tiny_sweep.mcycles.values():
+            assert all(v < tiny_sweep.software_mcycles for v in series)
+
+    def test_speedup_table_rows(self, tiny_sweep):
+        table = speedup_table(tiny_sweep)
+        assert set(table) == {
+            "HEF vs ASF",
+            "ASF vs Molen",
+            "HEF vs Molen",
+        }
+        assert all(v > 0.99 for v in table["HEF vs Molen"])
+
+    def test_hef_vs_molen_grows_with_acs(self, tiny_sweep):
+        ratios = speedup_table(tiny_sweep)["HEF vs Molen"]
+        assert ratios[-1] > ratios[0]
+
+    def test_formatting(self, tiny_sweep):
+        assert "Figure 7" in format_fig7_table(tiny_sweep)
+        assert "HEF vs Molen" in format_table2(tiny_sweep)
+
+
+class TestFigure8:
+    def test_latency_steps_decrease(self):
+        result = run_figure8(num_acs=10)
+        for name, (cycles, lats) in result.latency_series.items():
+            if len(lats) >= 2:
+                # Within the observed window, upgrades only lower the
+                # latency of ME/EE SIs.
+                diffs = [b - a for a, b in zip(lats, lats[1:])]
+                assert min(diffs) <= 0, name
+
+    def test_all_four_sis_reported(self):
+        result = run_figure8(num_acs=10)
+        assert set(result.executions) == {"SAD", "SATD", "MC", "DCT"}
+
+    def test_me_then_ee_activity(self):
+        """SAD/SATD execute in the first part of the span, MC/DCT later
+        — the hot spots of Figure 1 in order."""
+        result = run_figure8(num_acs=10)
+        sad = result.executions["SAD"]
+        dct = result.executions["DCT"]
+        first_sad = next(i for i, v in enumerate(sad) if v > 0)
+        first_dct = next(i for i, v in enumerate(dct) if v > 0)
+        assert first_sad < first_dct
+
+    def test_formatting(self):
+        text = format_figure8(run_figure8(num_acs=10))
+        assert "Figure 8" in text and "SATD" in text
+
+
+class TestStaticTables:
+    def test_table1_contains_every_si(self, h264_library):
+        text = format_table1(h264_library)
+        for label in ("SATD", "(I)DCT", "MC 4", "LF_BS4"):
+            assert label in text
+
+    def test_table3_matches_paper(self):
+        text = format_table3()
+        assert "549" in text
+        assert "30,769" in text
+        assert "12.596" in text
+
+    def test_ascii_series(self):
+        bars = ascii_series([0, 5, 10], width=10)
+        assert bars == ["", "#####", "##########"]
+
+
+class TestAsciiPlot:
+    def test_plot_renders_all_markers(self, tiny_sweep):
+        from repro.analysis import ascii_plot_fig7
+
+        text = ascii_plot_fig7(tiny_sweep)
+        for marker in ("H", "M"):
+            assert marker in text
+        assert "Figure 7 (ASCII)" in text
+
+    def test_plot_row_count(self, tiny_sweep):
+        from repro.analysis import ascii_plot_fig7
+
+        text = ascii_plot_fig7(tiny_sweep, height=10)
+        rows = [l for l in text.splitlines() if l.lstrip().startswith("|")
+                or "M |" in l]
+        assert len(rows) == 10

@@ -1,0 +1,111 @@
+"""Tests for candidate expansion (eq. 3) and cleaning (eq. 4)."""
+
+import pytest
+
+from repro import clean_candidates, expand_candidates
+from repro.core.candidates import best_latency_map
+
+
+@pytest.fixture
+def sis(toy_library):
+    return {si.name: si for si in toy_library}
+
+
+@pytest.fixture
+def selection(toy_library):
+    si1 = toy_library.get("SI1")
+    si2 = toy_library.get("SI2")
+    return {"SI1": si1.molecule("m3"), "SI2": si2.molecule("n3")}
+
+
+class TestExpand:
+    def test_candidates_bounded_by_selected(self, selection, sis):
+        candidates = expand_candidates(selection, sis)
+        for cand in candidates:
+            assert cand.atoms <= selection[cand.si_name].atoms
+
+    def test_selected_molecule_is_candidate(self, selection, sis):
+        candidates = expand_candidates(selection, sis)
+        names = {(c.si_name, c.name) for c in candidates}
+        assert ("SI1", "m3") in names
+        assert ("SI2", "n3") in names
+
+    def test_smaller_molecules_included(self, selection, sis):
+        candidates = expand_candidates(selection, sis)
+        names = {(c.si_name, c.name) for c in candidates}
+        assert ("SI1", "m1") in names
+        assert ("SI1", "m2") in names
+        assert ("SI1", "m4") in names  # non-Pareto stays in M'
+
+    def test_software_never_a_candidate(self, selection, sis):
+        candidates = expand_candidates(selection, sis)
+        assert all(not c.is_software for c in candidates)
+
+    def test_small_selection_limits_candidates(self, toy_library, sis):
+        si1 = toy_library.get("SI1")
+        selection = {"SI1": si1.molecule("m2")}
+        candidates = expand_candidates(selection, sis)
+        names = {c.name for c in candidates}
+        assert names == {"m1", "m2"}  # m3 and m4 exceed the selection
+
+    def test_deterministic_order(self, selection, sis):
+        a = expand_candidates(selection, sis)
+        b = expand_candidates(selection, sis)
+        assert [(c.si_name, c.name) for c in a] == [
+            (c.si_name, c.name) for c in b
+        ]
+
+
+class TestBestLatencyMap:
+    def test_cold_start_is_software(self, space, selection, sis):
+        latencies = best_latency_map(selection, sis, space.zero())
+        assert latencies == {"SI1": 1000, "SI2": 600}
+
+    def test_warm_start_uses_available(self, space, selection, sis):
+        available = space.molecule({"A": 1, "C": 1})
+        latencies = best_latency_map(selection, sis, available)
+        assert latencies == {"SI1": 400, "SI2": 250}
+
+
+class TestClean:
+    def test_available_candidates_removed(self, space, selection, sis):
+        candidates = expand_candidates(selection, sis)
+        available = space.molecule({"A": 1})
+        best = best_latency_map(selection, sis, available)
+        cleaned = clean_candidates(candidates, available, best)
+        assert ("SI1", "m1") not in {(c.si_name, c.name) for c in cleaned}
+
+    def test_non_improving_candidates_removed(self, space, selection, sis):
+        # With (2, 2) available, m2 (120) is the best; m4 (150) must go
+        # even though its vector (1, 3) is not covered.
+        candidates = expand_candidates(selection, sis)
+        available = space.molecule({"A": 2, "B": 2})
+        best = best_latency_map(selection, sis, available)
+        cleaned = clean_candidates(candidates, available, best)
+        names = {(c.si_name, c.name) for c in cleaned}
+        assert ("SI1", "m4") not in names
+        assert ("SI1", "m3") in names
+
+    def test_nonpareto_survives_when_it_helps(self, space, selection, sis):
+        # The paper's point: with a = (0, 3), m4 = (1, 3) needs one atom
+        # while m2 = (2, 2) needs two — m4 must NOT be removed.
+        candidates = expand_candidates(selection, sis)
+        available = space.molecule({"B": 3})
+        best = best_latency_map(selection, sis, available)
+        cleaned = clean_candidates(candidates, available, best)
+        names = {(c.si_name, c.name) for c in cleaned}
+        assert ("SI1", "m4") in names
+
+    def test_clean_empty_when_everything_loaded(self, space, selection, sis):
+        candidates = expand_candidates(selection, sis)
+        available = space.molecule({"A": 4, "B": 4, "C": 2})
+        best = best_latency_map(selection, sis, available)
+        assert clean_candidates(candidates, available, best) == []
+
+    def test_clean_keeps_everything_on_cold_start(
+        self, space, selection, sis
+    ):
+        candidates = expand_candidates(selection, sis)
+        best = best_latency_map(selection, sis, space.zero())
+        cleaned = clean_candidates(candidates, space.zero(), best)
+        assert len(cleaned) == len(candidates)

@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments_accepted(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "table3"])
+        assert args.experiments == ["table1", "table3"]
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table9"])
+
+    def test_acs_option(self):
+        args = build_parser().parse_args(["fig2", "--acs", "8"])
+        assert args.acs == 8
+
+
+class TestExecution:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SATD" in out and "(I)DCT" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "549" in out and "30,769" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "m3" in out
+
+    def test_multiple_deduplicated(self, capsys):
+        assert main(["table1", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Table 1:") == 1

@@ -1,0 +1,195 @@
+"""Tests for the functional H.264-subset encoder and the video source."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EncoderConfig,
+    H264SubsetEncoder,
+    SyntheticVideo,
+    TraceError,
+    YuvFrame,
+)
+from repro.h264.silibrary import HOT_SPOT_SIS
+from repro.h264.types import macroblocks, mb_view
+
+
+@pytest.fixture(scope="module")
+def video_frames():
+    return SyntheticVideo(
+        width=96, height=96, num_frames=3, seed=3, num_objects=2
+    ).all_frames()
+
+
+@pytest.fixture(scope="module")
+def encode_result(video_frames):
+    return H264SubsetEncoder(EncoderConfig()).encode(video_frames)
+
+
+class TestTypes:
+    def test_frame_validation(self):
+        with pytest.raises(TraceError):
+            YuvFrame(
+                y=np.zeros((100, 100), np.uint8),  # not MB aligned
+                cb=np.zeros((50, 50), np.uint8),
+                cr=np.zeros((50, 50), np.uint8),
+            )
+        with pytest.raises(TraceError):
+            YuvFrame(
+                y=np.zeros((96, 96), np.uint8),
+                cb=np.zeros((96, 96), np.uint8),  # wrong chroma size
+                cr=np.zeros((48, 48), np.uint8),
+            )
+
+    def test_macroblock_iteration(self):
+        frame = YuvFrame(
+            y=np.zeros((32, 48), np.uint8),
+            cb=np.zeros((16, 24), np.uint8),
+            cr=np.zeros((16, 24), np.uint8),
+        )
+        mbs = list(macroblocks(frame))
+        assert len(mbs) == 6
+        assert mbs[0] == (0, 0, 0)
+        assert mbs[-1] == (5, 16, 32)
+
+    def test_mb_view_is_view(self):
+        plane = np.zeros((32, 32), np.int64)
+        view = mb_view(plane, 16, 0)
+        view[:] = 7
+        assert plane[20, 5] == 7
+
+
+class TestSyntheticVideo:
+    def test_deterministic(self):
+        a = SyntheticVideo(width=96, height=96, num_frames=2, seed=9)
+        b = SyntheticVideo(width=96, height=96, num_frames=2, seed=9)
+        for fa, fb in zip(a.frames(), b.frames()):
+            assert (fa.y == fb.y).all()
+
+    def test_frames_change_over_time(self, video_frames):
+        assert (video_frames[0].y != video_frames[1].y).any()
+
+    def test_scene_cut_changes_content_strongly(self):
+        video = SyntheticVideo(
+            width=96, height=96, num_frames=4, seed=9, scene_cut_frame=2
+        )
+        frames = video.all_frames()
+        diff_normal = np.abs(
+            frames[1].y.astype(int) - frames[0].y.astype(int)
+        ).mean()
+        diff_cut = np.abs(
+            frames[2].y.astype(int) - frames[1].y.astype(int)
+        ).mean()
+        assert diff_cut > 2 * diff_normal
+
+    def test_resolution_validation(self):
+        with pytest.raises(TraceError):
+            SyntheticVideo(width=100, height=96)
+
+
+class TestEncoder:
+    def test_first_frame_all_intra(self, encode_result, video_frames):
+        assert encode_result.intra_mbs_per_frame[0] == (
+            video_frames[0].num_macroblocks
+        )
+
+    def test_later_frames_mostly_inter(self, encode_result):
+        assert encode_result.intra_mbs_per_frame[1] < (
+            encode_result.intra_mbs_per_frame[0] // 2
+        )
+
+    def test_reconstruction_quality(self, encode_result):
+        # QP 28 on synthetic content should land well above 30 dB.
+        assert all(p > 30.0 for p in encode_result.psnr_per_frame)
+
+    def test_workload_structure(self, encode_result, video_frames):
+        workload = encode_result.workload
+        assert len(workload) == 3 * len(video_frames)
+        assert workload.hot_spots == ("ME", "EE", "LF")
+        for trace in workload:
+            assert trace.si_names == HOT_SPOT_SIS[trace.hot_spot]
+            assert trace.iterations == video_frames[0].num_macroblocks
+
+    def test_first_frame_has_no_me_executions(self, encode_result):
+        me0 = encode_result.workload.traces[0]
+        assert me0.hot_spot == "ME"
+        assert me0.total_executions() == 0
+
+    def test_inter_frames_have_search_executions(self, encode_result):
+        me1 = [
+            t
+            for t in encode_result.workload
+            if t.hot_spot == "ME" and t.frame_index == 1
+        ][0]
+        totals = me1.totals()
+        assert totals["SAD"] > 0
+        assert totals["SATD"] > 0
+
+    def test_satd_counts_are_multiples_of_16(self, encode_result):
+        # Each half-pel candidate evaluates sixteen 4x4 SATDs.
+        for trace in encode_result.workload:
+            if trace.hot_spot != "ME":
+                continue
+            satd = trace.counts[:, trace.si_names.index("SATD")]
+            assert (satd % 16 == 0).all()
+
+    def test_intra_mbs_do_intra_prediction_not_mc(self, encode_result):
+        ee0 = [
+            t
+            for t in encode_result.workload
+            if t.hot_spot == "EE" and t.frame_index == 0
+        ][0]
+        totals = ee0.totals()
+        assert totals["MC"] == 0
+        assert totals["IPredHDC"] > 0
+        assert totals["HT4x4"] > 0
+
+    def test_deterministic(self, video_frames):
+        a = H264SubsetEncoder(EncoderConfig()).encode(video_frames)
+        b = H264SubsetEncoder(EncoderConfig()).encode(video_frames)
+        for ta, tb in zip(a.workload, b.workload):
+            assert (ta.counts == tb.counts).all()
+        assert a.psnr_per_frame == b.psnr_per_frame
+
+    def test_higher_qp_lower_quality(self, video_frames):
+        fine = H264SubsetEncoder(EncoderConfig(qp=16)).encode(video_frames)
+        coarse = H264SubsetEncoder(EncoderConfig(qp=44)).encode(
+            video_frames
+        )
+        assert fine.mean_psnr > coarse.mean_psnr
+
+    def test_deblock_can_be_disabled(self, video_frames):
+        result = H264SubsetEncoder(
+            EncoderConfig(deblock=False)
+        ).encode(video_frames)
+        for trace in result.workload:
+            if trace.hot_spot == "LF":
+                assert trace.total_executions() == 0
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(TraceError):
+            H264SubsetEncoder().encode([])
+
+    def test_config_validation(self):
+        with pytest.raises(TraceError):
+            EncoderConfig(qp=99)
+        with pytest.raises(TraceError):
+            EncoderConfig(search_range=0)
+
+
+class TestEncoderSimulatorIntegration:
+    def test_trace_replays_through_rispp(
+        self, encode_result, h264_library, h264_registry
+    ):
+        from repro import HEFScheduler, RisppSimulator, simulate_software
+
+        sim = RisppSimulator(
+            h264_library,
+            h264_registry,
+            HEFScheduler(),
+            num_acs=10,
+            validate_schedules=True,
+        )
+        accelerated = sim.run(encode_result.workload)
+        software = simulate_software(h264_library, encode_result.workload)
+        assert accelerated.total_cycles < software.total_cycles

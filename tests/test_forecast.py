@@ -1,0 +1,120 @@
+"""Tests for the forecasting strategies."""
+
+import pytest
+
+from repro import (
+    CalibrationError,
+    EwmaPredictor,
+    ExecutionMonitor,
+    LastValuePredictor,
+    SlidingWindowPredictor,
+    TrendPredictor,
+    predictor_factory,
+)
+
+
+class TestEwma:
+    def test_initial(self):
+        assert EwmaPredictor(10.0, alpha=0.5).predict() == 10.0
+
+    def test_halfway_step(self):
+        p = EwmaPredictor(0.0, alpha=0.5)
+        p.update(100.0)
+        assert p.predict() == 50.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(CalibrationError):
+            EwmaPredictor(1.0, alpha=0.0)
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(CalibrationError):
+            EwmaPredictor(-1.0)
+
+
+class TestLastValue:
+    def test_tracks_exactly(self):
+        p = LastValuePredictor(5.0)
+        p.update(42.0)
+        assert p.predict() == 42.0
+        p.update(7.0)
+        assert p.predict() == 7.0
+
+
+class TestSlidingWindow:
+    def test_initial_before_any_update(self):
+        assert SlidingWindowPredictor(9.0, window=3).predict() == 9.0
+
+    def test_mean_of_window(self):
+        p = SlidingWindowPredictor(0.0, window=3)
+        for v in (10, 20, 30):
+            p.update(v)
+        assert p.predict() == 20.0
+
+    def test_old_values_fall_out(self):
+        p = SlidingWindowPredictor(0.0, window=2)
+        for v in (100, 10, 20):
+            p.update(v)
+        assert p.predict() == 15.0
+
+    def test_window_validation(self):
+        with pytest.raises(CalibrationError):
+            SlidingWindowPredictor(0.0, window=0)
+
+
+class TestTrend:
+    def test_extrapolates_a_ramp(self):
+        p = TrendPredictor(0.0, alpha=0.8, beta=0.8)
+        for v in (10, 20, 30, 40, 50):
+            p.update(v)
+        # A ramp forecast should overshoot the last value towards 60.
+        assert p.predict() > 50.0
+
+    def test_never_negative(self):
+        p = TrendPredictor(10.0, alpha=1.0, beta=1.0)
+        p.update(100.0)
+        p.update(0.0)
+        assert p.predict() >= 0.0
+
+    def test_beats_ewma_on_linear_drift(self):
+        drift = [100 + 10 * i for i in range(20)]
+        trend = TrendPredictor(100.0, alpha=0.5, beta=0.5)
+        ewma = EwmaPredictor(100.0, alpha=0.5)
+        trend_err = ewma_err = 0.0
+        for v in drift:
+            trend_err += abs(trend.predict() - v)
+            ewma_err += abs(ewma.predict() - v)
+            trend.update(v)
+            ewma.update(v)
+        assert trend_err < ewma_err
+
+
+class TestFactory:
+    def test_named_factories(self):
+        assert isinstance(predictor_factory("ewma")(1.0), EwmaPredictor)
+        assert isinstance(
+            predictor_factory("window", window=8)(1.0),
+            SlidingWindowPredictor,
+        )
+
+    def test_kwargs_forwarded(self):
+        make = predictor_factory("ewma", alpha=0.25)
+        assert make(10.0).alpha == 0.25
+
+    def test_unknown_rejected(self):
+        with pytest.raises(CalibrationError):
+            predictor_factory("oracle")
+
+    def test_monitor_accepts_factory(self):
+        monitor = ExecutionMonitor(
+            predictor_factory=predictor_factory("last")
+        )
+        monitor.update("ME", {"SAD": 123})
+        assert monitor.estimate("ME", "SAD") == 123.0
+
+    def test_monitor_window_strategy(self):
+        monitor = ExecutionMonitor(
+            predictor_factory=predictor_factory("window", window=2)
+        )
+        monitor.update("ME", {"SAD": 10})
+        monitor.update("ME", {"SAD": 30})
+        assert monitor.estimate("ME", "SAD") == 20.0

@@ -1,0 +1,265 @@
+"""Tests for the functional H.264 kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TraceError
+from repro.h264.deblock import alpha_beta, deblock_vertical_edge, filter_edge_bs4
+from repro.h264.intra import predict_dc, predict_hdc, predict_vdc
+from repro.h264.mc import compensate, half_pel_filter, interpolate_block
+from repro.h264.quant import dequantise4x4, quant_step, quantise4x4
+from repro.h264.sad import sad16x16, sad_block
+from repro.h264.satd import satd16x16, satd4x4
+from repro.h264.transform import (
+    forward_dct4x4,
+    hadamard2x2,
+    hadamard4x4,
+    inverse_dct4x4,
+    inverse_hadamard4x4,
+)
+
+blocks4 = st.lists(
+    st.integers(min_value=-255, max_value=255), min_size=16, max_size=16
+).map(lambda v: np.array(v).reshape(4, 4))
+
+
+class TestSad:
+    def test_identical_blocks_zero(self):
+        block = np.arange(256).reshape(16, 16) % 255
+        assert sad16x16(block, block) == 0
+
+    def test_known_value(self):
+        a = np.zeros((16, 16), dtype=np.int64)
+        b = np.full((16, 16), 3, dtype=np.int64)
+        assert sad16x16(a, b) == 3 * 256
+
+    def test_symmetry(self):
+        rng = np.random.RandomState(1)
+        a = rng.randint(0, 256, (16, 16))
+        b = rng.randint(0, 256, (16, 16))
+        assert sad16x16(a, b) == sad16x16(b, a)
+
+    def test_triangle_inequality(self):
+        rng = np.random.RandomState(2)
+        a, b, c = (rng.randint(0, 256, (16, 16)) for _ in range(3))
+        assert sad_block(a, c) <= sad_block(a, b) + sad_block(b, c)
+
+    def test_shape_checked(self):
+        with pytest.raises(TraceError):
+            sad16x16(np.zeros((8, 8)), np.zeros((8, 8)))
+        with pytest.raises(TraceError):
+            sad_block(np.zeros((4, 4)), np.zeros((4, 5)))
+
+
+class TestSatd:
+    def test_identical_blocks_zero(self):
+        block = np.arange(16).reshape(4, 4)
+        assert satd4x4(block, block) == 0
+
+    def test_dc_difference(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 2)
+        # Only the DC coefficient differs: |H (a-b) H| = 16*2, halved.
+        assert satd4x4(a, b) == 16
+
+    def test_satd_positive_for_different_blocks(self):
+        a = np.zeros((4, 4))
+        b = np.eye(4) * 10
+        assert satd4x4(a, b) > 0
+
+    def test_satd16_is_sum_of_4x4(self):
+        rng = np.random.RandomState(3)
+        a = rng.randint(0, 256, (16, 16))
+        b = rng.randint(0, 256, (16, 16))
+        manual = sum(
+            satd4x4(a[y:y+4, x:x+4], b[y:y+4, x:x+4])
+            for y in range(0, 16, 4)
+            for x in range(0, 16, 4)
+        )
+        assert satd16x16(a, b) == manual
+
+    def test_shape_checked(self):
+        with pytest.raises(TraceError):
+            satd4x4(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestTransforms:
+    @settings(max_examples=50, deadline=None)
+    @given(blocks4)
+    def test_dct_roundtrip_lossless(self, block):
+        assert (inverse_dct4x4(forward_dct4x4(block)) == block).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(blocks4)
+    def test_hadamard_roundtrip_lossless(self, block):
+        assert (
+            inverse_hadamard4x4(hadamard4x4(block)) == block
+        ).all()
+
+    def test_dct_linearity(self):
+        a = np.arange(16).reshape(4, 4)
+        b = np.ones((4, 4), dtype=np.int64)
+        assert (
+            forward_dct4x4(a + b)
+            == forward_dct4x4(a) + forward_dct4x4(b)
+        ).all()
+
+    def test_dct_dc_of_constant_block(self):
+        block = np.full((4, 4), 5, dtype=np.int64)
+        coefficients = forward_dct4x4(block)
+        assert coefficients[0, 0] == 5 * 16
+        assert (coefficients.ravel()[1:] == 0).all()
+
+    def test_hadamard2x2_self_structure(self):
+        block = np.array([[1, 2], [3, 4]])
+        twice = hadamard2x2(hadamard2x2(block))
+        assert (twice == 4 * block).all()
+
+    def test_shape_checked(self):
+        with pytest.raises(TraceError):
+            forward_dct4x4(np.zeros((5, 5)))
+        with pytest.raises(TraceError):
+            hadamard2x2(np.zeros((4, 4)))
+
+
+class TestQuant:
+    def test_step_doubles_every_six_qp(self):
+        assert quant_step(12) == pytest.approx(2 * quant_step(6))
+
+    def test_qp_range_checked(self):
+        with pytest.raises(TraceError):
+            quant_step(52)
+
+    def test_quant_roundtrip_error_bounded(self):
+        rng = np.random.RandomState(4)
+        for qp in (0, 16, 28, 40):
+            step = quant_step(qp)
+            coefficients = rng.randint(-500, 500, (4, 4))
+            restored = dequantise4x4(quantise4x4(coefficients, qp), qp)
+            assert np.abs(restored - coefficients).max() <= step
+
+    def test_zero_preserved(self):
+        zeros = np.zeros((4, 4), dtype=np.int64)
+        assert (quantise4x4(zeros, 30) == 0).all()
+
+    def test_high_qp_coarser(self):
+        coefficients = np.full((4, 4), 100, dtype=np.int64)
+        fine = quantise4x4(coefficients, 4)
+        coarse = quantise4x4(coefficients, 44)
+        assert abs(fine[0, 0]) > abs(coarse[0, 0])
+
+
+class TestMotionCompensation:
+    def test_half_pel_constant_signal(self):
+        samples = np.full(20, 100, dtype=np.int64)
+        assert (half_pel_filter(samples) == 100).all()
+
+    def test_half_pel_known_edge(self):
+        # Step edge: the 6-tap filter overshoots a plain average.
+        samples = np.array([0, 0, 0, 100, 100, 100], dtype=np.int64)
+        out = half_pel_filter(samples)
+        assert out.shape == (1,)
+        assert 0 <= out[0] <= 255
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(TraceError):
+            half_pel_filter(np.zeros(5))
+
+    def test_full_pel_copy(self):
+        rng = np.random.RandomState(5)
+        ref = rng.randint(0, 256, (64, 64))
+        block = interpolate_block(ref, 8, 8, 16, False, False)
+        assert (block == ref[8:24, 8:24]).all()
+
+    def test_half_pel_of_constant_plane(self):
+        ref = np.full((64, 64), 77, dtype=np.int64)
+        for hy, hx in ((True, False), (False, True), (True, True)):
+            block = interpolate_block(ref, 8, 8, 16, hy, hx)
+            assert (block == 77).all()
+
+    def test_compensate_full_pel_si_count(self):
+        ref = np.zeros((64, 64), dtype=np.int64)
+        _, count = compensate(ref, 16, 16, (0, 0))
+        assert count == 4  # one MC-4 execution per four rows
+
+    def test_compensate_half_pel_si_count(self):
+        ref = np.zeros((64, 64), dtype=np.int64)
+        _, count = compensate(ref, 16, 16, (1, 0))
+        assert count == 16
+
+    def test_compensate_clamps_at_border(self):
+        ref = np.arange(64 * 64).reshape(64, 64) % 256
+        block, _ = compensate(ref, 0, 0, (-8, -8))
+        assert block.shape == (16, 16)
+
+
+class TestIntra:
+    def test_hdc_repeats_left_column(self):
+        left = np.arange(16)
+        pred = predict_hdc(left)
+        assert (pred[:, 0] == left).all()
+        assert (pred[:, 15] == left).all()
+
+    def test_vdc_repeats_top_row(self):
+        top = np.arange(16)
+        pred = predict_vdc(top)
+        assert (pred[0, :] == top).all()
+        assert (pred[15, :] == top).all()
+
+    def test_no_neighbours_mid_grey(self):
+        assert (predict_hdc(None) == 128).all()
+        assert (predict_vdc(None) == 128).all()
+        assert (predict_dc(None, None) == 128).all()
+
+    def test_dc_averages_neighbours(self):
+        left = np.full(16, 10)
+        top = np.full(16, 30)
+        assert (predict_dc(left, top) == 20).all()
+
+    def test_wrong_neighbour_size_rejected(self):
+        with pytest.raises(TraceError):
+            predict_hdc(np.arange(8))
+
+
+class TestDeblock:
+    def test_alpha_beta_grow_with_qp(self):
+        a0, b0 = alpha_beta(10)
+        a1, b1 = alpha_beta(40)
+        assert a1 > a0 and b1 > b0
+
+    def test_smooth_edge_not_filtered(self):
+        # A hard edge with a big step exceeds alpha: no filtering.
+        line = np.array([10, 10, 10, 10, 250, 250, 250, 250])
+        out, fired = filter_edge_bs4(line, qp=20)
+        assert not fired
+        assert (out == line).all()
+
+    def test_blocky_edge_filtered(self):
+        # Small step within thresholds: the strong filter smooths it.
+        line = np.array([100, 100, 100, 100, 108, 108, 108, 108])
+        out, fired = filter_edge_bs4(line, qp=40)
+        assert fired
+        assert abs(int(out[3]) - int(out[4])) < 8
+
+    def test_flat_line_unchanged_by_filter(self):
+        line = np.full(8, 90)
+        out, fired = filter_edge_bs4(line, qp=40)
+        assert fired  # conditions hold trivially
+        assert (out == 90).all()
+
+    def test_deblock_vertical_edge_counts(self):
+        plane = np.full((16, 16), 100, dtype=np.uint8)
+        plane[:, 8:] = 106
+        fired = deblock_vertical_edge(plane, 8, 0, qp=40)
+        assert fired == 1
+
+    def test_border_edge_rejected(self):
+        plane = np.zeros((16, 16), dtype=np.uint8)
+        with pytest.raises(TraceError):
+            deblock_vertical_edge(plane, 2, 0, qp=30)
+
+    def test_wrong_line_length_rejected(self):
+        with pytest.raises(TraceError):
+            filter_edge_bs4(np.zeros(7), qp=30)

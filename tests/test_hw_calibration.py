@@ -1,0 +1,98 @@
+"""Tests for the hardware cost model (Table 3) and calibration constants."""
+
+import pytest
+
+from repro import CalibrationError, HEFSchedulerCostModel
+from repro.calibration import (
+    AC_COUNT_SWEEP,
+    BITSTREAM_BYTES_AVG,
+    CIF_HEIGHT,
+    CIF_WIDTH,
+    MACROBLOCKS_PER_CIF_FRAME,
+    PAPER_ASF_VS_MOLEN,
+    PAPER_HEF_VS_ASF,
+    PAPER_HEF_VS_MOLEN,
+    RECONFIG_CYCLES_PER_ATOM,
+    RECONFIG_TIME_US,
+    bitstream_bytes_to_cycles,
+    reconfig_cycles,
+)
+from repro.hw import average_atom_characteristics, table3
+
+
+class TestTable3Model:
+    def test_default_model_matches_paper_exactly(self):
+        hef, atom = table3()
+        assert hef.slices == 549
+        assert hef.luts == 915
+        assert hef.ffs == 297
+        assert hef.mult18x18 == 5
+        assert hef.gate_equivalents == 30_769
+        assert hef.clock_delay_ns == pytest.approx(12.596)
+
+    def test_average_atom_row(self):
+        atom = average_atom_characteristics()
+        assert atom.slices == 421
+        assert atom.gate_equivalents == 6_944
+
+    def test_hef_fits_one_ac(self):
+        hef, atom = table3()
+        assert hef.fits_one_ac()
+        assert hef.slice_ratio_to(atom) == pytest.approx(1.30, abs=0.01)
+
+    def test_scaling_with_fsm_states(self):
+        small = HEFSchedulerCostModel(num_states=8).characteristics()
+        large = HEFSchedulerCostModel(num_states=24).characteristics()
+        assert large.slices > small.slices
+        assert large.luts > small.luts
+
+    def test_scaling_with_benefit_width(self):
+        narrow = HEFSchedulerCostModel(benefit_width=12).characteristics()
+        wide = HEFSchedulerCostModel(benefit_width=36).characteristics()
+        assert wide.mult18x18 > narrow.mult18x18
+        assert wide.clock_delay_ns > narrow.clock_delay_ns
+
+    def test_parameter_validation(self):
+        with pytest.raises(CalibrationError):
+            HEFSchedulerCostModel(num_states=1)
+        with pytest.raises(CalibrationError):
+            HEFSchedulerCostModel(benefit_width=0)
+
+
+class TestCalibrationConstants:
+    def test_cif_macroblocks(self):
+        assert MACROBLOCKS_PER_CIF_FRAME == 396
+        assert CIF_WIDTH == 352 and CIF_HEIGHT == 288
+
+    def test_reconfig_cycles_match_874us_at_100mhz(self):
+        assert RECONFIG_CYCLES_PER_ATOM == round(RECONFIG_TIME_US * 100)
+
+    def test_bitstream_conversion(self):
+        # 66 MB at 66 MB/s is one second = 100 M cycles.
+        assert bitstream_bytes_to_cycles(66_000_000) == 100_000_000
+
+    def test_bitstream_conversion_validation(self):
+        with pytest.raises(CalibrationError):
+            bitstream_bytes_to_cycles(-1)
+        with pytest.raises(CalibrationError):
+            bitstream_bytes_to_cycles(100, clock_mhz=0)
+
+    def test_reconfig_cycles_linear(self):
+        assert reconfig_cycles(3) == 3 * RECONFIG_CYCLES_PER_ATOM
+        with pytest.raises(CalibrationError):
+            reconfig_cycles(-1)
+
+    def test_paper_table2_rows_cover_the_sweep(self):
+        assert len(AC_COUNT_SWEEP) == 20
+        assert AC_COUNT_SWEEP[0] == 5 and AC_COUNT_SWEEP[-1] == 24
+        for row in (PAPER_HEF_VS_ASF, PAPER_ASF_VS_MOLEN,
+                    PAPER_HEF_VS_MOLEN):
+            assert len(row) == 20
+
+    def test_paper_headline_numbers(self):
+        assert max(PAPER_HEF_VS_MOLEN) == 2.38
+        avg = sum(PAPER_HEF_VS_MOLEN) / len(PAPER_HEF_VS_MOLEN)
+        assert avg == pytest.approx(1.71, abs=0.015)
+
+    def test_average_bitstream_constant(self):
+        assert BITSTREAM_BYTES_AVG == 60_488

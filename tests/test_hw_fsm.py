@@ -1,0 +1,104 @@
+"""Tests for the cycle-level HEF FSM model."""
+
+import pytest
+
+from repro import HEFScheduler, select_molecules, validate_schedule
+from repro.h264.silibrary import HOT_SPOT_SIS
+from repro.hw import HEFSchedulerFSM
+
+
+EXPECTED_EE = {
+    "DCT": 5544.0,
+    "HT2x2": 396.0,
+    "HT4x4": 792.0,
+    "MC": 2633.0,
+    "IPredHDC": 416.0,
+    "IPredVDC": 416.0,
+}
+
+
+@pytest.fixture
+def ee_problem(h264_library):
+    sis = {name: h264_library.get(name) for name in HOT_SPOT_SIS["EE"]}
+    selection = select_molecules(
+        list(sis.values()), EXPECTED_EE, 20
+    ).hardware_selection()
+    return sis, selection, h264_library.space.zero()
+
+
+class TestBitIdentical:
+    def test_fsm_schedule_equals_software_hef(self, ee_problem):
+        sis, selection, zero = ee_problem
+        software = HEFScheduler().schedule(selection, sis, zero, EXPECTED_EE)
+        fsm = HEFSchedulerFSM()
+        hardware = fsm.schedule(selection, sis, zero, EXPECTED_EE)
+        assert software.atom_sequence() == hardware.atom_sequence()
+        assert [
+            (s.impl.si_name, s.impl.name) for s in software.steps
+        ] == [(s.impl.si_name, s.impl.name) for s in hardware.steps]
+
+    def test_fsm_schedule_valid(self, ee_problem):
+        sis, selection, zero = ee_problem
+        fsm = HEFSchedulerFSM()
+        schedule = fsm.schedule(selection, sis, zero, EXPECTED_EE)
+        validate_schedule(schedule, selection, zero)
+
+    def test_identical_on_me_hot_spot(self, h264_library):
+        sis = {n: h264_library.get(n) for n in HOT_SPOT_SIS["ME"]}
+        expected = {"SAD": 19_800.0, "SATD": 12_177.0}
+        selection = select_molecules(
+            list(sis.values()), expected, 14
+        ).hardware_selection()
+        zero = h264_library.space.zero()
+        a = HEFScheduler().schedule(selection, sis, zero, expected)
+        b = HEFSchedulerFSM().schedule(selection, sis, zero, expected)
+        assert a.atom_sequence() == b.atom_sequence()
+
+
+class TestTiming:
+    def test_timing_recorded(self, ee_problem):
+        sis, selection, zero = ee_problem
+        fsm = HEFSchedulerFSM()
+        fsm.schedule(selection, sis, zero, EXPECTED_EE)
+        timing = fsm.last_timing
+        assert timing is not None
+        assert timing.total_cycles > 0
+        for state in ("START", "EXPAND", "CLEAN", "BENEFIT",
+                      "COMMIT_ATOM", "DONE"):
+            assert state in timing.per_state
+
+    def test_decision_negligible_vs_reconfiguration(self, ee_problem):
+        """The paper's claim: the run-time scheduler does not slow the
+        system down — one full decision costs about a percent of a
+        single atom reconfiguration."""
+        sis, selection, zero = ee_problem
+        fsm = HEFSchedulerFSM()
+        fsm.schedule(selection, sis, zero, EXPECTED_EE)
+        assert fsm.decision_vs_reconfig_ratio() < 0.05
+
+    def test_deeper_pipeline_costs_cycles(self, ee_problem):
+        sis, selection, zero = ee_problem
+        shallow = HEFSchedulerFSM(pipeline_depth=1)
+        shallow.schedule(selection, sis, zero, EXPECTED_EE)
+        deep = HEFSchedulerFSM(pipeline_depth=6)
+        deep.schedule(selection, sis, zero, EXPECTED_EE)
+        assert (
+            deep.last_timing.total_cycles
+            > shallow.last_timing.total_cycles
+        )
+
+    def test_ratio_requires_a_run(self):
+        with pytest.raises(ValueError):
+            HEFSchedulerFSM().decision_vs_reconfig_ratio()
+
+    def test_pipeline_depth_validation(self):
+        with pytest.raises(ValueError):
+            HEFSchedulerFSM(pipeline_depth=0)
+
+    def test_wall_time_at_table3_clock(self, ee_problem):
+        sis, selection, zero = ee_problem
+        fsm = HEFSchedulerFSM()
+        fsm.schedule(selection, sis, zero, EXPECTED_EE)
+        # Hundreds of cycles at ~79 MHz: a handful of microseconds,
+        # vs 874 us for one atom load.
+        assert fsm.last_timing.wall_time_us() < 874.03 / 10

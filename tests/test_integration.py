@@ -1,0 +1,174 @@
+"""End-to-end integration tests across all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ASFScheduler,
+    EncoderConfig,
+    ExecutionMonitor,
+    FSFRScheduler,
+    H264SubsetEncoder,
+    HEFScheduler,
+    MolenSimulator,
+    RisppSimulator,
+    SJFScheduler,
+    SyntheticVideo,
+    generate_workload,
+    simulate_software,
+)
+
+
+@pytest.fixture(scope="module")
+def platform(h264_library, h264_registry):
+    return h264_library, h264_registry
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(num_frames=5, seed=21)
+
+
+@pytest.fixture(scope="module")
+def all_results(platform, workload):
+    library, registry = platform
+    results = {}
+    for cls in (ASFScheduler, FSFRScheduler, SJFScheduler, HEFScheduler):
+        sim = RisppSimulator(
+            library, registry, cls(), num_acs=13,
+            validate_schedules=True,
+        )
+        results[cls.name] = sim.run(workload)
+    results["Molen"] = MolenSimulator(library, registry, 13).run(workload)
+    results["Software"] = simulate_software(library, workload)
+    return results
+
+
+class TestHeadlineClaims:
+    def test_hef_best_scheduler(self, all_results):
+        hef = all_results["HEF"].total_cycles
+        for name in ("ASF", "FSFR", "SJF"):
+            assert hef <= all_results[name].total_cycles * 1.01
+
+    def test_hef_beats_molen(self, all_results):
+        assert (
+            all_results["HEF"].total_cycles
+            < all_results["Molen"].total_cycles
+        )
+
+    def test_everything_beats_software(self, all_results):
+        software = all_results["Software"].total_cycles
+        for name, result in all_results.items():
+            if name != "Software":
+                assert result.total_cycles < software
+
+    def test_all_systems_execute_identical_si_counts(self, all_results):
+        reference = all_results["Software"].si_executions
+        for result in all_results.values():
+            assert result.si_executions == reference
+
+    def test_consistent_frame_count(self, all_results, workload):
+        for result in all_results.values():
+            assert len(result.per_frame_cycles) == workload.num_frames
+
+    def test_per_frame_cycles_sum_to_total(self, all_results):
+        for result in all_results.values():
+            assert sum(result.per_frame_cycles) == result.total_cycles
+
+
+class TestSteadyState:
+    def test_flat_content_reaches_periodic_steady_state(self, platform):
+        """With content variation disabled every frame carries the same
+        counts; once the monitor converged, frame times repeat exactly
+        (the system is deterministic and memoryless beyond the monitor)."""
+        library, registry = platform
+        from repro.workload.model import H264WorkloadModel
+
+        workload = H264WorkloadModel(
+            num_frames=8, seed=1, activity_amplitude=0.0,
+            scene_cut_frame=-1,
+        ).generate()
+        sim = RisppSimulator(library, registry, HEFScheduler(), num_acs=13)
+        result = sim.run(workload)
+        tail = result.per_frame_cycles[4:]
+        # Residual variation comes only from the small random intra-MB
+        # fraction; frame times settle into a narrow band.
+        assert max(tail) - min(tail) < 0.02 * min(tail)
+
+
+class TestEncoderToSimulatorPipeline:
+    @pytest.fixture(scope="class")
+    def encoded(self):
+        video = SyntheticVideo(
+            width=96, height=96, num_frames=4, seed=13, num_objects=2
+        )
+        return H264SubsetEncoder(EncoderConfig()).encode(
+            video.all_frames()
+        )
+
+    def test_full_pipeline(self, platform, encoded):
+        library, registry = platform
+        sim = RisppSimulator(
+            library, registry, HEFScheduler(), num_acs=10,
+            validate_schedules=True,
+        )
+        result = sim.run(encoded.workload)
+        software = simulate_software(library, encoded.workload)
+        assert result.total_cycles < software.total_cycles
+        assert result.si_executions == encoded.workload.totals()
+
+    def test_encoder_and_model_have_same_structure(
+        self, encoded, workload
+    ):
+        """The functional encoder and the statistical model emit
+        interchangeable traces (same hot spots, same SI columns)."""
+        enc_by_hs = {
+            t.hot_spot: t.si_names for t in encoded.workload.traces[:3]
+        }
+        model_by_hs = {
+            t.hot_spot: t.si_names for t in workload.traces[:3]
+        }
+        assert enc_by_hs == model_by_hs
+
+
+class TestMonitorInTheLoop:
+    def test_prediction_error_decreases(self, platform):
+        library, registry = platform
+        workload = generate_workload(num_frames=8, seed=3)
+        monitor = ExecutionMonitor(alpha=0.5, default_estimate=100.0)
+        sim = RisppSimulator(
+            library, registry, HEFScheduler(), num_acs=10,
+            monitor=monitor,
+        )
+        sim.run(workload)
+        stats = monitor.stats("ME", "SAD")
+        assert stats.num_updates == 8
+        # After convergence the relative error is small (activity noise).
+        assert stats.relative_error < 0.5
+
+    def test_capacity_never_exceeded(self, platform):
+        """The fabric never holds more atoms than ACs at any point."""
+        library, registry = platform
+        workload = generate_workload(num_frames=3, seed=4)
+        for num_acs in (5, 9, 16):
+            sim = RisppSimulator(
+                library, registry, HEFScheduler(), num_acs
+            )
+            sim.run(workload)
+            loaded = sum(
+                1 for c in sim.fabric.containers if not c.is_empty
+            )
+            assert loaded <= num_acs
+
+
+class TestDeterminismAcrossRuns:
+    def test_whole_experiment_deterministic(self, platform):
+        library, registry = platform
+        workload = generate_workload(num_frames=3, seed=77)
+        totals = {
+            RisppSimulator(
+                library, registry, HEFScheduler(), num_acs=11
+            ).run(workload).total_cycles
+            for _ in range(3)
+        }
+        assert len(totals) == 1

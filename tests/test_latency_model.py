@@ -1,0 +1,82 @@
+"""Tests for the pipeline latency model (used by toy libraries)."""
+
+import pytest
+
+from repro import InvalidMoleculeError
+from repro.core.latency import AtomRole, PipelineLatencyModel
+
+
+@pytest.fixture
+def model():
+    return PipelineLatencyModel(
+        roles=[
+            AtomRole("A", passes=16, cycles_per_pass=2),
+            AtomRole("B", passes=8, cycles_per_pass=3),
+        ],
+        setup_cycles=4,
+        drain_cycles=2,
+    )
+
+
+class TestAtomRole:
+    def test_stage_cycles(self):
+        role = AtomRole("A", passes=16, cycles_per_pass=2)
+        assert role.stage_cycles(1) == 32
+        assert role.stage_cycles(2) == 16
+        assert role.stage_cycles(3) == 12  # ceil(16/3)=6 passes
+
+    def test_zero_instances_rejected(self):
+        role = AtomRole("A", passes=4, cycles_per_pass=1)
+        with pytest.raises(InvalidMoleculeError):
+            role.stage_cycles(0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidMoleculeError):
+            AtomRole("A", passes=0, cycles_per_pass=1)
+        with pytest.raises(InvalidMoleculeError):
+            AtomRole("A", passes=1, cycles_per_pass=0)
+
+
+class TestPipelineModel:
+    def test_bottleneck_dominates(self, model):
+        # A: 32 cycles, B: 24 cycles -> 4 + 32 + 2 = 38.
+        assert model.latency_of_counts({"A": 1, "B": 1}) == 38
+
+    def test_replication_shifts_bottleneck(self, model):
+        # A with 2 instances: 16; B becomes the bottleneck at 24.
+        assert model.latency_of_counts({"A": 2, "B": 1}) == 30
+
+    def test_more_atoms_never_slower(self, model):
+        base = model.latency_of_counts({"A": 1, "B": 1})
+        for a in (1, 2, 4):
+            for b in (1, 2, 4):
+                assert model.latency_of_counts({"A": a, "B": b}) <= base
+
+    def test_missing_role_rejected(self, model):
+        with pytest.raises(InvalidMoleculeError):
+            model.latency_of_counts({"A": 1})
+
+    def test_latency_of_molecule(self, model, space):
+        molecule = space.molecule({"A": 2, "B": 2})
+        assert model.latency_of(molecule) == model.latency_of_counts(
+            {"A": 2, "B": 2}
+        )
+
+    def test_minimal_counts(self, model):
+        assert model.minimal_counts() == {"A": 1, "B": 1}
+
+    def test_atom_types_in_pipeline_order(self, model):
+        assert model.atom_types == ("A", "B")
+
+    def test_duplicate_role_rejected(self):
+        with pytest.raises(InvalidMoleculeError):
+            PipelineLatencyModel(
+                [
+                    AtomRole("A", 1, 1),
+                    AtomRole("A", 2, 2),
+                ]
+            )
+
+    def test_empty_roles_rejected(self):
+        with pytest.raises(InvalidMoleculeError):
+            PipelineLatencyModel([])

@@ -1,0 +1,140 @@
+"""Property-based tests of the molecule lattice (hypothesis).
+
+Section 4.1 claims specific algebraic structure: (N^n, ∪) and (N^n, ∩)
+are Abelian semi-groups, (N^n, <=) is a complete lattice, and ⊖ yields
+the minimal completion.  These properties are verified on randomly drawn
+vectors.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AtomSpace, Molecule, inf, sup
+
+SPACE = AtomSpace(["A", "B", "C", "D"])
+
+
+def molecules(max_count: int = 6):
+    return st.lists(
+        st.integers(min_value=0, max_value=max_count),
+        min_size=SPACE.size,
+        max_size=SPACE.size,
+    ).map(lambda counts: Molecule(SPACE, counts))
+
+
+@given(molecules(), molecules())
+def test_union_commutative(m, o):
+    assert m | o == o | m
+
+
+@given(molecules(), molecules(), molecules())
+def test_union_associative(m, o, p):
+    assert (m | o) | p == m | (o | p)
+
+
+@given(molecules())
+def test_union_idempotent(m):
+    assert m | m == m
+
+
+@given(molecules(), molecules())
+def test_intersection_commutative(m, o):
+    assert m & o == o & m
+
+
+@given(molecules(), molecules(), molecules())
+def test_intersection_associative(m, o, p):
+    assert (m & o) & p == m & (o & p)
+
+
+@given(molecules())
+def test_intersection_idempotent(m):
+    assert m & m == m
+
+
+@given(molecules(), molecules())
+def test_absorption_laws(m, o):
+    assert m | (m & o) == m
+    assert m & (m | o) == m
+
+
+@given(molecules())
+def test_order_reflexive(m):
+    assert m <= m
+
+
+@given(molecules(), molecules())
+def test_order_antisymmetric(m, o):
+    if m <= o and o <= m:
+        assert m == o
+
+
+@given(molecules(), molecules(), molecules())
+def test_order_transitive(m, o, p):
+    if m <= o and o <= p:
+        assert m <= p
+
+
+@given(molecules(), molecules())
+def test_union_is_least_upper_bound(m, o):
+    join = m | o
+    assert m <= join and o <= join
+    # Minimality: any common upper bound dominates the join.
+    upper = SPACE.molecule(
+        [max(a, b) + 1 for a, b in zip(m.counts, o.counts)]
+    )
+    assert join <= upper
+
+
+@given(molecules(), molecules())
+def test_intersection_is_greatest_lower_bound(m, o):
+    meet = m & o
+    assert meet <= m and meet <= o
+
+
+@given(molecules(), molecules())
+def test_missing_gives_minimal_completion(available, target):
+    delta = available.missing(target)
+    combined = available + delta
+    # Completion suffices...
+    assert target <= combined
+    # ...and is minimal: removing any loaded atom breaks coverage.
+    for i, count in enumerate(delta.counts):
+        if count == 0:
+            continue
+        reduced = list(delta.counts)
+        reduced[i] -= 1
+        assert not target <= (available + Molecule(SPACE, reduced))
+
+
+@given(molecules(), molecules())
+def test_missing_zero_iff_dominated(available, target):
+    assert (available.missing(target).determinant == 0) == (
+        target <= available
+    )
+
+
+@given(st.lists(molecules(), min_size=1, max_size=6))
+def test_sup_inf_bound_every_member(ms):
+    s, i = sup(ms), inf(ms)
+    for m in ms:
+        assert i <= m <= s
+
+
+@given(st.lists(molecules(), min_size=1, max_size=6))
+def test_sup_determinant_at_most_sum(ms):
+    s = sup(ms)
+    assert s.determinant <= sum(m.determinant for m in ms)
+
+
+@given(molecules(), molecules())
+def test_determinant_subadditive_over_union(m, o):
+    assert (m | o).determinant <= m.determinant + o.determinant
+
+
+@given(molecules(), molecules())
+def test_union_intersection_determinant_identity(m, o):
+    # |m ∪ o| + |m ∩ o| == |m| + |o| (holds componentwise for max/min).
+    assert (m | o).determinant + (m & o).determinant == (
+        m.determinant + o.determinant
+    )

@@ -1,0 +1,104 @@
+"""Tests for the online execution-frequency monitor."""
+
+import pytest
+
+from repro import CalibrationError, ExecutionMonitor
+
+
+class TestPrediction:
+    def test_default_estimate_before_any_measurement(self):
+        monitor = ExecutionMonitor(default_estimate=5.0)
+        assert monitor.predict("ME", ["SAD"]) == {"SAD": 5.0}
+
+    def test_profile_seeds_first_prediction(self):
+        monitor = ExecutionMonitor(profile={"ME": {"SAD": 123.0}})
+        assert monitor.predict("ME", ["SAD"])["SAD"] == 123.0
+
+    def test_profile_is_per_hot_spot(self):
+        monitor = ExecutionMonitor(
+            profile={"ME": {"SAD": 123.0}}, default_estimate=1.0
+        )
+        assert monitor.predict("EE", ["SAD"])["SAD"] == 1.0
+
+    def test_alpha_one_tracks_exactly(self):
+        monitor = ExecutionMonitor(alpha=1.0)
+        monitor.update("ME", {"SAD": 500})
+        assert monitor.estimate("ME", "SAD") == 500.0
+
+    def test_exponential_smoothing(self):
+        monitor = ExecutionMonitor(alpha=0.5, default_estimate=0.0)
+        monitor.update("ME", {"SAD": 100})
+        assert monitor.estimate("ME", "SAD") == 50.0
+        monitor.update("ME", {"SAD": 100})
+        assert monitor.estimate("ME", "SAD") == 75.0
+
+    def test_convergence_to_stationary_value(self):
+        monitor = ExecutionMonitor(alpha=0.5, default_estimate=0.0)
+        for _ in range(30):
+            monitor.update("ME", {"SAD": 200})
+        assert abs(monitor.estimate("ME", "SAD") - 200.0) < 1e-3
+
+    def test_adapts_after_scene_cut(self):
+        monitor = ExecutionMonitor(alpha=0.5, default_estimate=0.0)
+        for _ in range(10):
+            monitor.update("ME", {"SAD": 100})
+        for _ in range(10):
+            monitor.update("ME", {"SAD": 300})
+        assert monitor.estimate("ME", "SAD") > 290.0
+
+    def test_hot_spots_tracked_independently(self):
+        monitor = ExecutionMonitor(alpha=1.0)
+        monitor.update("ME", {"SAD": 10})
+        monitor.update("EE", {"SAD": 99})
+        assert monitor.estimate("ME", "SAD") == 10.0
+        assert monitor.estimate("EE", "SAD") == 99.0
+
+
+class TestValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(CalibrationError):
+            ExecutionMonitor(alpha=0.0)
+        with pytest.raises(CalibrationError):
+            ExecutionMonitor(alpha=1.5)
+
+    def test_negative_default_rejected(self):
+        with pytest.raises(CalibrationError):
+            ExecutionMonitor(default_estimate=-1.0)
+
+    def test_negative_measurement_rejected(self):
+        monitor = ExecutionMonitor()
+        with pytest.raises(CalibrationError):
+            monitor.update("ME", {"SAD": -5})
+
+
+class TestStats:
+    def test_error_stats_accumulate(self):
+        monitor = ExecutionMonitor(alpha=1.0, default_estimate=0.0)
+        monitor.update("ME", {"SAD": 100})  # error 100
+        monitor.update("ME", {"SAD": 100})  # error 0
+        stats = monitor.stats("ME", "SAD")
+        assert stats.num_updates == 2
+        assert stats.mean_abs_error == 50.0
+        assert stats.mean_measured == 100.0
+        assert stats.relative_error == 0.5
+
+    def test_stats_zero_before_updates(self):
+        monitor = ExecutionMonitor()
+        stats = monitor.stats("ME", "SAD")
+        assert stats.num_updates == 0
+        assert stats.mean_abs_error == 0.0
+        assert stats.relative_error == 0.0
+
+    def test_known_hot_spots(self):
+        monitor = ExecutionMonitor()
+        monitor.update("ME", {"SAD": 1})
+        monitor.update("LF", {"LF_BS4": 1})
+        assert monitor.known_hot_spots() == ("LF", "ME")
+
+    def test_reset_keeps_profile(self):
+        monitor = ExecutionMonitor(
+            alpha=1.0, profile={"ME": {"SAD": 42.0}}
+        )
+        monitor.update("ME", {"SAD": 999})
+        monitor.reset()
+        assert monitor.estimate("ME", "SAD") == 42.0

@@ -1,0 +1,80 @@
+"""Tests for the branch-and-bound optimal molecule selection."""
+
+import pytest
+
+from repro import SelectionError, select_molecules, select_molecules_optimal
+
+
+def cost(selection, expected):
+    return sum(
+        expected[name] * selection.latency(name) for name in expected
+    )
+
+
+@pytest.fixture
+def sis(toy_library):
+    return toy_library.subset(["SI1", "SI2"])
+
+
+EXPECTED = {"SI1": 1000.0, "SI2": 300.0}
+
+
+class TestOptimal:
+    def test_respects_budget(self, sis):
+        for num_acs in range(0, 12):
+            selection = select_molecules_optimal(sis, EXPECTED, num_acs)
+            assert selection.num_atoms <= num_acs
+
+    def test_never_worse_than_greedy(self, sis):
+        for num_acs in range(0, 12):
+            greedy = select_molecules(sis, EXPECTED, num_acs)
+            optimal = select_molecules_optimal(sis, EXPECTED, num_acs)
+            assert cost(optimal, EXPECTED) <= cost(greedy, EXPECTED) + 1e-9
+
+    def test_zero_budget_software(self, sis):
+        selection = select_molecules_optimal(sis, EXPECTED, 0)
+        assert all(
+            impl.is_software for impl in selection.implementations.values()
+        )
+
+    def test_full_budget_fastest(self, sis):
+        selection = select_molecules_optimal(sis, EXPECTED, 100)
+        assert selection.implementations["SI1"].name == "m3"
+        assert selection.implementations["SI2"].name == "n3"
+
+    def test_monotone_in_budget(self, sis):
+        previous = None
+        for num_acs in range(0, 12):
+            value = cost(
+                select_molecules_optimal(sis, EXPECTED, num_acs), EXPECTED
+            )
+            if previous is not None:
+                assert value <= previous + 1e-9
+            previous = value
+
+    def test_validation(self, sis):
+        with pytest.raises(SelectionError):
+            select_molecules_optimal([], EXPECTED, 4)
+        with pytest.raises(SelectionError):
+            select_molecules_optimal(sis, EXPECTED, -1)
+
+
+class TestGreedyGap:
+    def test_greedy_can_be_suboptimal_on_me(self, h264_library):
+        """At 4 ACs the greedy picks SAD first and cannot afford SATD's
+        4-atom entry molecule; the optimal selection takes SATD.  This
+        documents the known limitation of ratio-greedy selection."""
+        sis = h264_library.subset(["SAD", "SATD"])
+        expected = {"SAD": 19_800.0, "SATD": 12_177.0}
+        greedy = select_molecules(sis, expected, 4)
+        optimal = select_molecules_optimal(sis, expected, 4)
+        assert cost(optimal, expected) < cost(greedy, expected)
+        assert not optimal.implementations["SATD"].is_software
+
+    def test_greedy_matches_optimal_at_moderate_budgets(self, h264_library):
+        sis = h264_library.subset(["SAD", "SATD"])
+        expected = {"SAD": 19_800.0, "SATD": 12_177.0}
+        for num_acs in (6, 8, 12, 20):
+            greedy = select_molecules(sis, expected, num_acs)
+            optimal = select_molecules_optimal(sis, expected, num_acs)
+            assert cost(greedy, expected) <= 1.25 * cost(optimal, expected)

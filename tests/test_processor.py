@@ -1,0 +1,38 @@
+"""Tests for the base-processor cost model."""
+
+import pytest
+
+from repro import BaseProcessor, CalibrationError, MoleculeImpl
+
+
+class TestBaseProcessor:
+    def test_software_pays_trap(self, space):
+        proc = BaseProcessor(trap_overhead=24)
+        sw = MoleculeImpl("SI", "software", space.zero(), 100)
+        assert proc.si_execution_cycles(sw) == 124
+
+    def test_hardware_pays_no_trap(self, space):
+        proc = BaseProcessor(trap_overhead=24)
+        hw = MoleculeImpl("SI", "m", space.molecule({"A": 1}), 40)
+        assert proc.si_execution_cycles(hw) == 40
+
+    def test_effective_latency_raw(self):
+        proc = BaseProcessor(trap_overhead=10)
+        assert proc.effective_latency(100, True) == 110
+        assert proc.effective_latency(100, False) == 100
+
+    def test_iteration_cycles(self):
+        proc = BaseProcessor(trap_overhead=10)
+        cycles = proc.iteration_cycles(
+            si_counts={"X": 3, "Y": 1},
+            latencies={"X": 100, "Y": 50},
+            software={"X": True, "Y": False},
+            overhead=7,
+        )
+        assert cycles == 7 + 3 * 110 + 50
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            BaseProcessor(trap_overhead=-1)
+        with pytest.raises(CalibrationError):
+            BaseProcessor(hot_spot_entry_overhead=-1)

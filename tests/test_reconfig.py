@@ -1,0 +1,110 @@
+"""Tests for the serial reconfiguration port."""
+
+import pytest
+
+from repro import AtomRegistry, AtomType, Fabric, ReconfigPort
+
+
+@pytest.fixture
+def platform():
+    registry = AtomRegistry(
+        [
+            AtomType("A", bitstream_bytes=660),   # 1000 cycles
+            AtomType("B", bitstream_bytes=1320),  # 2000 cycles
+            AtomType("C", bitstream_bytes=660),
+        ]
+    )
+    fabric = Fabric(registry, 4)
+    return registry, fabric, ReconfigPort(fabric)
+
+
+class TestSerialLoading:
+    def test_one_atom_in_flight(self, platform):
+        registry, fabric, port = platform
+        port.replace_queue(["A", "B"], fabric.space.zero(), now=0)
+        assert fabric.in_flight() == "A"
+        assert port.pending_count == 1
+
+    def test_completion_timing(self, platform):
+        registry, fabric, port = platform
+        port.replace_queue(["A", "B"], fabric.space.zero(), now=0)
+        assert port.next_completion() == 1000
+        events = port.advance_to(1000)
+        assert len(events) == 1
+        assert events[0].atom_type == "A"
+        assert events[0].cycle == 1000
+
+    def test_back_to_back_loads(self, platform):
+        registry, fabric, port = platform
+        port.replace_queue(["A", "B"], fabric.space.zero(), now=0)
+        events = port.advance_to(10_000)
+        assert [e.cycle for e in events] == [1000, 3000]
+        assert port.is_idle
+
+    def test_advance_is_incremental(self, platform):
+        registry, fabric, port = platform
+        port.replace_queue(["A", "B", "C"], fabric.space.zero(), now=0)
+        assert len(port.advance_to(2999)) == 1
+        assert len(port.advance_to(4000)) == 2
+
+    def test_availability_follows_completions(self, platform):
+        registry, fabric, port = platform
+        port.replace_queue(["A", "B"], fabric.space.zero(), now=0)
+        port.advance_to(1000)
+        assert fabric.available() == fabric.space.unit("A")
+
+    def test_statistics(self, platform):
+        registry, fabric, port = platform
+        port.replace_queue(["A", "B", "C"], fabric.space.zero(), now=0)
+        port.drain()
+        assert port.loads_started == 3
+        assert port.loads_completed == 3
+
+
+class TestQueueReplacement:
+    def test_pending_dropped_in_flight_completes(self, platform):
+        registry, fabric, port = platform
+        space = fabric.space
+        port.replace_queue(["A", "B", "C"], space.zero(), now=0)
+        # Hot-spot switch at cycle 500: A is in flight, B/C pending.
+        port.replace_queue(["C"], space.unit("C"), now=500)
+        events = port.drain()
+        types = [e.atom_type for e in events]
+        assert types == ["A", "C"]  # B was dropped, A completed anyway
+
+    def test_enqueue_appends(self, platform):
+        registry, fabric, port = platform
+        port.replace_queue(["A"], fabric.space.zero(), now=0)
+        port.enqueue(["B"], now=0)
+        events = port.drain()
+        assert [e.atom_type for e in events] == ["A", "B"]
+
+    def test_idle_port_starts_immediately(self, platform):
+        registry, fabric, port = platform
+        assert port.is_idle
+        port.replace_queue(["B"], fabric.space.zero(), now=100)
+        assert port.next_completion() == 2100
+
+    def test_empty_queue_replace(self, platform):
+        registry, fabric, port = platform
+        port.replace_queue([], fabric.space.zero(), now=0)
+        assert port.is_idle
+        assert port.next_completion() is None
+
+
+class TestEvictionIntegration:
+    def test_port_evicts_via_retained_set(self, platform):
+        registry, _, _ = platform
+        fabric = Fabric(registry, 2)
+        port = ReconfigPort(fabric)
+        space = fabric.space
+        port.replace_queue(["A", "B"], space.molecule({"A": 1, "B": 1}),
+                           now=0)
+        port.drain()
+        # New plan needs two Cs; A and B are stale.
+        port.replace_queue(
+            ["C", "C"], space.molecule({"C": 2}), now=5000
+        )
+        port.drain()
+        assert fabric.occupancy() == {"C": 2}
+        assert fabric.num_evictions == 2

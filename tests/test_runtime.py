@@ -1,0 +1,81 @@
+"""Tests for the Run-Time Manager."""
+
+import pytest
+
+from repro import (
+    ExecutionMonitor,
+    HEFScheduler,
+    RuntimeManager,
+    UnknownSpecialInstructionError,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def manager(toy_library):
+    return RuntimeManager(
+        toy_library,
+        HEFScheduler(),
+        num_acs=8,
+        monitor=ExecutionMonitor(profile={"HS": {"SI1": 500, "SI2": 100}}),
+        validate_schedules=True,
+    )
+
+
+class TestPlanning:
+    def test_plan_produces_valid_schedule(self, manager, space):
+        plan = manager.plan_hot_spot("HS", ["SI1", "SI2"], space.zero())
+        validate_schedule(
+            plan.schedule,
+            plan.selection.hardware_selection(),
+            space.zero(),
+        )
+
+    def test_plan_respects_ac_budget(self, manager, space):
+        plan = manager.plan_hot_spot("HS", ["SI1", "SI2"], space.zero())
+        assert plan.selection.num_atoms <= 8
+
+    def test_plan_uses_monitor_expectations(self, manager, space):
+        plan = manager.plan_hot_spot("HS", ["SI1", "SI2"], space.zero())
+        assert plan.expected == {"SI1": 500, "SI2": 100}
+
+    def test_plan_reuses_available_atoms(self, manager, space):
+        available = space.molecule({"A": 4, "B": 4, "C": 2})
+        plan = manager.plan_hot_spot("HS", ["SI1", "SI2"], available)
+        assert plan.num_scheduled_atoms == 0
+
+    def test_feedback_changes_next_plan(self, manager, space):
+        plan1 = manager.plan_hot_spot("HS", ["SI1", "SI2"], space.zero())
+        manager.finish_hot_spot("HS", {"SI1": 0, "SI2": 100_000})
+        plan2 = manager.plan_hot_spot("HS", ["SI1", "SI2"], space.zero())
+        assert plan2.expected["SI2"] > plan1.expected["SI2"]
+        assert plan2.expected["SI1"] < plan1.expected["SI1"]
+
+    def test_all_software_when_no_budget(self, toy_library, space):
+        manager = RuntimeManager(toy_library, HEFScheduler(), num_acs=0)
+        plan = manager.plan_hot_spot("HS", ["SI1", "SI2"], space.zero())
+        assert len(plan.schedule) == 0
+        assert plan.selection.num_atoms == 0
+
+
+class TestDispatch:
+    def test_dispatch_software_when_cold(self, manager, space):
+        impl = manager.dispatch("SI1", space.zero())
+        assert impl.is_software
+
+    def test_dispatch_fastest_available(self, manager, space):
+        impl = manager.dispatch("SI1", space.molecule({"A": 2, "B": 2}))
+        assert impl.name == "m2"
+
+    def test_dispatch_unknown_si(self, manager, space):
+        with pytest.raises(UnknownSpecialInstructionError):
+            manager.dispatch("NOPE", space.zero())
+
+    def test_latencies_helper(self, manager, space):
+        latencies = manager.latencies(
+            ["SI1", "SI2"], space.molecule({"A": 1, "C": 1})
+        )
+        assert latencies == {"SI1": 400, "SI2": 250}
+
+    def test_repr_mentions_scheduler(self, manager):
+        assert "HEF" in repr(manager)

@@ -1,0 +1,123 @@
+"""Tests for the scheduling-function formalism (eq. 1 and 2)."""
+
+import pytest
+
+from repro import (
+    AtomLoad,
+    InvalidScheduleError,
+    MoleculeImpl,
+    Schedule,
+    validate_schedule,
+)
+from repro.core.schedule import UpgradeStep
+
+
+@pytest.fixture
+def impl(space):
+    return MoleculeImpl("SI1", "m2", space.molecule({"A": 2, "B": 2}), 120)
+
+
+class TestScheduleConstruction:
+    def test_empty_schedule(self, space):
+        schedule = Schedule(space)
+        assert len(schedule) == 0
+        assert schedule.loaded_molecule() == space.zero()
+        assert bool(schedule)  # schedules are always truthy
+
+    def test_append_step_records_loads(self, space, impl):
+        schedule = Schedule(space)
+        schedule.append_step(impl, impl.atoms, latency_before=1000)
+        assert len(schedule) == 4
+        assert schedule.loaded_molecule() == impl.atoms
+
+    def test_append_step_annotates_loads(self, space, impl):
+        schedule = Schedule(space)
+        schedule.append_step(impl, impl.atoms, latency_before=1000)
+        for load in schedule.loads:
+            assert load.si_name == "SI1"
+            assert load.molecule_name == "m2"
+
+    def test_step_improvement(self, space, impl):
+        schedule = Schedule(space)
+        schedule.append_step(impl, impl.atoms, latency_before=1000)
+        step = schedule.steps[0]
+        assert step.improvement == 880
+        assert step.num_loads == 4
+
+    def test_empty_step_rejected(self, space, impl):
+        schedule = Schedule(space)
+        with pytest.raises(InvalidScheduleError):
+            schedule.append_step(impl, space.zero(), latency_before=1000)
+
+    def test_append_completion_unattributed(self, space):
+        schedule = Schedule(space)
+        schedule.append_completion(space.molecule({"C": 2}))
+        assert len(schedule) == 2
+        assert all(l.si_name is None for l in schedule.loads)
+
+    def test_atom_sequence(self, space, impl):
+        schedule = Schedule(space)
+        schedule.append_step(impl, impl.atoms, latency_before=1000)
+        assert schedule.atom_sequence() == ("A", "A", "B", "B")
+
+    def test_availability_after(self, space, impl):
+        schedule = Schedule(space)
+        schedule.append_step(impl, impl.atoms, latency_before=1000)
+        after2 = schedule.availability_after(space.zero(), 2)
+        assert after2 == space.molecule({"A": 2})
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self, space, impl):
+        schedule = Schedule(space)
+        schedule.append_step(impl, impl.atoms, latency_before=1000)
+        validate_schedule(schedule, {"SI1": impl})
+
+    def test_condition2_missing_atoms(self, space, impl):
+        schedule = Schedule(space)  # loads nothing
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(schedule, {"SI1": impl})
+
+    def test_condition2_extra_atoms(self, space, impl):
+        schedule = Schedule(space)
+        schedule.append_step(impl, impl.atoms, latency_before=1000)
+        schedule.append_completion(space.molecule({"C": 1}))
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(schedule, {"SI1": impl})
+
+    def test_initial_availability_reduces_requirement(self, space, impl):
+        initial = space.molecule({"A": 2})
+        schedule = Schedule(space)
+        schedule.append_step(
+            impl, initial.missing(impl.atoms), latency_before=1000
+        )
+        validate_schedule(schedule, {"SI1": impl}, initial)
+
+    def test_step_annotation_consistency_checked(self, space, impl):
+        # Claim m2 is available after loading only part of its atoms.
+        schedule = Schedule(space)
+        schedule._loads.extend(
+            [AtomLoad("A"), AtomLoad("A"), AtomLoad("B"), AtomLoad("B")]
+        )
+        schedule._steps.append(
+            UpgradeStep(impl=impl, first_load=0, last_load=1,
+                        latency_before=1000)
+        )
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(schedule, {"SI1": impl})
+
+    def test_multi_si_shared_atoms(self, space, toy_library):
+        # SI1's m2=(A2,B2) and SI2's n3=(B2,C2): sup = (2,2,2).
+        si1 = toy_library.get("SI1")
+        si2 = toy_library.get("SI2")
+        selection = {"SI1": si1.molecule("m2"), "SI2": si2.molecule("n3")}
+        schedule = Schedule(space)
+        schedule.append_step(
+            selection["SI1"], selection["SI1"].atoms, latency_before=1000
+        )
+        schedule.append_step(
+            selection["SI2"],
+            space.molecule({"C": 2}),  # B atoms shared with SI1
+            latency_before=600,
+        )
+        validate_schedule(schedule, selection)

@@ -1,0 +1,136 @@
+"""Property-based scheduler tests: every strategy must produce a valid
+schedule (conditions (1)+(2)) on randomly generated SI libraries."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AtomSpace,
+    MoleculeImpl,
+    SILibrary,
+    SpecialInstruction,
+    get_scheduler,
+    validate_schedule,
+)
+
+SPACE = AtomSpace(["A", "B", "C", "D"])
+
+
+@st.composite
+def random_si(draw, name):
+    """An SI with 1-4 hardware molecules over a random atom subset."""
+    software = draw(st.integers(min_value=200, max_value=2000))
+    num_molecules = draw(st.integers(min_value=1, max_value=4))
+    molecules = []
+    seen_vectors = set()
+    latency = software
+    for i in range(num_molecules):
+        counts = tuple(
+            draw(st.integers(min_value=0, max_value=3))
+            for _ in range(SPACE.size)
+        )
+        if sum(counts) == 0 or counts in seen_vectors:
+            continue
+        seen_vectors.add(counts)
+        latency = draw(st.integers(min_value=5, max_value=latency - 1))
+        molecules.append(
+            MoleculeImpl(name, f"m{i}", SPACE.molecule(counts), latency)
+        )
+        if latency <= 6:
+            break
+    if not molecules:
+        molecules.append(
+            MoleculeImpl(name, "m0", SPACE.molecule((1, 0, 0, 0)),
+                         software // 2)
+        )
+    return SpecialInstruction(name, SPACE, software, molecules)
+
+
+@st.composite
+def scheduling_problem(draw):
+    num_sis = draw(st.integers(min_value=1, max_value=3))
+    sis = {}
+    selection = {}
+    expected = {}
+    for i in range(num_sis):
+        name = f"SI{i}"
+        si = draw(random_si(name))
+        sis[name] = si
+        # Select any hardware molecule.
+        index = draw(
+            st.integers(min_value=0, max_value=len(si.molecules) - 1)
+        )
+        selection[name] = si.molecules[index]
+        expected[name] = float(draw(st.integers(min_value=0, max_value=5000)))
+    available_counts = tuple(
+        draw(st.integers(min_value=0, max_value=2))
+        for _ in range(SPACE.size)
+    )
+    available = SPACE.molecule(available_counts)
+    return sis, selection, expected, available
+
+
+@settings(max_examples=60, deadline=None)
+@given(scheduling_problem(), st.sampled_from(["FSFR", "ASF", "SJF", "HEF"]))
+def test_paper_schedulers_always_valid(problem, scheduler_name):
+    sis, selection, expected, available = problem
+    schedule = get_scheduler(scheduler_name).schedule(
+        selection, sis, available, expected
+    )
+    validate_schedule(schedule, selection, available)
+
+
+@settings(max_examples=30, deadline=None)
+@given(scheduling_problem())
+def test_lookahead_always_valid(problem):
+    sis, selection, expected, available = problem
+    schedule = get_scheduler("LOOKAHEAD", beam_width=4).schedule(
+        selection, sis, available, expected
+    )
+    validate_schedule(schedule, selection, available)
+
+
+@settings(max_examples=30, deadline=None)
+@given(scheduling_problem(), st.integers(min_value=0, max_value=99))
+def test_random_scheduler_always_valid(problem, seed):
+    sis, selection, expected, available = problem
+    schedule = get_scheduler("RANDOM", seed=seed).schedule(
+        selection, sis, available, expected
+    )
+    validate_schedule(schedule, selection, available)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scheduling_problem())
+def test_schedules_load_each_atom_once(problem):
+    """Condition (2) in multiset form: no atom loaded twice."""
+    sis, selection, expected, available = problem
+    schedule = get_scheduler("HEF").schedule(
+        selection, sis, available, expected
+    )
+    from repro import sup
+
+    target = sup([impl.atoms for impl in selection.values()], SPACE)
+    required = available.missing(target)
+    assert schedule.loaded_molecule() == required
+
+
+@settings(max_examples=40, deadline=None)
+@given(scheduling_problem())
+def test_effective_latency_never_increases(problem):
+    """The best reachable latency per SI is non-increasing along the
+    schedule.  (A single *step* may target a slower molecule — the
+    finalisation commits the selected molecule even when a smaller
+    implicitly-available one is faster, to satisfy condition (2) — but
+    the SI never gets slower by it.)"""
+    sis, selection, expected, available = problem
+    schedule = get_scheduler("HEF").schedule(
+        selection, sis, available, expected
+    )
+    best = {}
+    for step in schedule.steps:
+        si_name = step.impl.si_name
+        effective = min(step.impl.latency, step.latency_before)
+        if si_name in best:
+            assert effective <= best[si_name]
+        best[si_name] = min(best.get(si_name, effective), effective)

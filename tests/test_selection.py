@@ -1,0 +1,134 @@
+"""Tests for the profit-greedy molecule selection."""
+
+import pytest
+
+from repro import SelectionError, select_molecules, sup
+
+
+@pytest.fixture
+def sis(toy_library):
+    return toy_library.subset(["SI1", "SI2"])
+
+
+EXPECTED = {"SI1": 1000.0, "SI2": 300.0}
+
+
+class TestFeasibility:
+    def test_respects_ac_budget(self, sis):
+        for num_acs in range(0, 12):
+            selection = select_molecules(sis, EXPECTED, num_acs)
+            assert selection.num_atoms <= num_acs
+
+    def test_zero_budget_all_software(self, sis):
+        selection = select_molecules(sis, EXPECTED, 0)
+        assert all(
+            impl.is_software
+            for impl in selection.implementations.values()
+        )
+
+    def test_meta_is_sup_of_hardware(self, sis):
+        selection = select_molecules(sis, EXPECTED, 6)
+        hw = selection.hardware_selection()
+        if hw:
+            space = sis[0].space
+            assert selection.meta == sup(
+                [impl.atoms for impl in hw.values()], space
+            )
+
+    def test_negative_budget_rejected(self, sis):
+        with pytest.raises(SelectionError):
+            select_molecules(sis, EXPECTED, -1)
+
+    def test_empty_hot_spot_rejected(self):
+        with pytest.raises(SelectionError):
+            select_molecules([], EXPECTED, 4)
+
+
+class TestGreedyBehaviour:
+    def test_bigger_budget_never_slower(self, sis):
+        previous = None
+        for num_acs in range(0, 12):
+            selection = select_molecules(sis, EXPECTED, num_acs)
+            total = sum(
+                EXPECTED[name] * selection.latency(name)
+                for name in EXPECTED
+            )
+            if previous is not None:
+                assert total <= previous + 1e-9
+            previous = total
+
+    def test_bigger_budget_selects_bigger_molecules(self, sis):
+        small = select_molecules(sis, EXPECTED, 2)
+        large = select_molecules(sis, EXPECTED, 10)
+        assert large.num_atoms >= small.num_atoms
+
+    def test_full_budget_selects_fastest(self, sis):
+        selection = select_molecules(sis, EXPECTED, 100)
+        assert selection.implementations["SI1"].name == "m3"
+        assert selection.implementations["SI2"].name == "n3"
+
+    def test_zero_expectation_gets_no_atoms(self, sis):
+        selection = select_molecules(
+            sis, {"SI1": 1000.0, "SI2": 0.0}, 10
+        )
+        assert selection.implementations["SI2"].is_software
+
+    def test_shared_atoms_are_free(self, sis, space):
+        # SI1's m2 = (A2,B2); SI2's n2 = (B1,C1) shares B with m2, so
+        # once m2 is selected, n2 only costs one container.
+        selection = select_molecules(sis, EXPECTED, 5)
+        hw = selection.hardware_selection()
+        if "SI1" in hw and hw["SI1"].name == "m2" and "SI2" in hw:
+            assert selection.num_atoms <= 5
+
+    def test_important_si_prioritised(self, sis):
+        # Tight budget: the heavily-executed SI gets the atoms.
+        selection = select_molecules(
+            sis, {"SI1": 10_000.0, "SI2": 1.0}, 2
+        )
+        assert not selection.implementations["SI1"].is_software
+
+    def test_expectation_flip_changes_selection(self, sis):
+        a = select_molecules(sis, {"SI1": 10_000.0, "SI2": 1.0}, 2)
+        b = select_molecules(sis, {"SI1": 1.0, "SI2": 10_000.0}, 2)
+        assert (
+            a.implementations["SI1"].name
+            != b.implementations["SI1"].name
+            or a.implementations["SI2"].name
+            != b.implementations["SI2"].name
+        )
+
+    def test_deterministic(self, sis):
+        a = select_molecules(sis, EXPECTED, 7)
+        b = select_molecules(sis, EXPECTED, 7)
+        assert {k: v.name for k, v in a.implementations.items()} == {
+            k: v.name for k, v in b.implementations.items()
+        }
+
+
+class TestH264Selection:
+    def test_me_selection_fits_every_budget(self, h264_library):
+        sis = h264_library.subset(["SAD", "SATD"])
+        expected = {"SAD": 19_800.0, "SATD": 12_177.0}
+        for num_acs in range(5, 25):
+            selection = select_molecules(sis, expected, num_acs)
+            assert selection.num_atoms <= num_acs
+
+    def test_ee_rare_sis_enter_at_big_budgets(self, h264_library):
+        sis = h264_library.subset(
+            ["DCT", "HT2x2", "HT4x4", "MC", "IPredHDC", "IPredVDC"]
+        )
+        expected = {
+            "DCT": 5544.0,
+            "HT2x2": 396.0,
+            "HT4x4": 792.0,
+            "MC": 2633.0,
+            "IPredHDC": 416.0,
+            "IPredVDC": 416.0,
+        }
+        small = select_molecules(sis, expected, 6)
+        large = select_molecules(sis, expected, 24)
+        small_hw = set(small.hardware_selection())
+        large_hw = set(large.hardware_selection())
+        assert small_hw <= large_hw
+        assert len(large_hw) > len(small_hw)

@@ -1,0 +1,185 @@
+"""Unit tests for Special Instructions and the SI library."""
+
+import pytest
+
+from repro import (
+    InvalidMoleculeError,
+    MoleculeImpl,
+    SILibrary,
+    SpecialInstruction,
+    UnknownSpecialInstructionError,
+)
+from tests.conftest import make_second_si, make_toy_si
+
+
+class TestMoleculeImpl:
+    def test_software_flag(self, space):
+        sw = MoleculeImpl("SI", "software", space.zero(), 100)
+        assert sw.is_software
+        hw = MoleculeImpl("SI", "m", space.molecule({"A": 1}), 50)
+        assert not hw.is_software
+
+    def test_determinant(self, space):
+        impl = MoleculeImpl("SI", "m", space.molecule({"A": 2, "B": 1}), 50)
+        assert impl.determinant == 3
+
+    def test_paper_pseudocode_aliases(self, space):
+        impl = MoleculeImpl("SI", "m", space.molecule({"A": 1}), 50)
+        assert impl.get_si() == "SI"
+        assert impl.get_latency() == 50
+
+    def test_nonpositive_latency_rejected(self, space):
+        with pytest.raises(InvalidMoleculeError):
+            MoleculeImpl("SI", "m", space.molecule({"A": 1}), 0)
+
+
+class TestSpecialInstruction:
+    def test_table_counts(self, toy_si):
+        assert toy_si.num_atom_types == 2  # A and B
+        assert toy_si.num_molecules == 4
+
+    def test_molecules_sorted_by_determinant(self, toy_si):
+        determinants = [m.determinant for m in toy_si.molecules]
+        assert determinants == sorted(determinants)
+
+    def test_software_always_available(self, space, toy_si):
+        impl = toy_si.fastest_available(space.zero())
+        assert impl.is_software
+        assert impl.latency == toy_si.software_latency
+
+    def test_fastest_available_picks_best_covered(self, space, toy_si):
+        available = space.molecule({"A": 2, "B": 2})
+        assert toy_si.fastest_available(available).name == "m2"
+
+    def test_fastest_available_full(self, space, toy_si):
+        available = space.molecule({"A": 4, "B": 4, "C": 1})
+        assert toy_si.fastest_available(available).name == "m3"
+
+    def test_nonpareto_not_picked_when_better_available(self, space, toy_si):
+        # m4=(1,3) lat 150 vs m2=(2,2) lat 120: with both covered, m2 wins.
+        available = space.molecule({"A": 2, "B": 3})
+        assert toy_si.fastest_available(available).name == "m2"
+
+    def test_nonpareto_useful_when_only_it_covered(self, space, toy_si):
+        available = space.molecule({"A": 1, "B": 3})
+        assert toy_si.fastest_available(available).name == "m4"
+
+    def test_available_latency(self, space, toy_si):
+        assert toy_si.available_latency(space.zero()) == 1000
+        assert toy_si.available_latency(space.molecule({"A": 1})) == 400
+
+    def test_fastest_property(self, toy_si):
+        assert toy_si.fastest.name == "m3"
+
+    def test_implementations_include_software(self, toy_si):
+        impls = toy_si.implementations
+        assert impls[0].is_software
+        assert len(impls) == 5
+
+    def test_molecule_lookup(self, toy_si):
+        assert toy_si.molecule("m2").latency == 120
+        assert toy_si.molecule("software").is_software
+
+    def test_molecule_lookup_unknown(self, toy_si):
+        with pytest.raises(UnknownSpecialInstructionError):
+            toy_si.molecule("nope")
+
+    def test_duplicate_vector_rejected(self, space):
+        with pytest.raises(InvalidMoleculeError):
+            SpecialInstruction(
+                "SI",
+                space,
+                100,
+                [
+                    MoleculeImpl("SI", "a", space.molecule({"A": 1}), 50),
+                    MoleculeImpl("SI", "b", space.molecule({"A": 1}), 40),
+                ],
+            )
+
+    def test_duplicate_name_rejected(self, space):
+        with pytest.raises(InvalidMoleculeError):
+            SpecialInstruction(
+                "SI",
+                space,
+                100,
+                [
+                    MoleculeImpl("SI", "a", space.molecule({"A": 1}), 50),
+                    MoleculeImpl("SI", "a", space.molecule({"B": 1}), 40),
+                ],
+            )
+
+    def test_hardware_slower_than_software_rejected(self, space):
+        with pytest.raises(InvalidMoleculeError):
+            SpecialInstruction(
+                "SI",
+                space,
+                100,
+                [MoleculeImpl("SI", "a", space.molecule({"A": 1}), 200)],
+            )
+
+    def test_zero_molecule_rejected_as_hardware(self, space):
+        with pytest.raises(InvalidMoleculeError):
+            SpecialInstruction(
+                "SI",
+                space,
+                100,
+                [MoleculeImpl("SI", "a", space.zero(), 50)],
+            )
+
+    def test_wrong_si_name_rejected(self, space):
+        with pytest.raises(InvalidMoleculeError):
+            SpecialInstruction(
+                "SI",
+                space,
+                100,
+                [MoleculeImpl("OTHER", "a", space.molecule({"A": 1}), 50)],
+            )
+
+    def test_no_molecules_rejected(self, space):
+        with pytest.raises(InvalidMoleculeError):
+            SpecialInstruction("SI", space, 100, [])
+
+
+class TestSILibrary:
+    def test_len_and_contains(self, toy_library):
+        assert len(toy_library) == 2
+        assert "SI1" in toy_library
+        assert "nope" not in toy_library
+
+    def test_get_unknown_raises(self, toy_library):
+        with pytest.raises(UnknownSpecialInstructionError):
+            toy_library.get("nope")
+
+    def test_subset_order(self, toy_library):
+        sis = toy_library.subset(["SI2", "SI1"])
+        assert [s.name for s in sis] == ["SI2", "SI1"]
+
+    def test_inventory(self, toy_library):
+        rows = dict(
+            (name, (types, mols))
+            for name, types, mols in toy_library.inventory()
+        )
+        assert rows["SI1"] == (2, 4)
+        assert rows["SI2"] == (2, 3)
+
+    def test_duplicate_si_rejected(self, space):
+        si = make_toy_si(space)
+        with pytest.raises(InvalidMoleculeError):
+            SILibrary(space, [si, make_toy_si(space)])
+
+    def test_empty_library_rejected(self, space):
+        with pytest.raises(InvalidMoleculeError):
+            SILibrary(space, [])
+
+    def test_cross_space_si_rejected(self, space):
+        from repro import AtomSpace, MoleculeImpl, SpecialInstruction
+
+        other = AtomSpace(["X", "Y", "Z"])
+        si_other = SpecialInstruction(
+            "SIX",
+            other,
+            100,
+            [MoleculeImpl("SIX", "m", other.molecule({"X": 1}), 50)],
+        )
+        with pytest.raises(InvalidMoleculeError):
+            SILibrary(space, [si_other])

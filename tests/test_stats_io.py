@@ -1,0 +1,123 @@
+"""Tests for the run-breakdown statistics and workload serialisation."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HEFScheduler,
+    HotSpotTrace,
+    MolenSimulator,
+    RisppSimulator,
+    SimulationError,
+    TraceError,
+    Workload,
+    analyse_run,
+    generate_workload,
+    load_workload,
+    save_workload,
+    simulate_software,
+)
+
+
+@pytest.fixture(scope="module")
+def recorded_run(h264_library, h264_registry, small_workload):
+    sim = RisppSimulator(
+        h264_library, h264_registry, HEFScheduler(), num_acs=10,
+        record_segments=True,
+    )
+    return sim.run(small_workload)
+
+
+class TestBreakdown:
+    def test_requires_segments(self, h264_library, h264_registry,
+                               small_workload):
+        sim = RisppSimulator(
+            h264_library, h264_registry, HEFScheduler(), num_acs=10
+        )
+        result = sim.run(small_workload)
+        with pytest.raises(SimulationError):
+            analyse_run(result, h264_library)
+
+    def test_executions_partition(self, recorded_run, h264_library,
+                                  small_workload):
+        breakdown = analyse_run(recorded_run, h264_library)
+        totals = small_workload.totals()
+        for name, entry in breakdown.per_si.items():
+            assert entry.total_executions == totals[name]
+
+    def test_cycle_accounting_consistent(self, recorded_run, h264_library):
+        breakdown = analyse_run(recorded_run, h264_library)
+        assert (
+            breakdown.si_cycles + breakdown.overhead_cycles
+            == recorded_run.total_cycles
+        )
+
+    def test_port_utilisation_bounded(self, recorded_run, h264_library):
+        breakdown = analyse_run(recorded_run, h264_library)
+        assert 0.0 < breakdown.port_utilisation <= 1.0
+
+    def test_software_fraction_in_range(self, recorded_run, h264_library):
+        breakdown = analyse_run(recorded_run, h264_library)
+        assert 0.0 <= breakdown.software_cycle_fraction < 1.0
+
+    def test_molen_has_more_software_cycles(
+        self, h264_library, h264_registry, small_workload, recorded_run
+    ):
+        """The architectural claim, quantified: a Molen-like system burns
+        a larger share of its SI cycles on the trap path."""
+        molen = MolenSimulator(
+            h264_library, h264_registry, 10, record_segments=True
+        ).run(small_workload)
+        molen_breakdown = analyse_run(molen, h264_library)
+        rispp_breakdown = analyse_run(recorded_run, h264_library)
+        assert (
+            molen_breakdown.software_cycle_fraction
+            > rispp_breakdown.software_cycle_fraction
+        )
+
+    def test_summary_text(self, recorded_run, h264_library):
+        text = analyse_run(recorded_run, h264_library).summary()
+        assert "reconfiguration port busy" in text
+        assert "SAD" in text
+
+
+class TestWorkloadIO:
+    def test_roundtrip(self, tmp_path, small_workload):
+        path = tmp_path / "workload.npz"
+        save_workload(small_workload, path)
+        loaded = load_workload(path)
+        assert loaded.name == small_workload.name
+        assert len(loaded) == len(small_workload)
+        for a, b in zip(small_workload, loaded):
+            assert a.hot_spot == b.hot_spot
+            assert a.si_names == b.si_names
+            assert a.frame_index == b.frame_index
+            assert a.overhead_per_iteration == b.overhead_per_iteration
+            assert (a.counts == b.counts).all()
+
+    def test_replay_after_roundtrip(
+        self, tmp_path, h264_library, small_workload
+    ):
+        path = tmp_path / "workload.npz"
+        save_workload(small_workload, path)
+        loaded = load_workload(path)
+        a = simulate_software(h264_library, small_workload)
+        b = simulate_software(h264_library, loaded)
+        assert a.total_cycles == b.total_cycles
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_workload(tmp_path / "nope.npz")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(TraceError):
+            load_workload(path)
+
+    def test_empty_workload_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_workload(Workload("empty"), path)
+        loaded = load_workload(path)
+        assert loaded.name == "empty"
+        assert len(loaded) == 0

@@ -1,0 +1,103 @@
+"""Tests for the timeline binning and latency step extraction."""
+
+import numpy as np
+import pytest
+
+from repro import LatencyEvent, Segment, SimulationError, bin_executions, latency_steps
+
+
+def seg(t0, t1, executions, names=("X",), frame=0, hot_spot="HS"):
+    return Segment(
+        t0=t0,
+        t1=t1,
+        frame_index=frame,
+        hot_spot=hot_spot,
+        si_names=names,
+        executions=executions,
+        latencies=tuple(10 for _ in names),
+    )
+
+
+class TestBinning:
+    def test_single_segment_single_bin(self):
+        starts, matrix, names = bin_executions(
+            [seg(0, 100, (50,))], window=100
+        )
+        assert names == ["X"]
+        assert matrix[0, 0] == pytest.approx(50.0)
+
+    def test_uniform_distribution_across_bins(self):
+        starts, matrix, names = bin_executions(
+            [seg(0, 200, (100,))], window=100
+        )
+        assert matrix[0].tolist() == pytest.approx([50.0, 50.0])
+
+    def test_partial_overlap(self):
+        # Segment covers [50, 150): half its executions in each bin.
+        starts, matrix, names = bin_executions(
+            [seg(50, 150, (100,))], window=100
+        )
+        assert matrix[0].tolist() == pytest.approx([50.0, 50.0])
+
+    def test_total_preserved(self):
+        segments = [seg(0, 130, (13,)), seg(130, 420, (29,))]
+        _, matrix, _ = bin_executions(segments, window=100)
+        assert matrix.sum() == pytest.approx(42.0)
+
+    def test_multiple_sis(self):
+        segments = [seg(0, 100, (10, 20), names=("X", "Y"))]
+        _, matrix, names = bin_executions(segments, window=100)
+        assert names == ["X", "Y"]
+        assert matrix[1, 0] == pytest.approx(20.0)
+
+    def test_si_filter_and_order(self):
+        segments = [seg(0, 100, (10, 20), names=("X", "Y"))]
+        _, matrix, names = bin_executions(
+            segments, window=100, si_names=["Y"]
+        )
+        assert names == ["Y"]
+        assert matrix.shape[0] == 1
+
+    def test_end_cycle_extends_bins(self):
+        starts, matrix, _ = bin_executions(
+            [seg(0, 100, (10,))], window=100, end_cycle=500
+        )
+        assert len(starts) == 5
+        assert matrix[0, 3] == 0.0
+
+    def test_zero_duration_segment_ignored(self):
+        starts, matrix, _ = bin_executions(
+            [seg(100, 100, (5,)), seg(0, 100, (10,))], window=100
+        )
+        assert matrix.sum() == pytest.approx(10.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(SimulationError):
+            bin_executions([], window=0)
+
+
+class TestLatencySteps:
+    EVENTS = [
+        LatencyEvent(cycle=0, si_name="X", latency=1000),
+        LatencyEvent(cycle=50, si_name="Y", latency=700),
+        LatencyEvent(cycle=100, si_name="X", latency=400),
+        LatencyEvent(cycle=300, si_name="X", latency=40),
+    ]
+
+    def test_filters_by_si(self):
+        cycles, lats = latency_steps(self.EVENTS, "X")
+        assert cycles.tolist() == [0, 100, 300]
+        assert lats.tolist() == [1000, 400, 40]
+
+    def test_end_cycle_appends_final_point(self):
+        cycles, lats = latency_steps(self.EVENTS, "X", end_cycle=1000)
+        assert cycles[-1] == 1000
+        assert lats[-1] == 40
+
+    def test_unknown_si_empty(self):
+        cycles, lats = latency_steps(self.EVENTS, "Z")
+        assert len(cycles) == 0
+
+    def test_monotone_cycles(self):
+        cycles, _ = latency_steps(self.EVENTS, "X", end_cycle=500)
+        assert (np.diff(cycles) >= 0).all()
