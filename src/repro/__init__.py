@@ -37,6 +37,8 @@ from .errors import (
     SelectionError,
     FabricError,
     CapacityError,
+    TransientLoadError,
+    ContainerFaultError,
     SimulationError,
     TraceError,
     CalibrationError,
@@ -87,6 +89,12 @@ from .fabric import (
     MRUEviction,
     get_eviction_policy,
     Fabric,
+    LoadFault,
+    FaultModel,
+    NoFaults,
+    BernoulliLoadFaults,
+    ContainerWearFaults,
+    RetryPolicy,
     ReconfigPort,
 )
 from .isa import BaseProcessor
@@ -143,6 +151,8 @@ __all__ = [
     "SelectionError",
     "FabricError",
     "CapacityError",
+    "TransientLoadError",
+    "ContainerFaultError",
     "SimulationError",
     "TraceError",
     "CalibrationError",
@@ -191,6 +201,12 @@ __all__ = [
     "MRUEviction",
     "get_eviction_policy",
     "Fabric",
+    "LoadFault",
+    "FaultModel",
+    "NoFaults",
+    "BernoulliLoadFaults",
+    "ContainerWearFaults",
+    "RetryPolicy",
     "ReconfigPort",
     # isa
     "BaseProcessor",

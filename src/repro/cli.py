@@ -9,7 +9,15 @@ Usage::
     python -m repro fig4              # schedule example (Figure 4)
     python -m repro fig7              # scheduler sweep (Figure 7)
     python -m repro fig8              # HEF detail (Figure 8)
-    python -m repro all               # everything above
+    python -m repro all               # everything above (paper experiments)
+
+    python -m repro simulate          # one run, fault injection optional
+    python -m repro sweep             # AC sweep, fault injection optional
+
+The ``simulate`` and ``sweep`` commands accept ``--fault-rate``,
+``--fault-seed`` and ``--max-retries`` to exercise the fabric's
+fault-injection and graceful-degradation path; their reports include the
+fault/retry counters.
 
 The environment variable ``REPRO_FRAMES`` scales the workload of the
 sweep-based experiments (default 40; the paper uses 140).
@@ -36,9 +44,143 @@ from .analysis import (
     run_figure8,
 )
 from .analysis.experiments import default_scale
-from .h264.silibrary import build_si_library
+from .core.schedulers import available_schedulers, get_scheduler
+from .fabric.faults import BernoulliLoadFaults, FaultModel, RetryPolicy
+from .h264.silibrary import build_atom_registry, build_si_library
+from .sim.rispp import RisppSimulator
+from .workload.model import generate_workload
 
 __all__ = ["main"]
+
+
+def _probability(text: str) -> float:
+    """argparse type: a float in [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be within [0, 1], got {text}"
+        )
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _ac_count_list(text: str) -> List[int]:
+    """argparse type: comma-separated positive AC counts."""
+    counts = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            value = int(part)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"not an integer AC count: {part!r}"
+            )
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"AC count must be >= 0, got {part}"
+            )
+        counts.append(value)
+    if not counts:
+        raise argparse.ArgumentTypeError("empty AC-count list")
+    return counts
+
+
+def _fault_setup(args: argparse.Namespace):
+    """Fault model + retry policy from the CLI flags (None when perfect)."""
+    fault_model: Optional[FaultModel] = None
+    if args.fault_rate > 0.0:
+        fault_model = BernoulliLoadFaults(
+            args.fault_rate, seed=args.fault_seed
+        )
+    retry_policy = RetryPolicy(max_retries=args.max_retries)
+    return fault_model, retry_policy
+
+
+def _fault_report(result) -> str:
+    return (
+        f"  loads: {result.loads_started} started, "
+        f"{result.loads_completed} completed, "
+        f"{result.loads_failed} failed, {result.loads_retried} retried, "
+        f"{result.loads_abandoned} abandoned\n"
+        f"  dead ACs: {result.dead_containers}   "
+        f"degraded: {result.degraded_cycles:,} cycles "
+        f"({result.degraded_fraction:.1%} of the run)"
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> str:
+    registry = build_atom_registry()
+    library = build_si_library(registry)
+    frames = args.frames if args.frames else default_scale().frames
+    workload = generate_workload(num_frames=frames, seed=2008)
+    fault_model, retry_policy = _fault_setup(args)
+    sim = RisppSimulator(
+        library,
+        registry,
+        get_scheduler(args.scheduler),
+        args.acs,
+        fault_model=fault_model,
+        retry_policy=retry_policy,
+    )
+    result = sim.run(workload)
+    lines = [
+        f"Simulation: {result.summary()}",
+        f"  workload: {frames} frames, fault rate {args.fault_rate}, "
+        f"fault seed {args.fault_seed}, max retries {args.max_retries}",
+        _fault_report(result),
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    registry = build_atom_registry()
+    library = build_si_library(registry)
+    frames = args.frames if args.frames else default_scale().frames
+    workload = generate_workload(num_frames=frames, seed=2008)
+    if args.ac_list is not None:
+        ac_counts = args.ac_list
+    else:
+        ac_counts = list(default_scale().ac_counts)
+    lines = [
+        f"AC sweep ({args.scheduler}, {frames} frames, fault rate "
+        f"{args.fault_rate}, seed {args.fault_seed}, max retries "
+        f"{args.max_retries})",
+        f"{'ACs':>4s} {'Mcycles':>10s} {'failed':>7s} {'retried':>8s} "
+        f"{'abandoned':>10s} {'dead':>5s} {'degraded':>9s}",
+    ]
+    for num_acs in ac_counts:
+        fault_model, retry_policy = _fault_setup(args)
+        sim = RisppSimulator(
+            library,
+            registry,
+            get_scheduler(args.scheduler),
+            num_acs,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
+        )
+        result = sim.run(workload)
+        lines.append(
+            f"{num_acs:>4d} {result.total_mcycles:>10.2f} "
+            f"{result.loads_failed:>7d} {result.loads_retried:>8d} "
+            f"{result.loads_abandoned:>10d} {result.dead_containers:>5d} "
+            f"{result.degraded_fraction:>9.1%}"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_table1(args: argparse.Namespace) -> str:
@@ -97,6 +239,12 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig8": _cmd_fig8,
 }
 
+#: Commands outside the paper-reproduction set; not part of ``all``.
+_EXTRA_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -110,14 +258,50 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=sorted(_COMMANDS) + ["all"],
+        choices=sorted(_COMMANDS) + sorted(_EXTRA_COMMANDS) + ["all"],
         help="which experiments to regenerate",
     )
     parser.add_argument(
         "--acs",
-        type=int,
+        type=_non_negative_int,
         default=10,
-        help="Atom-Container count for fig2/fig8 (default 10)",
+        help="Atom-Container count for fig2/fig8/simulate (default 10)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="HEF",
+        choices=sorted(available_schedulers()),
+        help="atom scheduler for simulate/sweep (default HEF)",
+    )
+    parser.add_argument(
+        "--frames",
+        type=_non_negative_int,
+        default=0,
+        help="workload frames for simulate/sweep (default: REPRO_FRAMES)",
+    )
+    parser.add_argument(
+        "--ac-list",
+        type=_ac_count_list,
+        default=None,
+        help="comma-separated AC counts for sweep (default: paper sweep)",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=_probability,
+        default=0.0,
+        help="transient bitstream-load failure probability (default 0)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=2008,
+        help="seed of the fault schedule (default 2008)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=_non_negative_int,
+        default=3,
+        help="retry budget per failed load (default 3)",
     )
     return parser
 
@@ -136,7 +320,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name in seen:
             continue
         seen.add(name)
-        print(_COMMANDS[name](args))
+        command = _COMMANDS.get(name) or _EXTRA_COMMANDS[name]
+        print(command(args))
         print()
     return 0
 

@@ -91,17 +91,27 @@ class RuntimeManager:
         hot_spot: str,
         si_names: Sequence[str],
         available: Molecule,
+        num_acs: Optional[int] = None,
     ) -> HotSpotPlan:
         """Select molecules and schedule atom loads for a hot-spot entry.
 
         ``available`` is the fabric's current atom content; atoms already
         loaded are reused (both by the selection's tie-break and by the
         scheduler's ``a_0``).
+
+        ``num_acs`` overrides the configured AC budget for this plan —
+        the simulators pass the fabric's *effective* budget
+        (:attr:`~repro.fabric.fabric.Fabric.usable_acs`) so that plans
+        keep fitting after permanent container faults.  The override
+        never exceeds the configured budget.
         """
+        budget = self.num_acs
+        if num_acs is not None:
+            budget = max(0, min(budget, int(num_acs)))
         sis = self.library.subset(si_names)
         expected = self.monitor.predict(hot_spot, si_names)
         selection = select_molecules(
-            sis, expected, self.num_acs, available=available
+            sis, expected, budget, available=available
         )
         hardware = selection.hardware_selection()
         if hardware:

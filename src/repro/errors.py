@@ -17,6 +17,8 @@ __all__ = [
     "SelectionError",
     "FabricError",
     "CapacityError",
+    "TransientLoadError",
+    "ContainerFaultError",
     "SimulationError",
     "TraceError",
     "CalibrationError",
@@ -73,6 +75,28 @@ class CapacityError(FabricError):
     the current hot spot, so hitting this error indicates either a
     scheduler bug (loading atoms outside ``sup(M)``) or an eviction policy
     that refuses to release stale atoms.
+    """
+
+
+class TransientLoadError(FabricError):
+    """A bitstream write failed transiently (CRC/SelectMap error).
+
+    Unlike the fail-fast :class:`FabricError`s this is a *recoverable*
+    condition: the affected container survives and the load may be
+    retried under a :class:`~repro.fabric.faults.RetryPolicy`.  It
+    escapes to the caller only when fault injection is configured with
+    ``on_exhausted="raise"`` or when a manual injection call is misused.
+    """
+
+
+class ContainerFaultError(FabricError):
+    """An Atom Container failed permanently (wear-out / hard fault).
+
+    The container can never be loaded again; the fabric shrinks its
+    usable-AC count and the run-time system re-plans against the reduced
+    budget.  Raised only for *misuse* of the fault API (killing an
+    unknown or already-dead container) — the simulated fault itself is
+    handled gracefully and never propagates.
     """
 
 

@@ -2,8 +2,10 @@
 
 Models the hardware the run-time system drives: the atom-type registry
 (with per-type partial-bitstream sizes), the Atom Containers, the
-eviction policy and the single serial reconfiguration port
-(SelectMap/ICAP in the prototype).
+eviction policy, the single serial reconfiguration port (SelectMap/ICAP
+in the prototype) and the fault models describing how real partial
+reconfiguration misbehaves (transient bitstream errors, permanent
+container wear-out).
 """
 
 from .atom import AtomType, AtomRegistry
@@ -17,6 +19,14 @@ from .eviction import (
     get_eviction_policy,
 )
 from .fabric import Fabric
+from .faults import (
+    LoadFault,
+    FaultModel,
+    NoFaults,
+    BernoulliLoadFaults,
+    ContainerWearFaults,
+    RetryPolicy,
+)
 from .reconfig import ReconfigPort, LoadCompletion
 
 __all__ = [
@@ -31,6 +41,12 @@ __all__ = [
     "MRUEviction",
     "get_eviction_policy",
     "Fabric",
+    "LoadFault",
+    "FaultModel",
+    "NoFaults",
+    "BernoulliLoadFaults",
+    "ContainerWearFaults",
+    "RetryPolicy",
     "ReconfigPort",
     "LoadCompletion",
 ]

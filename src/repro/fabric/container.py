@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
-from ..errors import FabricError
+from ..errors import ContainerFaultError, FabricError, TransientLoadError
 
 __all__ = ["ContainerState", "AtomContainer"]
 
@@ -22,6 +22,8 @@ class ContainerState(enum.Enum):
     EMPTY = "empty"
     LOADING = "loading"
     LOADED = "loaded"
+    #: Permanently dead (hard fault / wear-out); never usable again.
+    FAULTY = "faulty"
 
 
 class AtomContainer:
@@ -56,6 +58,10 @@ class AtomContainer:
     def is_loading(self) -> bool:
         return self.state is ContainerState.LOADING
 
+    @property
+    def is_faulty(self) -> bool:
+        return self.state is ContainerState.FAULTY
+
     def begin_load(self, atom_type: str, now: int) -> None:
         """Start writing ``atom_type`` into this container.
 
@@ -67,6 +73,10 @@ class AtomContainer:
             raise FabricError(
                 f"AC{self.index} is already being reconfigured "
                 f"(with {self.atom_type})"
+            )
+        if self.is_faulty:
+            raise ContainerFaultError(
+                f"AC{self.index} is permanently faulty and cannot be loaded"
             )
         self.state = ContainerState.LOADING
         self.atom_type = atom_type
@@ -83,6 +93,33 @@ class AtomContainer:
         self.state = ContainerState.LOADED
         self.loaded_at = now
         self.last_used = now
+
+    def fail_load(self) -> None:
+        """The write into this container failed transiently.
+
+        The partial bitstream is garbage, so the container reverts to
+        empty (the previous atom was already overwritten when the load
+        began); the region itself stays healthy and re-loadable.
+        """
+        if not self.is_loading:
+            raise TransientLoadError(
+                f"AC{self.index} reported a load failure but was not loading"
+            )
+        self.state = ContainerState.EMPTY
+        self.atom_type = None
+        self.loaded_at = -1
+        self.use_count = 0
+
+    def mark_faulty(self) -> None:
+        """Permanently retire this container (hard fault / wear-out)."""
+        if self.is_faulty:
+            raise ContainerFaultError(
+                f"AC{self.index} is already marked faulty"
+            )
+        self.state = ContainerState.FAULTY
+        self.atom_type = None
+        self.loaded_at = -1
+        self.use_count = 0
 
     def evict(self) -> None:
         """Drop the loaded atom (bookkeeping-only; no port time needed)."""

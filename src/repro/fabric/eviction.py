@@ -37,6 +37,29 @@ class EvictionPolicy(ABC):
     ) -> AtomContainer:
         """Return the container to evict; ``candidates`` is non-empty."""
 
+    def select(
+        self, candidates: Sequence[AtomContainer]
+    ) -> AtomContainer:
+        """Validated entry point used by the fabric.
+
+        Filters out containers that are not actually evictable (dead or
+        not loaded — possible when a fault retired a candidate between
+        enumeration and choice) before delegating to :meth:`choose`.
+        """
+        usable = [c for c in candidates if c.is_loaded]
+        if not usable:
+            raise FabricError(
+                "eviction requested but no loaded, healthy candidate "
+                f"exists among {list(candidates)!r}"
+            )
+        victim = self.choose(usable)
+        if victim not in usable:
+            raise FabricError(
+                f"eviction policy {self.name} chose a non-candidate "
+                f"container {victim!r}"
+            )
+        return victim
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..core.molecule import AtomSpace, Molecule
-from ..errors import CapacityError, FabricError
+from ..errors import CapacityError, ContainerFaultError, FabricError
 from .atom import AtomRegistry
 from .container import AtomContainer, ContainerState
 from .eviction import EvictionPolicy, LRUEviction
@@ -65,6 +65,25 @@ class Fabric:
         """How many loaded atoms were evicted so far (statistics)."""
         return self._evictions
 
+    @property
+    def dead_count(self) -> int:
+        """Number of permanently faulty (unusable) containers."""
+        return sum(1 for c in self.containers if c.is_faulty)
+
+    @property
+    def usable_acs(self) -> int:
+        """The *effective* AC budget: total minus dead containers.
+
+        The Run-Time Manager plans molecule selections against this
+        number, so plans keep fitting as containers die.
+        """
+        return self.num_acs - self.dead_count
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether the fabric lost at least one container to a fault."""
+        return self.dead_count > 0
+
     # -- availability ----------------------------------------------------------
 
     def available(self) -> Molecule:
@@ -105,6 +124,39 @@ class Fabric:
                 )
         return result
 
+    def container_states(self) -> str:
+        """Compact per-container state listing (diagnostics)."""
+        parts = []
+        for c in self.containers:
+            if c.atom_type is not None:
+                parts.append(f"AC{c.index}={c.state.value}({c.atom_type})")
+            else:
+                parts.append(f"AC{c.index}={c.state.value}")
+        return ", ".join(parts) if parts else "<no containers>"
+
+    # -- faults ----------------------------------------------------------------
+
+    def kill_container(self, index: int) -> None:
+        """Permanently retire one container (hard-fault injection).
+
+        A loading or loaded atom in the container is lost.  The fabric's
+        :attr:`usable_acs` budget shrinks accordingly.
+
+        Raises
+        ------
+        ContainerFaultError
+            For an unknown index or an already-dead container.
+        """
+        if not 0 <= index < self.num_acs:
+            raise ContainerFaultError(
+                f"cannot kill AC{index}: fabric has {self.num_acs} "
+                f"containers"
+            )
+        container = self.containers[index]
+        if container.is_loading:
+            container.fail_load()
+        container.mark_faulty()
+
     # -- placement / eviction ----------------------------------------------------
 
     def _pick_victim(self, retained: Molecule) -> Optional[AtomContainer]:
@@ -129,7 +181,7 @@ class Fabric:
         ]
         if not candidates:
             return None
-        return self.eviction_policy.choose(candidates)
+        return self.eviction_policy.select(candidates)
 
     def begin_load(
         self, atom_type: str, now: int, retained: Molecule
@@ -158,9 +210,11 @@ class Fabric:
                 self._evictions += 1
         if target is None:
             raise CapacityError(
-                f"no free or evictable AC for atom {atom_type!r} "
-                f"(occupancy: {self.occupancy()}, retained: "
-                f"{retained.as_dict()})"
+                f"no free or evictable AC for atom {atom_type!r}: "
+                f"{self.usable_acs}/{self.num_acs} ACs usable "
+                f"({self.dead_count} dead), retained meta-molecule "
+                f"{retained.as_dict()}, per-container occupancy: "
+                f"{self.container_states()}"
             )
         target.begin_load(atom_type, now)
         return target
@@ -190,7 +244,9 @@ class Fabric:
     def __repr__(self) -> str:
         loaded = sum(1 for c in self.containers if c.is_loaded)
         loading = sum(1 for c in self.containers if c.is_loading)
-        return (
-            f"Fabric({self.num_acs} ACs: {loaded} loaded, {loading} loading, "
-            f"{self.num_acs - loaded - loading} empty)"
-        )
+        dead = self.dead_count
+        empty = self.num_acs - loaded - loading - dead
+        desc = f"{loaded} loaded, {loading} loading, {empty} empty"
+        if dead:
+            desc += f", {dead} dead"
+        return f"Fabric({self.num_acs} ACs: {desc})"

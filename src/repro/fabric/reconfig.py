@@ -12,6 +12,19 @@ The simulator drives it with :meth:`advance_to`, collecting
 FIFO via :meth:`replace_queue` (the in-flight load always completes —
 aborting a partial bitstream write would leave the container unusable
 anyway).
+
+Fault injection
+---------------
+A :class:`~repro.fabric.faults.FaultModel` is consulted once per load
+completion.  A *transient* failure reverts the container to empty and
+re-enqueues the load under the port's
+:class:`~repro.fabric.faults.RetryPolicy` (exponential backoff expressed
+in reconfiguration cycles, modelled as extra in-flight time of the
+retry).  A *permanent* failure kills the container, shrinking the
+fabric's usable-AC budget.  Loads whose retry budget is exhausted, or
+that no longer fit the degraded fabric, are *abandoned* — the affected
+SIs keep executing via the base-ISA trap path, so an SI is always
+executable no matter what the fabric does.
 """
 
 from __future__ import annotations
@@ -21,8 +34,9 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence
 
 from ..core.molecule import Molecule
-from ..errors import FabricError
+from ..errors import CapacityError, FabricError, SimulationError, TransientLoadError
 from .fabric import Fabric
+from .faults import FaultModel, LoadFault, NoFaults, RetryPolicy
 
 __all__ = ["LoadCompletion", "ReconfigPort"]
 
@@ -37,19 +51,44 @@ class LoadCompletion:
 
 
 class ReconfigPort:
-    """Serial atom loader attached to a fabric."""
+    """Serial atom loader attached to a fabric.
 
-    def __init__(self, fabric: Fabric):
+    Parameters
+    ----------
+    fabric:
+        The Atom-Container array to load into.
+    fault_model:
+        Oracle deciding the fate of each completing load; the perfect
+        fabric (:class:`~repro.fabric.faults.NoFaults`) when omitted.
+    retry_policy:
+        Reaction to transient load failures; sensible defaults apply
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        fault_model: Optional[FaultModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.fabric = fabric
+        self.fault_model = fault_model if fault_model is not None else NoFaults()
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
         self._pending: Deque[str] = deque()
         #: The meta-molecule of atoms the active plan retains (eviction
         #: reference); updated on every :meth:`replace_queue`.
         self._retained: Molecule = fabric.space.zero()
         self._in_flight: Optional[str] = None
         self._in_flight_container: Optional[int] = None
+        self._in_flight_failures: int = 0
         self._busy_until: int = 0
         self._loads_started = 0
         self._loads_completed = 0
+        self._loads_failed = 0
+        self._loads_retried = 0
+        self._loads_abandoned = 0
 
     # -- statistics ------------------------------------------------------------
 
@@ -62,12 +101,36 @@ class ReconfigPort:
         return self._loads_completed
 
     @property
+    def loads_failed(self) -> int:
+        """Load completions the fault model failed (transient or permanent)."""
+        return self._loads_failed
+
+    @property
+    def loads_retried(self) -> int:
+        """Failed loads that were re-attempted under the retry policy."""
+        return self._loads_retried
+
+    @property
+    def loads_abandoned(self) -> int:
+        """Loads given up on (retry budget exhausted or fabric too degraded).
+
+        Every abandoned load is survivable: the affected SI keeps
+        executing through the base-ISA trap path.
+        """
+        return self._loads_abandoned
+
+    @property
     def pending_count(self) -> int:
         return len(self._pending)
 
     @property
     def is_idle(self) -> bool:
         return self._in_flight is None and not self._pending
+
+    @property
+    def is_retrying(self) -> bool:
+        """Whether the current in-flight load is a retry attempt."""
+        return self._in_flight is not None and self._in_flight_failures > 0
 
     # -- queue management --------------------------------------------------------
 
@@ -107,27 +170,86 @@ class ReconfigPort:
 
     # -- time advancement -----------------------------------------------------------
 
-    def _maybe_start(self, now: int) -> None:
-        if self._in_flight is not None or not self._pending:
-            return
-        atom_type = self._pending.popleft()
-        container = self.fabric.begin_load(atom_type, now, self._retained)
+    def _start_load(
+        self, atom_type: str, now: int, delay: int = 0, failures: int = 0
+    ) -> bool:
+        """Begin one load (fresh or retry); False when it must be abandoned.
+
+        A :class:`~repro.errors.CapacityError` on a *degraded* fabric is
+        an expected consequence of dead containers — the load is dropped
+        and the SIs fall back to software.  On a healthy fabric it still
+        indicates a scheduler bug and propagates.
+        """
+        try:
+            container = self.fabric.begin_load(atom_type, now, self._retained)
+        except CapacityError:
+            if not self.fabric.is_degraded:
+                raise
+            self._loads_abandoned += 1
+            return False
         duration = self.fabric.registry.reconfig_cycles(atom_type)
         self._in_flight = atom_type
         self._in_flight_container = container.index
-        self._busy_until = now + duration
+        self._in_flight_failures = failures
+        self._busy_until = now + delay + duration
         self._loads_started += 1
+        return True
+
+    def _maybe_start(self, now: int) -> None:
+        while self._in_flight is None and self._pending:
+            if self._start_load(self._pending.popleft(), now):
+                return
 
     def next_completion(self) -> Optional[int]:
         """Cycle of the next load completion, or None when idle."""
         return self._busy_until if self._in_flight is not None else None
 
+    def _clear_in_flight(self) -> None:
+        self._in_flight = None
+        self._in_flight_container = None
+        self._in_flight_failures = 0
+
+    def _handle_fault(
+        self, fault: LoadFault, container, finish: int
+    ) -> None:
+        """React to a failed load completion at cycle ``finish``."""
+        atom_type = self._in_flight
+        failures = self._in_flight_failures + 1
+        self._loads_failed += 1
+        container.fail_load()
+        if fault is LoadFault.PERMANENT:
+            self.fabric.kill_container(container.index)
+        self._clear_in_flight()
+        if self.retry_policy.allows_retry(failures):
+            # Backoff is modelled as extra in-flight time of the retry:
+            # the port stays "busy" through the gap, keeping completion
+            # times monotone and exactly accounted.
+            if self._start_load(
+                atom_type,
+                finish,
+                delay=self.retry_policy.delay(failures),
+                failures=failures,
+            ):
+                self._loads_retried += 1
+                return
+        else:
+            if self.retry_policy.on_exhausted == "raise":
+                raise TransientLoadError(
+                    f"load of atom {atom_type!r} failed {failures} times "
+                    f"at cycle {finish}; retry budget "
+                    f"({self.retry_policy.max_retries}) exhausted"
+                )
+            self._loads_abandoned += 1
+        self._maybe_start(finish)
+
     def advance_to(self, cycle: int) -> List[LoadCompletion]:
         """Process all completions up to and including ``cycle``.
 
         Completed loads immediately trigger the next pending load (the
-        port never idles while work is queued).  Returns the completion
-        events in time order.
+        port never idles while work is queued).  Returns the successful
+        completion events in time order; failed loads are retried or
+        abandoned per the fault model and retry policy and never appear
+        as events.
         """
         events: List[LoadCompletion] = []
         while self._in_flight is not None and self._busy_until <= cycle:
@@ -138,6 +260,12 @@ class ReconfigPort:
                     f"in-flight bookkeeping mismatch on AC"
                     f"{self._in_flight_container}"
                 )
+            fault = self.fault_model.check_load(
+                self._in_flight, container.index, finish
+            )
+            if fault is not None:
+                self._handle_fault(fault, container, finish)
+                continue
             container.complete_load(finish)
             events.append(
                 LoadCompletion(
@@ -147,15 +275,52 @@ class ReconfigPort:
                 )
             )
             self._loads_completed += 1
-            self._in_flight = None
-            self._in_flight_container = None
+            self._clear_in_flight()
             self._maybe_start(finish)
         return events
 
-    def drain(self) -> List[LoadCompletion]:
-        """Run the port until every queued load completed (test helper)."""
+    def fail_in_flight(self, fault: LoadFault = LoadFault.TRANSIENT) -> None:
+        """Manually inject a failure of the current in-flight load.
+
+        Chaos-testing hook: the load fails *now* with the given fault
+        class, regardless of the configured fault model.
+
+        Raises
+        ------
+        TransientLoadError
+            When no load is in flight.
+        """
+        if self._in_flight is None:
+            raise TransientLoadError(
+                "cannot inject a load failure: the port is idle"
+            )
+        container = self.fabric.containers[self._in_flight_container]
+        self._handle_fault(fault, container, self._busy_until)
+
+    def drain(self, max_steps: int = 100_000) -> List[LoadCompletion]:
+        """Run the port until every queued load completed (test helper).
+
+        ``max_steps`` bounds the number of port steps so that a fault
+        schedule which keeps failing a retryable load cannot spin
+        forever.
+
+        Raises
+        ------
+        SimulationError
+            When the port has not settled after ``max_steps`` steps.
+        """
         events: List[LoadCompletion] = []
+        steps = 0
         while self._in_flight is not None:
+            steps += 1
+            if steps > max_steps:
+                raise SimulationError(
+                    f"reconfiguration port failed to drain within "
+                    f"{max_steps} steps: in-flight {self._in_flight!r} "
+                    f"(attempt {self._in_flight_failures + 1}, busy until "
+                    f"{self._busy_until}), {len(self._pending)} pending "
+                    f"loads {list(self._pending)!r}"
+                )
             events.extend(self.advance_to(self._busy_until))
         return events
 

@@ -34,6 +34,7 @@ from ..errors import SimulationError
 from ..fabric.atom import AtomRegistry
 from ..fabric.eviction import EvictionPolicy
 from ..fabric.fabric import Fabric
+from ..fabric.faults import FaultModel, NoFaults, RetryPolicy
 from ..fabric.reconfig import ReconfigPort
 from ..isa.processor import BaseProcessor
 from ..workload.trace import HotSpotTrace, Workload
@@ -59,6 +60,11 @@ class SystemSimulator(ABC):
         Record per-span execution segments and latency-change events for
         the Figure 2 / Figure 8 style analyses (costs memory; off by
         default).
+    fault_model:
+        Fault injection for the reconfiguration fabric (perfect fabric
+        when omitted); see :mod:`repro.fabric.faults`.
+    retry_policy:
+        How the reconfiguration port reacts to transient load failures.
     """
 
     #: Reported in results as the system column.
@@ -72,6 +78,8 @@ class SystemSimulator(ABC):
         processor: Optional[BaseProcessor] = None,
         record_segments: bool = False,
         eviction_policy: Optional[EvictionPolicy] = None,
+        fault_model: Optional[FaultModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if registry.space != library.space:
             raise SimulationError(
@@ -82,9 +90,20 @@ class SystemSimulator(ABC):
         self.num_acs = int(num_acs)
         self.processor = processor if processor is not None else BaseProcessor()
         self.record_segments = bool(record_segments)
+        self.fault_model = (
+            fault_model if fault_model is not None else NoFaults()
+        )
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
         self.fabric = Fabric(registry, num_acs, eviction_policy=eviction_policy)
-        self.port = ReconfigPort(self.fabric)
+        self.port = ReconfigPort(
+            self.fabric,
+            fault_model=self.fault_model,
+            retry_policy=self.retry_policy,
+        )
         self._sis = {si.name: si for si in library}
+        self._degraded_cycles = 0
 
     # -- hooks for the concrete systems ------------------------------------------
 
@@ -117,9 +136,20 @@ class SystemSimulator(ABC):
     # -- main loop -------------------------------------------------------------------
 
     def reset(self) -> None:
-        """Cold-start the fabric and port (fresh run)."""
+        """Cold-start the fabric, port and fault model (fresh run).
+
+        Containers killed by permanent faults are repaired (a fresh run
+        models a fresh board) and the fault model replays the identical
+        fault schedule, so repeated runs reproduce bit-for-bit.
+        """
         self.fabric.reset()
-        self.port = ReconfigPort(self.fabric)
+        self.fault_model.reset()
+        self.port = ReconfigPort(
+            self.fabric,
+            fault_model=self.fault_model,
+            retry_policy=self.retry_policy,
+        )
+        self._degraded_cycles = 0
 
     def run(self, workload: Workload) -> SimulationResult:
         """Replay ``workload`` and return the accounted result."""
@@ -170,6 +200,11 @@ class SystemSimulator(ABC):
             loads_started=self.port.loads_started,
             loads_completed=self.port.loads_completed,
             evictions=self.fabric.num_evictions,
+            loads_failed=self.port.loads_failed,
+            loads_retried=self.port.loads_retried,
+            loads_abandoned=self.port.loads_abandoned,
+            dead_containers=self.fabric.dead_count,
+            degraded_cycles=self._degraded_cycles,
             segments=segments,
             latency_events=latency_events,
         )
@@ -227,6 +262,12 @@ class SystemSimulator(ABC):
                 k = int(np.searchsorted(cumulative, budget, side="left")) + 1
                 k = min(k, n_iterations - i)
             span = int(cumulative[k - 1])
+            # Degraded operation: the fabric lost containers, or the
+            # port is burning its time budget on a retry.  Summed up so
+            # experiments can quantify the fault-induced slowdown.
+            degraded = self.fabric.is_degraded or self.port.is_retrying
+            if degraded:
+                self._degraded_cycles += span
             if segments is not None:
                 executed = remaining[:k].sum(axis=0)
                 segments.append(
@@ -238,6 +279,7 @@ class SystemSimulator(ABC):
                         si_names=trace.si_names,
                         executions=tuple(int(e) for e in executed),
                         latencies=tuple(int(l) for l in latvec),
+                        degraded=degraded,
                     )
                 )
             now += span

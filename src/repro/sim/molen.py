@@ -53,6 +53,8 @@ class MolenSimulator(SystemSimulator):
         monitor: Optional[ExecutionMonitor] = None,
         record_segments: bool = False,
         eviction_policy=None,
+        fault_model=None,
+        retry_policy=None,
     ):
         super().__init__(
             library,
@@ -61,6 +63,8 @@ class MolenSimulator(SystemSimulator):
             processor=processor,
             record_segments=record_segments,
             eviction_policy=eviction_policy,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
         )
         self.monitor = monitor if monitor is not None else ExecutionMonitor()
 
@@ -81,7 +85,8 @@ class MolenSimulator(SystemSimulator):
         sis = self.library.subset(trace.si_names)
         expected = self.monitor.predict(trace.hot_spot, trace.si_names)
         selection = select_molecules(
-            sis, expected, self.num_acs, available=available
+            # The effective budget shrinks when containers die.
+            sis, expected, self.fabric.usable_acs, available=available
         )
         # Load order: most important SI first, whole molecules back to
         # back.  Atoms already on the fabric are reused.

@@ -29,6 +29,9 @@ class Segment:
     si_names: Tuple[str, ...]
     executions: Tuple[int, ...]
     latencies: Tuple[int, ...]
+    #: The span ran in degraded mode: the fabric had dead containers or
+    #: the reconfiguration port was re-trying a failed load.
+    degraded: bool = False
 
     @property
     def duration(self) -> int:
@@ -74,6 +77,12 @@ class SimulationResult:
     loads_started: int = 0
     loads_completed: int = 0
     evictions: int = 0
+    #: Fault-injection statistics (all zero on a perfect fabric).
+    loads_failed: int = 0
+    loads_retried: int = 0
+    loads_abandoned: int = 0
+    dead_containers: int = 0
+    degraded_cycles: int = 0
     segments: Optional[List[Segment]] = None
     latency_events: Optional[List[LatencyEvent]] = None
 
@@ -81,6 +90,18 @@ class SimulationResult:
     def total_mcycles(self) -> float:
         """Total execution time in millions of cycles (Figure 7's unit)."""
         return self.total_cycles / 1e6
+
+    @property
+    def had_faults(self) -> bool:
+        """Whether any fault was injected during the run."""
+        return bool(self.loads_failed or self.dead_containers)
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Share of the run spent executing in degraded mode."""
+        if not self.total_cycles:
+            return 0.0
+        return min(1.0, self.degraded_cycles / self.total_cycles)
 
     def speedup_over(self, other: "SimulationResult") -> float:
         """``other.total_cycles / self.total_cycles`` — how much faster
@@ -106,11 +127,20 @@ class SimulationResult:
 
     def summary(self) -> str:
         """One-line human-readable result description."""
-        return (
+        text = (
             f"{self.system}/{self.scheduler_name} @ {self.num_acs} ACs: "
             f"{self.total_mcycles:,.1f} Mcycles, "
             f"{self.loads_completed} atom loads, {self.evictions} evictions"
         )
+        if self.had_faults:
+            text += (
+                f", {self.loads_failed} loads failed "
+                f"({self.loads_retried} retried, "
+                f"{self.loads_abandoned} abandoned), "
+                f"{self.dead_containers} dead ACs, "
+                f"{self.degraded_fraction:.1%} degraded"
+            )
+        return text
 
     def __repr__(self) -> str:
         return f"SimulationResult({self.summary()})"

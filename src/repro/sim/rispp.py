@@ -52,6 +52,8 @@ class RisppSimulator(SystemSimulator):
         record_segments: bool = False,
         validate_schedules: bool = False,
         eviction_policy=None,
+        fault_model=None,
+        retry_policy=None,
     ):
         super().__init__(
             library,
@@ -60,6 +62,8 @@ class RisppSimulator(SystemSimulator):
             processor=processor,
             record_segments=record_segments,
             eviction_policy=eviction_policy,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
         )
         self.runtime = RuntimeManager(
             library,
@@ -85,7 +89,12 @@ class RisppSimulator(SystemSimulator):
         self, trace: HotSpotTrace, available: Molecule
     ) -> Tuple[Sequence[str], Molecule, HotSpotPlan]:
         plan = self.runtime.plan_hot_spot(
-            trace.hot_spot, trace.si_names, available
+            trace.hot_spot,
+            trace.si_names,
+            available,
+            # Plan against the *effective* budget: permanently failed
+            # containers must not be counted on.
+            num_acs=self.fabric.usable_acs,
         )
         # Retain what the plan targets *plus* what is currently loaded and
         # still part of the target — eviction only touches true leftovers.

@@ -73,6 +73,11 @@ class RunBreakdown:
         software = sum(b.software_cycles for b in self.per_si.values())
         return software / total
 
+    @property
+    def degraded_fraction(self) -> float:
+        """Share of the run spent in degraded (fault-impacted) mode."""
+        return self.result.degraded_fraction
+
     def summary(self) -> str:
         lines = [
             f"{self.result.system}/{self.result.scheduler_name} @ "
@@ -81,6 +86,16 @@ class RunBreakdown:
             f"  reconfiguration port busy {self.port_utilisation:6.1%} "
             f"of the run ({self.result.loads_completed} loads)",
             f"  SI cycles in software: {self.software_cycle_fraction:6.1%}",
+        ]
+        if self.result.had_faults:
+            lines.append(
+                f"  faults: {self.result.loads_failed} loads failed, "
+                f"{self.result.loads_retried} retried, "
+                f"{self.result.loads_abandoned} abandoned, "
+                f"{self.result.dead_containers} dead ACs, "
+                f"degraded {self.degraded_fraction:6.1%} of the run"
+            )
+        lines += [
             f"  {'SI':<10s}{'execs':>10s}{'sw execs':>10s}{'sw cycles %':>12s}",
         ]
         for name in sorted(self.per_si):

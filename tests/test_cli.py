@@ -41,3 +41,84 @@ class TestExecution:
         assert main(["table1", "table1"]) == 0
         out = capsys.readouterr().out
         assert out.count("Table 1:") == 1
+
+
+def _failed_loads(out: str) -> int:
+    """Parse the failed-load counter out of a simulate report."""
+    for line in out.splitlines():
+        if "failed," in line:
+            return int(line.split("completed,")[1].split("failed")[0])
+    raise AssertionError(f"no fault counters in output:\n{out}")
+
+
+class TestFaultInjectionFlags:
+    def test_fault_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["simulate", "--fault-rate", "0.25", "--fault-seed", "7",
+             "--max-retries", "5"]
+        )
+        assert args.fault_rate == 0.25
+        assert args.fault_seed == 7
+        assert args.max_retries == 5
+
+    def test_simulate_without_faults_reports_zero_counters(self, capsys):
+        assert main(["simulate", "--frames", "1"]) == 0
+        out = capsys.readouterr().out
+        assert _failed_loads(out) == 0
+        assert "dead ACs: 0" in out
+
+    def test_fault_rate_changes_reported_counters(self, capsys):
+        assert main(
+            ["simulate", "--frames", "1", "--fault-rate", "0.5",
+             "--fault-seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert _failed_loads(out) > 0
+        assert "degraded:" in out
+
+    def test_fault_counters_deterministic_under_seed(self, capsys):
+        argv = ["simulate", "--frames", "1", "--fault-rate", "0.5",
+                "--fault-seed", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_max_retries_changes_outcome(self, capsys):
+        base = ["simulate", "--frames", "1", "--fault-rate", "0.5",
+                "--fault-seed", "3"]
+        assert main(base + ["--max-retries", "0"]) == 0
+        without_retries = capsys.readouterr().out
+        assert main(base + ["--max-retries", "8"]) == 0
+        with_retries = capsys.readouterr().out
+        assert "0 retried" in without_retries
+        assert "0 retried" not in with_retries
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["simulate", "--fault-rate", "1.5"],
+            ["simulate", "--fault-rate", "nope"],
+            ["simulate", "--max-retries", "-1"],
+            ["simulate", "--acs", "-2"],
+            ["sweep", "--ac-list", "4,xyz"],
+            ["sweep", "--ac-list", ""],
+        ],
+    )
+    def test_invalid_flag_values_rejected_cleanly(self, argv, capsys):
+        """Bad flag values exit with a usage error, not a traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+
+    def test_sweep_reports_fault_columns(self, capsys):
+        assert main(
+            ["sweep", "--frames", "1", "--ac-list", "4,8",
+             "--fault-rate", "0.5", "--fault-seed", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "failed" in out and "degraded" in out
+        # One row per AC count of --ac-list.
+        rows = [l for l in out.splitlines() if l.strip().startswith(("4", "8"))]
+        assert len(rows) == 2

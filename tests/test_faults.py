@@ -1,0 +1,498 @@
+"""Fault injection & graceful degradation — chaos-style tests.
+
+The invariant under test, end to end: *an SI is always executable*.  No
+matter what the fabric does — transient bitstream failures at any rate,
+permanent Atom-Container death, even the whole fabric dying — every SI
+execution completes via the base-ISA trap path, cycle accounting stays
+exact and monotone, and the simulator never raises.
+"""
+
+from typing import List, Optional
+
+import pytest
+
+from repro import (
+    AtomRegistry,
+    AtomType,
+    BernoulliLoadFaults,
+    CapacityError,
+    ContainerFaultError,
+    ContainerWearFaults,
+    Fabric,
+    FabricError,
+    LoadFault,
+    LRUEviction,
+    MolenSimulator,
+    NoFaults,
+    ReconfigPort,
+    RetryPolicy,
+    RisppSimulator,
+    SimulationError,
+    TransientLoadError,
+    get_scheduler,
+)
+from repro.fabric.faults import FaultModel
+
+
+class ScriptedFaults(FaultModel):
+    """Fail the i-th load completion with the i-th scripted verdict."""
+
+    name = "scripted"
+
+    def __init__(self, verdicts: List[Optional[LoadFault]]):
+        self.verdicts = list(verdicts)
+        self._i = 0
+
+    def check_load(self, atom_type, container_index, cycle):
+        verdict = (
+            self.verdicts[self._i] if self._i < len(self.verdicts) else None
+        )
+        self._i += 1
+        return verdict
+
+    def reset(self):
+        self._i = 0
+
+
+@pytest.fixture
+def platform():
+    registry = AtomRegistry(
+        [
+            AtomType("A", bitstream_bytes=660),   # 1000 cycles
+            AtomType("B", bitstream_bytes=1320),  # 2000 cycles
+            AtomType("C", bitstream_bytes=660),
+        ]
+    )
+    fabric = Fabric(registry, 4)
+    return registry, fabric
+
+
+# ---------------------------------------------------------------------------
+# Fault models and retry policy
+# ---------------------------------------------------------------------------
+
+
+class TestFaultModels:
+    def test_no_faults_never_fails(self):
+        model = NoFaults()
+        assert all(
+            model.check_load("A", i, i * 100) is None for i in range(50)
+        )
+
+    def test_bernoulli_rate_validated(self):
+        with pytest.raises(FabricError):
+            BernoulliLoadFaults(-0.1)
+        with pytest.raises(FabricError):
+            BernoulliLoadFaults(1.5)
+
+    def test_bernoulli_extremes(self):
+        always = BernoulliLoadFaults(1.0, seed=1)
+        never = BernoulliLoadFaults(0.0, seed=1)
+        for i in range(20):
+            assert always.check_load("A", 0, i) is LoadFault.TRANSIENT
+            assert never.check_load("A", 0, i) is None
+
+    def test_bernoulli_deterministic_and_resettable(self):
+        model = BernoulliLoadFaults(0.4, seed=99)
+        first = [model.check_load("A", 0, i) for i in range(100)]
+        model.reset()
+        second = [model.check_load("A", 0, i) for i in range(100)]
+        assert first == second
+        assert any(v is LoadFault.TRANSIENT for v in first)
+        assert any(v is None for v in first)
+
+    def test_wear_kills_after_lifetime(self):
+        model = ContainerWearFaults(2)
+        assert model.check_load("A", 3, 0) is None
+        assert model.check_load("B", 3, 10) is None
+        assert model.check_load("C", 3, 20) is LoadFault.PERMANENT
+        assert model.wear_of(3) == 3
+        # Other containers age independently.
+        assert model.check_load("A", 0, 30) is None
+        model.reset()
+        assert model.check_load("A", 3, 40) is None
+
+    def test_wear_lifetime_validated(self):
+        with pytest.raises(FabricError):
+            ContainerWearFaults(-1)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(FabricError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(FabricError):
+            RetryPolicy(backoff_cycles=-5)
+        with pytest.raises(FabricError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(FabricError):
+            RetryPolicy(on_exhausted="explode")
+
+    def test_retry_policy_exponential_backoff(self):
+        policy = RetryPolicy(max_retries=3, backoff_cycles=100,
+                             backoff_factor=2.0)
+        assert [policy.delay(k) for k in (1, 2, 3)] == [100, 200, 400]
+        assert policy.allows_retry(3)
+        assert not policy.allows_retry(4)
+
+
+# ---------------------------------------------------------------------------
+# Port-level fault handling
+# ---------------------------------------------------------------------------
+
+
+class TestPortFaultHandling:
+    def test_transient_failure_retried_with_backoff(self, platform):
+        registry, fabric = platform
+        port = ReconfigPort(
+            fabric,
+            fault_model=ScriptedFaults([LoadFault.TRANSIENT]),
+            retry_policy=RetryPolicy(max_retries=1, backoff_cycles=50),
+        )
+        port.replace_queue(["A"], fabric.space.zero(), now=0)
+        # First attempt fails at 1000; the retry occupies the port for
+        # backoff (50) + reload (1000) and completes at 2050.
+        events = port.advance_to(3000)
+        assert [e.cycle for e in events] == [2050]
+        assert port.loads_failed == 1
+        assert port.loads_retried == 1
+        assert port.loads_started == 2
+        assert port.loads_completed == 1
+        assert fabric.loaded_count("A") == 1
+
+    def test_retry_budget_exhausted_abandons_load(self, platform):
+        registry, fabric = platform
+        port = ReconfigPort(
+            fabric,
+            fault_model=ScriptedFaults(
+                [LoadFault.TRANSIENT, LoadFault.TRANSIENT]
+            ),
+            retry_policy=RetryPolicy(max_retries=1),
+        )
+        port.replace_queue(["A", "B"], fabric.space.zero(), now=0)
+        events = port.drain()
+        # A was abandoned after two failures; B loaded normally.
+        assert [e.atom_type for e in events] == ["B"]
+        assert port.loads_abandoned == 1
+        assert fabric.loaded_count("A") == 0
+        assert fabric.loaded_count("B") == 1
+
+    def test_on_exhausted_raise_fails_fast(self, platform):
+        registry, fabric = platform
+        port = ReconfigPort(
+            fabric,
+            fault_model=ScriptedFaults([LoadFault.TRANSIENT]),
+            retry_policy=RetryPolicy(max_retries=0, on_exhausted="raise"),
+        )
+        port.replace_queue(["A"], fabric.space.zero(), now=0)
+        with pytest.raises(TransientLoadError, match="retry budget"):
+            port.advance_to(10_000)
+
+    def test_permanent_fault_kills_container(self, platform):
+        registry, fabric = platform
+        port = ReconfigPort(
+            fabric,
+            fault_model=ScriptedFaults([LoadFault.PERMANENT]),
+            retry_policy=RetryPolicy(max_retries=1),
+        )
+        port.replace_queue(["A"], fabric.space.zero(), now=0)
+        events = port.drain()
+        assert fabric.dead_count == 1
+        assert fabric.usable_acs == 3
+        # The retry landed on a healthy container.
+        assert [e.atom_type for e in events] == ["A"]
+        assert fabric.loaded_count("A") == 1
+
+    def test_whole_fabric_dies_gracefully(self, platform):
+        registry, _ = platform
+        fabric = Fabric(registry, 2)
+        port = ReconfigPort(
+            fabric,
+            fault_model=ContainerWearFaults(0),
+            retry_policy=RetryPolicy(max_retries=5),
+        )
+        port.replace_queue(["A", "B", "C"], fabric.space.zero(), now=0)
+        events = port.drain()
+        assert events == []
+        assert fabric.dead_count == 2
+        assert fabric.usable_acs == 0
+        assert port.loads_abandoned >= 1
+        assert port.is_idle
+
+    def test_drain_guard_raises_on_endless_retries(self, platform):
+        registry, fabric = platform
+        port = ReconfigPort(
+            fabric,
+            fault_model=BernoulliLoadFaults(1.0, seed=0),
+            retry_policy=RetryPolicy(max_retries=10**9),
+        )
+        port.replace_queue(["A", "B"], fabric.space.zero(), now=0)
+        with pytest.raises(SimulationError) as excinfo:
+            port.drain(max_steps=100)
+        message = str(excinfo.value)
+        assert "'A'" in message and "pending" in message
+
+    def test_manual_fault_injection(self, platform):
+        registry, fabric = platform
+        port = ReconfigPort(fabric, retry_policy=RetryPolicy(max_retries=0))
+        with pytest.raises(TransientLoadError, match="idle"):
+            port.fail_in_flight()
+        port.replace_queue(["A"], fabric.space.zero(), now=0)
+        port.fail_in_flight(LoadFault.PERMANENT)
+        assert fabric.dead_count == 1
+        assert port.loads_failed == 1
+
+    def test_no_fault_path_unchanged(self, platform):
+        """NoFaults must be indistinguishable from the seed behaviour."""
+        registry, fabric = platform
+        port = ReconfigPort(fabric, fault_model=NoFaults(),
+                            retry_policy=RetryPolicy())
+        port.replace_queue(["A", "B"], fabric.space.zero(), now=0)
+        events = port.advance_to(10_000)
+        assert [e.cycle for e in events] == [1000, 3000]
+        assert port.loads_failed == 0
+        assert port.loads_retried == 0
+        assert port.loads_abandoned == 0
+
+
+# ---------------------------------------------------------------------------
+# Fabric-level fault API
+# ---------------------------------------------------------------------------
+
+
+class TestFabricFaults:
+    def test_kill_container_shrinks_budget(self, platform):
+        registry, fabric = platform
+        fabric.kill_container(1)
+        assert fabric.dead_count == 1
+        assert fabric.usable_acs == 3
+        assert fabric.is_degraded
+        assert "1 dead" in repr(fabric)
+
+    def test_kill_container_misuse(self, platform):
+        registry, fabric = platform
+        with pytest.raises(ContainerFaultError):
+            fabric.kill_container(99)
+        fabric.kill_container(0)
+        with pytest.raises(ContainerFaultError):
+            fabric.kill_container(0)
+
+    def test_dead_container_never_loaded(self, platform):
+        registry, fabric = platform
+        fabric.kill_container(0)
+        retained = fabric.space.molecule({"A": 3})
+        used = {
+            fabric.begin_load("A", now=0, retained=retained).index
+            for _ in range(3)
+        }
+        assert 0 not in used
+        with pytest.raises(ContainerFaultError):
+            fabric.containers[0].begin_load("A", 0)
+
+    def test_fail_load_requires_loading(self, platform):
+        registry, fabric = platform
+        with pytest.raises(TransientLoadError):
+            fabric.containers[0].fail_load()
+
+    def test_reset_repairs_dead_containers(self, platform):
+        registry, fabric = platform
+        fabric.kill_container(2)
+        fabric.reset()
+        assert fabric.dead_count == 0
+        assert fabric.usable_acs == 4
+
+    def test_capacity_error_is_diagnosable(self, platform):
+        registry, _ = platform
+        fabric = Fabric(registry, 1)
+        retained = fabric.space.molecule({"A": 1})
+        container = fabric.begin_load("A", now=0, retained=retained)
+        container.complete_load(100)
+        with pytest.raises(CapacityError) as excinfo:
+            fabric.begin_load("B", now=200, retained=retained)
+        message = str(excinfo.value)
+        assert "'B'" in message                 # the atom that did not fit
+        assert "{'A': 1}" in message            # the retained meta-molecule
+        assert "AC0=loaded(A)" in message       # per-container occupancy
+        assert "1/1 ACs usable" in message
+
+    def test_eviction_select_filters_unusable_candidates(self, platform):
+        registry, fabric = platform
+        container = fabric.begin_load(
+            "A", now=0, retained=fabric.space.zero()
+        )
+        container.complete_load(100)
+        policy = LRUEviction()
+        empty = fabric.containers[1]
+        assert policy.select([empty, container]) is container
+        with pytest.raises(FabricError, match="no loaded"):
+            policy.select([empty])
+
+
+# ---------------------------------------------------------------------------
+# End-to-end chaos invariants (the benchmark H.264 platform)
+# ---------------------------------------------------------------------------
+
+
+FAULT_RATES = (0.0, 0.1, 0.5, 1.0)
+
+
+def _sim(h264_library, h264_registry, num_acs=10, **kwargs):
+    return RisppSimulator(
+        h264_library, h264_registry, get_scheduler("HEF"), num_acs, **kwargs
+    )
+
+
+class TestChaosInvariants:
+    @pytest.fixture(scope="class")
+    def baseline(self, h264_library, h264_registry, small_workload):
+        return _sim(h264_library, h264_registry).run(small_workload)
+
+    @pytest.mark.parametrize("rate", FAULT_RATES)
+    def test_every_si_executes_under_any_fault_rate(
+        self, h264_library, h264_registry, small_workload, baseline, rate
+    ):
+        sim = _sim(
+            h264_library,
+            h264_registry,
+            fault_model=BernoulliLoadFaults(rate, seed=42),
+        )
+        result = sim.run(small_workload)
+        # Every SI execution completed (software trap fallback).
+        assert result.si_executions == baseline.si_executions
+        # Cycle accounting stays exact and monotone.
+        assert result.total_cycles >= baseline.total_cycles
+        assert all(c > 0 for c in result.per_frame_cycles)
+        assert sum(result.hot_spot_cycles.values()) == sum(
+            result.per_frame_cycles
+        )
+        if rate == 0.0:
+            assert result.loads_failed == 0
+            assert result.degraded_cycles == 0
+        else:
+            assert result.loads_failed > 0
+            assert result.degraded_cycles > 0
+            assert 0.0 < result.degraded_fraction <= 1.0
+
+    def test_disabled_faults_are_bit_for_bit_free(
+        self, h264_library, h264_registry, small_workload, baseline
+    ):
+        """fault_rate=0 must reproduce the fault-free run exactly."""
+        for model in (None, NoFaults(), BernoulliLoadFaults(0.0, seed=7)):
+            result = _sim(
+                h264_library,
+                h264_registry,
+                fault_model=model,
+                retry_policy=RetryPolicy(),
+            ).run(small_workload)
+            assert result.total_cycles == baseline.total_cycles
+            assert result.per_frame_cycles == baseline.per_frame_cycles
+            assert result.hot_spot_cycles == baseline.hot_spot_cycles
+            assert result.loads_completed == baseline.loads_completed
+            assert result.evictions == baseline.evictions
+
+    def test_total_load_failure_equals_pure_software_system(
+        self, h264_library, h264_registry, small_workload
+    ):
+        """100% load failure degrades exactly to the 0-AC system."""
+        allfail = _sim(
+            h264_library,
+            h264_registry,
+            fault_model=BernoulliLoadFaults(1.0, seed=3),
+        ).run(small_workload)
+        no_hardware = _sim(h264_library, h264_registry, num_acs=0).run(
+            small_workload
+        )
+        assert allfail.loads_completed == 0
+        assert allfail.total_cycles == no_hardware.total_cycles
+
+    def test_all_containers_dead_still_completes(
+        self, h264_library, h264_registry, small_workload
+    ):
+        sim = _sim(
+            h264_library, h264_registry, fault_model=ContainerWearFaults(0)
+        )
+        result = sim.run(small_workload)
+        assert result.dead_containers == sim.num_acs
+        assert result.loads_completed == 0
+        no_hardware = _sim(h264_library, h264_registry, num_acs=0).run(
+            small_workload
+        )
+        assert result.total_cycles == no_hardware.total_cycles
+
+    def test_partial_wear_degrades_between_extremes(
+        self, h264_library, h264_registry, small_workload, baseline
+    ):
+        result = _sim(
+            h264_library, h264_registry, fault_model=ContainerWearFaults(3)
+        ).run(small_workload)
+        no_hardware = _sim(h264_library, h264_registry, num_acs=0).run(
+            small_workload
+        )
+        assert 0 < result.dead_containers <= 10
+        assert (
+            baseline.total_cycles
+            <= result.total_cycles
+            <= no_hardware.total_cycles
+        )
+        assert result.si_executions == baseline.si_executions
+
+    def test_fault_schedule_is_deterministic_under_seed(
+        self, h264_library, h264_registry, small_workload
+    ):
+        sim = _sim(
+            h264_library,
+            h264_registry,
+            fault_model=BernoulliLoadFaults(0.3, seed=5),
+        )
+        first = sim.run(small_workload)
+        second = sim.run(small_workload)  # reset() replays the schedule
+        fresh = _sim(
+            h264_library,
+            h264_registry,
+            fault_model=BernoulliLoadFaults(0.3, seed=5),
+        ).run(small_workload)
+        for other in (second, fresh):
+            assert other.total_cycles == first.total_cycles
+            assert other.loads_failed == first.loads_failed
+            assert other.loads_retried == first.loads_retried
+            assert other.degraded_cycles == first.degraded_cycles
+
+    def test_molen_baseline_survives_faults_too(
+        self, h264_library, h264_registry, small_workload
+    ):
+        molen = MolenSimulator(
+            h264_library,
+            h264_registry,
+            10,
+            fault_model=BernoulliLoadFaults(0.5, seed=9),
+        )
+        result = molen.run(small_workload)
+        clean = MolenSimulator(h264_library, h264_registry, 10).run(
+            small_workload
+        )
+        assert result.si_executions == clean.si_executions
+        assert result.loads_failed > 0
+
+    def test_degraded_segments_match_degraded_cycles(
+        self, h264_library, h264_registry, small_workload
+    ):
+        result = _sim(
+            h264_library,
+            h264_registry,
+            fault_model=BernoulliLoadFaults(0.4, seed=11),
+            record_segments=True,
+        ).run(small_workload)
+        recorded = sum(
+            s.duration for s in result.segments if s.degraded
+        )
+        assert recorded == result.degraded_cycles > 0
+
+    def test_fault_counters_reported_in_summary(
+        self, h264_library, h264_registry, small_workload
+    ):
+        result = _sim(
+            h264_library,
+            h264_registry,
+            fault_model=BernoulliLoadFaults(0.5, seed=1),
+        ).run(small_workload)
+        text = result.summary()
+        assert "loads failed" in text
+        assert "degraded" in text

@@ -1,0 +1,120 @@
+"""Every scheduler must produce condition-(1)+(2)-valid schedules.
+
+``RuntimeManager(validate_schedules=True)`` re-checks each schedule
+against :func:`repro.core.schedule.validate_schedule` before returning
+it.  These tests run every registered scheduler across the benchmark
+H.264 SI library — from cold fabric and from partial availability — and
+verify that a deliberately corrupted schedule is rejected.
+"""
+
+import pytest
+
+from repro import (
+    HOT_SPOT_ORDER,
+    HOT_SPOT_SIS,
+    InvalidScheduleError,
+    RisppSimulator,
+    RuntimeManager,
+    Schedule,
+    available_schedulers,
+    get_scheduler,
+    validate_schedule,
+)
+
+ALL_SCHEDULERS = available_schedulers()
+
+
+class TestAllSchedulersValidate:
+    @pytest.mark.parametrize("name", ALL_SCHEDULERS)
+    @pytest.mark.parametrize("hot_spot", HOT_SPOT_ORDER)
+    def test_plans_validate_from_cold_fabric(
+        self, h264_library, h264_registry, name, hot_spot
+    ):
+        manager = RuntimeManager(
+            h264_library, get_scheduler(name), num_acs=10,
+            validate_schedules=True,
+        )
+        plan = manager.plan_hot_spot(
+            hot_spot,
+            HOT_SPOT_SIS[hot_spot],
+            h264_library.space.zero(),
+        )
+        assert plan.hot_spot == hot_spot
+
+    @pytest.mark.parametrize("name", ALL_SCHEDULERS)
+    def test_plans_validate_from_partial_availability(
+        self, h264_library, h264_registry, name
+    ):
+        """Re-planning on a warm fabric (a_0 != 0) must also validate."""
+        manager = RuntimeManager(
+            h264_library, get_scheduler(name), num_acs=8,
+            validate_schedules=True,
+        )
+        space = h264_library.space
+        # Leftovers from a previous hot spot: a few loaded atoms.
+        available = space.molecule({space.names[0]: 2, space.names[1]: 1})
+        for hot_spot in HOT_SPOT_ORDER:
+            manager.plan_hot_spot(
+                hot_spot, HOT_SPOT_SIS[hot_spot], available
+            )
+
+    @pytest.mark.parametrize("name", ALL_SCHEDULERS)
+    def test_full_simulation_with_validation(
+        self, h264_library, h264_registry, small_workload, name
+    ):
+        """A whole workload replay with validation on never raises."""
+        sim = RisppSimulator(
+            h264_library,
+            h264_registry,
+            get_scheduler(name),
+            num_acs=10,
+            validate_schedules=True,
+        )
+        result = sim.run(small_workload)
+        assert result.total_cycles > 0
+
+
+class TestCorruptedScheduleRejected:
+    @pytest.fixture
+    def plan(self, h264_library):
+        manager = RuntimeManager(
+            h264_library, get_scheduler("HEF"), num_acs=10
+        )
+        plan = manager.plan_hot_spot(
+            "EE", HOT_SPOT_SIS["EE"], h264_library.space.zero()
+        )
+        assert len(plan.schedule) > 1
+        return plan
+
+    def test_dropped_load_raises(self, h264_library, plan):
+        corrupted = Schedule(
+            h264_library.space, plan.schedule.loads[:-1], ()
+        )
+        with pytest.raises(InvalidScheduleError, match="condition"):
+            validate_schedule(
+                corrupted,
+                plan.selection.hardware_selection(),
+                h264_library.space.zero(),
+            )
+
+    def test_duplicated_load_raises(self, h264_library, plan):
+        loads = list(plan.schedule.loads)
+        corrupted = Schedule(h264_library.space, loads + [loads[0]], ())
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(
+                corrupted,
+                plan.selection.hardware_selection(),
+                h264_library.space.zero(),
+            )
+
+    def test_wrong_initial_availability_raises(self, h264_library, plan):
+        # Claim an atom the schedule actually loads was already present:
+        # the load multiset then exceeds what condition (2) requires.
+        space = h264_library.space
+        scheduled_atom = plan.schedule.loads[0].atom_type
+        with pytest.raises(InvalidScheduleError):
+            validate_schedule(
+                plan.schedule,
+                plan.selection.hardware_selection(),
+                space.molecule({scheduled_atom: 1}),
+            )
