@@ -4,6 +4,12 @@ The Figure 7 sweep is by far the heaviest experiment and feeds both the
 Figure 7 benchmark and the Table 2 benchmark; it is computed once per
 session and cached here.  Set ``REPRO_FRAMES=140`` for the full paper
 scale (default: 40 frames — the speedup shapes are stable there).
+
+The sweep executes through the parallel sweep engine
+(:mod:`repro.exec`): set ``REPRO_JOBS=N`` to fan the cells out over N
+worker processes and ``REPRO_CACHE_DIR=...`` to reuse cell results
+across benchmark sessions (parallel and cached runs are bit-identical
+to serial fresh ones).
 """
 
 import pytest

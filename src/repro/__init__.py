@@ -139,6 +139,22 @@ from .sim import (
 
 __version__ = "1.0.0"
 
+# Imported after __version__: the cache's code-version salt reads it
+# from this (then partially initialised) package.
+from .exec import (
+    WorkloadSpec,
+    SweepCell,
+    SweepSpec,
+    CODE_VERSION_SALT,
+    ResultCache,
+    CellOutcome,
+    SweepReport,
+    execute_cell,
+    run_sweep,
+    default_jobs,
+    cache_from_env,
+)
+
 __all__ = [
     "calibration",
     # errors
@@ -243,4 +259,16 @@ __all__ = [
     "SIBreakdown",
     "RunBreakdown",
     "analyse_run",
+    # exec (sweep engine)
+    "WorkloadSpec",
+    "SweepCell",
+    "SweepSpec",
+    "CODE_VERSION_SALT",
+    "ResultCache",
+    "CellOutcome",
+    "SweepReport",
+    "execute_cell",
+    "run_sweep",
+    "default_jobs",
+    "cache_from_env",
 ]

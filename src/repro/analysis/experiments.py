@@ -1,11 +1,14 @@
 """Drivers that regenerate every experiment of the paper's Section 5.
 
-Each ``run_*`` function builds the calibrated H.264 platform, replays the
-appropriate workload through the system simulators and returns a
-structured result.  The full paper scale (140 CIF frames, AC counts 5-24,
-four schedulers plus the Molen baseline) takes a few minutes; pass an
-:class:`ExperimentScale` with fewer frames for quick runs — the speedup
-*shapes* stabilise after a handful of frames.
+Each ``run_*`` function describes its simulations as
+:class:`~repro.exec.spec.SweepCell` grids and executes them through the
+sweep engine (:mod:`repro.exec`) — so every figure/table benefits from
+process-pool parallelism (``jobs``) and the content-addressed result
+cache (``cache``): a repeated or resumed reproduction skips completed
+cells entirely.  The full paper scale (140 CIF frames, AC counts 5-24,
+four schedulers plus the Molen baseline) takes a few minutes cold; pass
+an :class:`ExperimentScale` with fewer frames for quick runs — the
+speedup *shapes* stabilise after a handful of frames.
 """
 
 from __future__ import annotations
@@ -21,11 +24,10 @@ from ..core.molecule import Molecule
 from ..core.schedulers import PAPER_SCHEDULERS, get_scheduler
 from ..core.si import MoleculeImpl, SILibrary, SpecialInstruction
 from ..core.schedule import Schedule
+from ..exec.cache import ResultCache
+from ..exec.runner import SweepReport, cache_from_env, default_jobs, run_sweep
+from ..exec.spec import SweepCell, SweepSpec, WorkloadSpec
 from ..fabric.atom import AtomRegistry
-from ..h264.silibrary import build_atom_registry, build_si_library
-from ..sim.molen import MolenSimulator
-from ..sim.rispp import RisppSimulator
-from ..sim.software import simulate_software
 from ..sim.results import SimulationResult
 from ..sim.timeline import bin_executions, latency_steps
 from ..workload.model import H264WorkloadModel
@@ -41,6 +43,7 @@ __all__ = [
     "run_figure4",
     "run_figure7",
     "run_figure8",
+    "fig7_spec",
     "speedup_table",
     "default_scale",
 ]
@@ -74,10 +77,15 @@ def default_scale() -> ExperimentScale:
     return ExperimentScale(frames=frames)
 
 
-def _platform():
-    registry = build_atom_registry()
-    library = build_si_library(registry)
-    return registry, library
+def _engine_args(
+    jobs: Optional[int], cache: Optional[ResultCache]
+) -> Tuple[int, Optional[ResultCache]]:
+    """Resolve runner arguments, falling back to the environment
+    (``REPRO_JOBS`` / ``REPRO_CACHE_DIR``)."""
+    return (
+        default_jobs() if jobs is None else max(1, int(jobs)),
+        cache if cache is not None else cache_from_env(),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -108,28 +116,34 @@ def run_figure2(
     num_acs: int = 10,
     scale: Optional[ExperimentScale] = None,
     window: int = 100_000,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Fig2Result:
     """Reproduce Figure 2: the ME hot spot with vs without SI upgrades.
 
     The with-upgrade system is RISPP with the HEF scheduler; the
     without-upgrade system is the Molen-like baseline (software until the
     full molecule is loaded).  Both start from a cold fabric and process
-    the same motion-estimation workload.
+    the same motion-estimation workload (the first two ME invocations).
     """
     scale = scale or ExperimentScale(frames=2)
-    registry, library = _platform()
-    full = scale.workload()
-    me_only = Workload(
-        name=f"{full.name}-ME",
-        traces=[t for t in full.traces if t.hot_spot == "ME"][:2],
+    me_only = WorkloadSpec(
+        frames=scale.frames, seed=scale.seed,
+        hot_spots=("ME",), max_traces=2,
     )
-    rispp = RisppSimulator(
-        library, registry, get_scheduler("HEF"), num_acs,
-        record_segments=True,
-    )
-    with_result = rispp.run(me_only)
-    molen = MolenSimulator(library, registry, num_acs, record_segments=True)
-    without_result = molen.run(me_only)
+    cells = [
+        SweepCell(
+            system="RISPP", scheduler="HEF", num_acs=num_acs,
+            workload=me_only, record_segments=True,
+        ),
+        SweepCell(
+            system="Molen", num_acs=num_acs,
+            workload=me_only, record_segments=True,
+        ),
+    ]
+    jobs, cache = _engine_args(jobs, cache)
+    report = run_sweep(cells, jobs=jobs, cache=cache)
+    with_result, without_result = report.results
 
     end = max(with_result.total_cycles, without_result.total_cycles)
     _, with_m, names_w = bin_executions(
@@ -251,9 +265,28 @@ class Fig7Result:
     mcycles: Dict[str, List[float]]   #: scheduler name -> series
     software_mcycles: float
     frames: int
+    #: Execution accounting of the underlying sweep (per-cell wall
+    #: times and cache hits), when the run came through the engine.
+    report: Optional[SweepReport] = None
 
     def series(self, name: str) -> List[float]:
         return self.mcycles[name]
+
+
+def fig7_spec(
+    scale: Optional[ExperimentScale] = None,
+    schedulers: Sequence[str] = PAPER_SCHEDULERS,
+    include_molen: bool = True,
+) -> SweepSpec:
+    """The declarative grid behind Figure 7 / Table 2."""
+    scale = scale or default_scale()
+    return SweepSpec(
+        schedulers=tuple(schedulers),
+        ac_counts=tuple(scale.ac_counts),
+        workload=WorkloadSpec(frames=scale.frames, seed=scale.seed),
+        include_molen=include_molen,
+        include_software=True,
+    )
 
 
 def run_figure7(
@@ -261,35 +294,46 @@ def run_figure7(
     schedulers: Sequence[str] = PAPER_SCHEDULERS,
     include_molen: bool = True,
     progress: bool = False,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Fig7Result:
     """Reproduce Figure 7 (and the data underlying Table 2).
 
     Runs every scheduler (plus the Molen baseline) at every AC count of
-    the sweep on the same workload.
+    the sweep on the same workload, fanned out over ``jobs`` worker
+    processes and served from ``cache`` where possible (both default to
+    the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` environment).
     """
     scale = scale or default_scale()
-    registry, library = _platform()
-    workload = scale.workload()
+    spec = fig7_spec(scale, schedulers, include_molen)
+    callback = None
+    if progress:  # pragma: no cover - cosmetic
+        def callback(outcome):
+            origin = "cache" if outcome.cache_hit else (
+                f"{outcome.wall_time:.2f}s"
+            )
+            print(f"  {outcome.label}: "
+                  f"{outcome.result.total_mcycles:,.1f} Mcycles ({origin})")
+    jobs, cache = _engine_args(jobs, cache)
+    report = run_sweep(spec, jobs=jobs, cache=cache, progress=callback)
     mcycles: Dict[str, List[float]] = {name: [] for name in schedulers}
     if include_molen:
         mcycles["Molen"] = []
-    for num_acs in scale.ac_counts:
-        for name in schedulers:
-            sim = RisppSimulator(
-                library, registry, get_scheduler(name), num_acs
-            )
-            mcycles[name].append(sim.run(workload).total_mcycles)
-        if include_molen:
-            sim = MolenSimulator(library, registry, num_acs)
-            mcycles["Molen"].append(sim.run(workload).total_mcycles)
-        if progress:  # pragma: no cover - cosmetic
-            print(f"  swept {num_acs} ACs")
-    software = simulate_software(library, workload)
+    software_mcycles = 0.0
+    for outcome in report:
+        cell, result = outcome.cell, outcome.result
+        if cell.system == "Software":
+            software_mcycles = result.total_mcycles
+        elif cell.system == "Molen":
+            mcycles["Molen"].append(result.total_mcycles)
+        else:
+            mcycles[cell.scheduler].append(result.total_mcycles)
     return Fig7Result(
         ac_counts=tuple(scale.ac_counts),
         mcycles=mcycles,
-        software_mcycles=software.total_mcycles,
+        software_mcycles=software_mcycles,
         frames=scale.frames,
+        report=report,
     )
 
 
@@ -326,16 +370,19 @@ def run_figure8(
     frame_index: int = 1,
     scale: Optional[ExperimentScale] = None,
     window: int = 100_000,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Fig8Result:
     """Reproduce Figure 8: HEF detail for ME and EE of one frame."""
     scale = scale or ExperimentScale(frames=max(2, frame_index + 1))
-    registry, library = _platform()
-    workload = scale.workload()
-    sim = RisppSimulator(
-        library, registry, get_scheduler("HEF"), num_acs,
+    cell = SweepCell(
+        system="RISPP", scheduler="HEF", num_acs=num_acs,
+        workload=WorkloadSpec(frames=scale.frames, seed=scale.seed),
         record_segments=True,
     )
-    result = sim.run(workload)
+    jobs, cache = _engine_args(jobs, cache)
+    report = run_sweep([cell], jobs=jobs, cache=cache)
+    result = report.results[0]
     spans = [
         s
         for s in result.segments

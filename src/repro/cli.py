@@ -19,8 +19,16 @@ The ``simulate`` and ``sweep`` commands accept ``--fault-rate``,
 fault-injection and graceful-degradation path; their reports include the
 fault/retry counters.
 
-The environment variable ``REPRO_FRAMES`` scales the workload of the
-sweep-based experiments (default 40; the paper uses 140).
+Sweep-shaped commands (``sweep``, ``fig2``, ``fig7``, ``fig8``,
+``table2``) execute through the parallel sweep engine: ``--jobs N`` fans
+the cells out over a process pool, ``--cache-dir PATH`` enables the
+content-addressed result cache (repeated or resumed invocations skip
+completed cells), and ``--no-cache`` forces fresh simulation.  Parallel
+results are bit-identical to serial ones.
+
+The environment variables ``REPRO_FRAMES`` (workload frames; default 40,
+paper 140), ``REPRO_JOBS`` (default worker count) and ``REPRO_CACHE_DIR``
+(default cache location) configure the same knobs.
 """
 
 from __future__ import annotations
@@ -45,6 +53,14 @@ from .analysis import (
 )
 from .analysis.experiments import default_scale
 from .core.schedulers import available_schedulers, get_scheduler
+from .exec import (
+    ResultCache,
+    SweepSpec,
+    WorkloadSpec,
+    cache_from_env,
+    default_jobs,
+    run_sweep,
+)
 from .fabric.faults import BernoulliLoadFaults, FaultModel, RetryPolicy
 from .h264.silibrary import build_atom_registry, build_si_library
 from .sim.rispp import RisppSimulator
@@ -100,6 +116,18 @@ def _ac_count_list(text: str) -> List[int]:
     return counts
 
 
+def _engine_setup(args: argparse.Namespace):
+    """(jobs, cache) from the CLI flags, falling back to the env."""
+    jobs = args.jobs if args.jobs else default_jobs()
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+    else:
+        cache = cache_from_env()
+    return jobs, cache
+
+
 def _fault_setup(args: argparse.Namespace):
     """Fault model + retry policy from the CLI flags (None when perfect)."""
     fault_model: Optional[FaultModel] = None
@@ -148,38 +176,41 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
-    registry = build_atom_registry()
-    library = build_si_library(registry)
     frames = args.frames if args.frames else default_scale().frames
-    workload = generate_workload(num_frames=frames, seed=2008)
     if args.ac_list is not None:
         ac_counts = args.ac_list
     else:
         ac_counts = list(default_scale().ac_counts)
+    spec = SweepSpec(
+        schedulers=(args.scheduler,),
+        ac_counts=tuple(ac_counts),
+        workload=WorkloadSpec(frames=frames, seed=2008),
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+        max_retries=args.max_retries,
+    )
+    jobs, cache = _engine_setup(args)
+    report = run_sweep(spec, jobs=jobs, cache=cache)
     lines = [
         f"AC sweep ({args.scheduler}, {frames} frames, fault rate "
         f"{args.fault_rate}, seed {args.fault_seed}, max retries "
-        f"{args.max_retries})",
+        f"{args.max_retries}, {jobs} jobs, cache "
+        f"{'off' if cache is None else cache.root})",
         f"{'ACs':>4s} {'Mcycles':>10s} {'failed':>7s} {'retried':>8s} "
-        f"{'abandoned':>10s} {'dead':>5s} {'degraded':>9s}",
+        f"{'abandoned':>10s} {'dead':>5s} {'degraded':>9s} "
+        f"{'wall':>9s} {'source':>6s}",
     ]
-    for num_acs in ac_counts:
-        fault_model, retry_policy = _fault_setup(args)
-        sim = RisppSimulator(
-            library,
-            registry,
-            get_scheduler(args.scheduler),
-            num_acs,
-            fault_model=fault_model,
-            retry_policy=retry_policy,
-        )
-        result = sim.run(workload)
+    for outcome in report:
+        result = outcome.result
         lines.append(
-            f"{num_acs:>4d} {result.total_mcycles:>10.2f} "
+            f"{outcome.cell.num_acs:>4d} {result.total_mcycles:>10.2f} "
             f"{result.loads_failed:>7d} {result.loads_retried:>8d} "
             f"{result.loads_abandoned:>10d} {result.dead_containers:>5d} "
-            f"{result.degraded_fraction:>9.1%}"
+            f"{result.degraded_fraction:>9.1%} "
+            f"{outcome.wall_time * 1e3:>7.1f}ms "
+            f"{'cache' if outcome.cache_hit else 'run':>6s}"
         )
+    lines.append(report.summary())
     return "\n".join(lines)
 
 
@@ -192,7 +223,10 @@ def _cmd_table3(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig2(args: argparse.Namespace) -> str:
-    return format_figure2(run_figure2(num_acs=args.acs))
+    jobs, cache = _engine_setup(args)
+    return format_figure2(
+        run_figure2(num_acs=args.acs, jobs=jobs, cache=cache)
+    )
 
 
 def _cmd_fig4(args: argparse.Namespace) -> str:
@@ -200,7 +234,10 @@ def _cmd_fig4(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig8(args: argparse.Namespace) -> str:
-    return format_figure8(run_figure8(num_acs=args.acs))
+    jobs, cache = _engine_setup(args)
+    return format_figure8(
+        run_figure8(num_acs=args.acs, jobs=jobs, cache=cache)
+    )
 
 
 class _SweepCache:
@@ -209,10 +246,12 @@ class _SweepCache:
     def __init__(self) -> None:
         self.result = None
 
-    def get(self, progress: bool = True):
+    def get(self, args: argparse.Namespace, progress: bool = True):
         if self.result is None:
+            jobs, cache = _engine_setup(args)
             self.result = run_figure7(
-                scale=default_scale(), progress=progress
+                scale=default_scale(), progress=progress,
+                jobs=jobs, cache=cache,
             )
         return self.result
 
@@ -220,13 +259,22 @@ class _SweepCache:
 _SWEEP = _SweepCache()
 
 
+def _fig7_footer(result) -> str:
+    if result.report is None:
+        return ""
+    return "\n\nsweep: " + result.report.summary()
+
+
 def _cmd_fig7(args: argparse.Namespace) -> str:
-    result = _SWEEP.get()
-    return format_fig7_table(result) + "\n\n" + ascii_plot_fig7(result)
+    result = _SWEEP.get(args)
+    return (
+        format_fig7_table(result) + "\n\n" + ascii_plot_fig7(result)
+        + _fig7_footer(result)
+    )
 
 
 def _cmd_table2(args: argparse.Namespace) -> str:
-    return format_table2(_SWEEP.get())
+    return format_table2(_SWEEP.get(args))
 
 
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
@@ -284,6 +332,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=_ac_count_list,
         default=None,
         help="comma-separated AC counts for sweep (default: paper sweep)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_non_negative_int,
+        default=0,
+        help="worker processes for sweep-shaped commands "
+        "(default: REPRO_JOBS or 1; parallel runs are bit-identical "
+        "to serial ones)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default="",
+        help="content-addressed result cache directory (default: "
+        "REPRO_CACHE_DIR; repeated sweeps skip completed cells)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore any configured result cache and simulate fresh",
     )
     parser.add_argument(
         "--fault-rate",

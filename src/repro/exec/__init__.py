@@ -1,0 +1,47 @@
+"""repro.exec — the sweep-execution subsystem.
+
+Design-space sweeps (Figure 7's scheduler x AC-count grid and anything
+larger) run through three pieces:
+
+* :class:`~repro.exec.spec.SweepSpec` — a declarative grid that
+  enumerates (system, scheduler, AC count, fault config, workload)
+  cells,
+* :func:`~repro.exec.runner.run_sweep` — a ``concurrent.futures``
+  process-pool runner with chunked dispatch and per-cell timing,
+* :class:`~repro.exec.cache.ResultCache` — a content-addressed on-disk
+  cache (cell config + code-version salt, hashed to a JSON artifact of
+  the :class:`~repro.sim.results.SimulationResult`) that makes repeated
+  or resumed sweeps skip completed cells.
+
+Parallel runs are bit-identical to serial runs; cache replays are
+bit-identical to both.  The figure/table drivers in
+:mod:`repro.analysis.experiments`, the ``sweep`` CLI command and the
+benchmark harness all execute through this engine.
+"""
+
+from .cache import CODE_VERSION_SALT, ResultCache, canonical_json, cell_key
+from .runner import (
+    CellOutcome,
+    SweepReport,
+    cache_from_env,
+    default_jobs,
+    execute_cell,
+    run_sweep,
+)
+from .spec import SweepCell, SweepSpec, WorkloadSpec
+
+__all__ = [
+    "WorkloadSpec",
+    "SweepCell",
+    "SweepSpec",
+    "CODE_VERSION_SALT",
+    "ResultCache",
+    "canonical_json",
+    "cell_key",
+    "CellOutcome",
+    "SweepReport",
+    "execute_cell",
+    "run_sweep",
+    "default_jobs",
+    "cache_from_env",
+]

@@ -1,0 +1,273 @@
+"""Parallel, cache-backed execution of sweep cells.
+
+The runner fans :class:`~repro.exec.spec.SweepCell` work out over a
+``concurrent.futures`` process pool (``jobs`` workers, chunked
+dispatch), measures per-cell wall time, and consults an optional
+:class:`~repro.exec.cache.ResultCache` so completed cells are never
+re-simulated.
+
+Determinism contract: a cell is a *pure function* of its configuration.
+Every worker builds its own platform, workload and simulator from the
+cell alone (no state crosses process boundaries besides the cell
+itself), and all models are seed-driven — so a parallel run is
+bit-identical to a serial run, and both are bit-identical to a cache
+replay.  ``tests/test_exec_determinism.py`` pins this down.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..sim.results import SimulationResult
+from .cache import ResultCache
+from .spec import SweepCell, SweepSpec
+
+__all__ = [
+    "CellOutcome",
+    "SweepReport",
+    "execute_cell",
+    "run_sweep",
+    "default_jobs",
+    "cache_from_env",
+]
+
+
+def default_jobs() -> int:
+    """Worker count from the ``REPRO_JOBS`` environment (default 1)."""
+    try:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    except ValueError:
+        return 1
+    return max(1, jobs)
+
+
+def cache_from_env() -> Optional[ResultCache]:
+    """A :class:`ResultCache` at ``REPRO_CACHE_DIR``, if that is set."""
+    root = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return ResultCache(root) if root else None
+
+
+def execute_cell(cell: SweepCell) -> SimulationResult:
+    """Run one cell's simulation from scratch (no cache, no pool)."""
+    from ..core.schedulers import get_scheduler
+    from ..fabric.faults import BernoulliLoadFaults, RetryPolicy
+    from ..h264.silibrary import build_atom_registry, build_si_library
+    from ..sim.molen import MolenSimulator
+    from ..sim.rispp import RisppSimulator
+    from ..sim.software import simulate_software
+
+    registry = build_atom_registry()
+    library = build_si_library(registry)
+    workload = cell.workload.build()
+    if cell.system == "Software":
+        return simulate_software(library, workload)
+    fault_model = None
+    if cell.fault_rate > 0.0:
+        fault_model = BernoulliLoadFaults(
+            cell.fault_rate, seed=cell.fault_seed
+        )
+    retry_policy = RetryPolicy(max_retries=cell.max_retries)
+    if cell.system == "RISPP":
+        sim = RisppSimulator(
+            library,
+            registry,
+            get_scheduler(cell.scheduler),
+            cell.num_acs,
+            record_segments=cell.record_segments,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
+        )
+    else:  # Molen
+        sim = MolenSimulator(
+            library,
+            registry,
+            cell.num_acs,
+            record_segments=cell.record_segments,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
+        )
+    return sim.run(workload)
+
+
+def _timed_execute(cell: SweepCell) -> Tuple[Dict[str, Any], float]:
+    """Worker entry point: run a cell, return (payload, seconds).
+
+    Results travel as plain-JSON dictionaries rather than pickled
+    objects, so exactly what a worker computed is exactly what the cache
+    stores and what a serial run serializes — one representation for all
+    three paths.
+    """
+    start = time.perf_counter()
+    result = execute_cell(cell)
+    payload = result.to_json_dict()
+    return payload, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed (or cache-served) cell of a sweep."""
+
+    cell: SweepCell
+    result: SimulationResult
+    #: Wall-clock seconds this cell cost *this* invocation: simulation
+    #: time on a miss, artifact-read time on a hit.
+    wall_time: float
+    cache_hit: bool
+
+    @property
+    def label(self) -> str:
+        return self.cell.label
+
+
+@dataclass
+class SweepReport:
+    """Everything one sweep invocation produced, in cell order."""
+
+    outcomes: List[CellOutcome]
+    #: Wall-clock seconds of the whole invocation (dispatch included).
+    elapsed: float = 0.0
+    jobs: int = 1
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def results(self) -> List[SimulationResult]:
+        return [o.result for o in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cache_hit)
+
+    @property
+    def total_wall_time(self) -> float:
+        """Sum of per-cell wall times (the serial-equivalent cost)."""
+        return sum(o.wall_time for o in self.outcomes)
+
+    def result_for(self, cell: SweepCell) -> SimulationResult:
+        for outcome in self.outcomes:
+            if outcome.cell == cell:
+                return outcome.result
+        raise KeyError(f"no outcome for cell {cell.label}")
+
+    def summary(self) -> str:
+        """One-line accounting: cells, hits, wall time, parallel time."""
+        return (
+            f"{len(self.outcomes)} cells ({self.cache_hits} cache hits, "
+            f"{self.cache_misses} simulated), "
+            f"{self.total_wall_time:.2f}s cell time in "
+            f"{self.elapsed:.2f}s wall ({self.jobs} jobs)"
+        )
+
+
+def _chunksize(num_tasks: int, jobs: int) -> int:
+    """Chunk tasks so each worker sees a few batches (amortises IPC
+    without serialising the tail behind one slow worker)."""
+    return max(1, num_tasks // (jobs * 4))
+
+
+def run_sweep(
+    spec: Union[SweepSpec, Sequence[SweepCell]],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[CellOutcome], None]] = None,
+) -> SweepReport:
+    """Execute a sweep: every cell of ``spec``, cache-first, in parallel.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`SweepSpec` or an explicit cell sequence.
+    jobs:
+        Worker processes; ``1`` runs serially in-process (no pool is
+        spawned at all, keeping tracebacks and profiles simple).
+    cache:
+        Optional result cache; hits skip simulation entirely, misses are
+        stored after execution.
+    progress:
+        Callback invoked once per finished cell, in completion order.
+
+    The returned report lists outcomes in *cell enumeration order*
+    regardless of completion order, so downstream table/figure code can
+    zip them against the spec.
+    """
+    cells = list(spec.cells() if isinstance(spec, SweepSpec) else spec)
+    jobs = max(1, int(jobs))
+    started = time.perf_counter()
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+
+    pending: List[Tuple[int, SweepCell]] = []
+    for index, cell in enumerate(cells):
+        if cache is not None:
+            t0 = time.perf_counter()
+            payload = cache.get(cell)
+            if payload is not None:
+                outcome = CellOutcome(
+                    cell=cell,
+                    result=SimulationResult.from_json_dict(payload),
+                    wall_time=time.perf_counter() - t0,
+                    cache_hit=True,
+                )
+                outcomes[index] = outcome
+                if progress is not None:
+                    progress(outcome)
+                continue
+        pending.append((index, cell))
+
+    def finish(index: int, cell: SweepCell, payload: Dict[str, Any],
+               seconds: float) -> None:
+        if cache is not None:
+            cache.put(cell, payload)
+        outcome = CellOutcome(
+            cell=cell,
+            result=SimulationResult.from_json_dict(payload),
+            wall_time=seconds,
+            cache_hit=False,
+        )
+        outcomes[index] = outcome
+        if progress is not None:
+            progress(outcome)
+
+    if pending and jobs > 1 and len(pending) > 1:
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            mapped = pool.map(
+                _timed_execute,
+                [cell for _, cell in pending],
+                chunksize=_chunksize(len(pending), workers),
+            )
+            for (index, cell), (payload, seconds) in zip(pending, mapped):
+                finish(index, cell, payload, seconds)
+    else:
+        for index, cell in pending:
+            payload, seconds = _timed_execute(cell)
+            finish(index, cell, payload, seconds)
+
+    done = [o for o in outcomes if o is not None]
+    assert len(done) == len(cells)
+    return SweepReport(
+        outcomes=done,
+        elapsed=time.perf_counter() - started,
+        jobs=jobs,
+    )

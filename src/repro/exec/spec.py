@@ -1,0 +1,216 @@
+"""Declarative sweep specifications.
+
+A design-space sweep is a grid over (system, scheduler, AC count, fault
+configuration, workload).  :class:`SweepSpec` describes the grid
+declaratively; :meth:`SweepSpec.cells` enumerates it into concrete,
+picklable :class:`SweepCell` values — the unit of work the runner
+dispatches and the cache keys on.
+
+Cells are plain frozen dataclasses over primitives on purpose: they
+cross process boundaries unchanged, and their canonical-JSON encoding
+(:meth:`SweepCell.to_config`) is the input of the content-addressed
+cache key, so a cell's identity is exactly its configuration and nothing
+else (no object ids, no insertion order, no hash randomization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["WorkloadSpec", "SweepCell", "SweepSpec"]
+
+
+#: Systems a cell can simulate.
+_SYSTEMS = ("RISPP", "Molen", "Software")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A reproducible workload: the H.264 model plus optional filters.
+
+    ``hot_spots``/``max_traces`` reproduce the trace subsets the figure
+    experiments use (e.g. Figure 2 replays only the first two ME
+    invocations).  Filters are applied after generation, so the same
+    ``(frames, seed)`` pair always yields the same underlying traces.
+    """
+
+    frames: int = 40
+    seed: int = 2008
+    hot_spots: Optional[Tuple[str, ...]] = None
+    max_traces: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.frames <= 0:
+            raise SimulationError(
+                f"workload needs at least one frame, got {self.frames}"
+            )
+        if self.hot_spots is not None:
+            object.__setattr__(self, "hot_spots", tuple(self.hot_spots))
+
+    def build(self):
+        """Generate (and filter) the workload this spec describes."""
+        from ..workload.model import H264WorkloadModel
+        from ..workload.trace import Workload
+
+        workload = H264WorkloadModel(
+            num_frames=self.frames, seed=self.seed
+        ).generate()
+        if self.hot_spots is None and self.max_traces is None:
+            return workload
+        traces = list(workload.traces)
+        name = workload.name
+        if self.hot_spots is not None:
+            keep = set(self.hot_spots)
+            traces = [t for t in traces if t.hot_spot in keep]
+            name += "-" + "+".join(self.hot_spots)
+        if self.max_traces is not None:
+            traces = traces[: self.max_traces]
+        return Workload(name=name, traces=traces)
+
+    def to_config(self) -> Dict[str, Any]:
+        return {
+            "frames": int(self.frames),
+            "seed": int(self.seed),
+            "hot_spots": (
+                None if self.hot_spots is None else list(self.hot_spots)
+            ),
+            "max_traces": (
+                None if self.max_traces is None else int(self.max_traces)
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the design space: a single simulator run.
+
+    ``system`` selects the simulator (``RISPP``, ``Molen`` or
+    ``Software``); ``scheduler`` only applies to RISPP.  Fault fields
+    describe the Bernoulli load-fault configuration (``fault_rate == 0``
+    means the perfect fabric).
+    """
+
+    system: str
+    num_acs: int
+    workload: WorkloadSpec
+    scheduler: Optional[str] = None
+    record_segments: bool = False
+    fault_rate: float = 0.0
+    fault_seed: int = 2008
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.system not in _SYSTEMS:
+            raise SimulationError(
+                f"unknown system {self.system!r}; known: {list(_SYSTEMS)}"
+            )
+        if self.system == "RISPP" and not self.scheduler:
+            raise SimulationError("a RISPP cell needs a scheduler name")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise SimulationError(
+                f"fault rate must be within [0, 1], got {self.fault_rate!r}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable cell name for reports and progress."""
+        who = self.scheduler if self.system == "RISPP" else self.system
+        text = f"{who}@{self.num_acs}AC/{self.workload.frames}f"
+        if self.fault_rate > 0.0:
+            text += f"/fault{self.fault_rate:g}"
+        return text
+
+    def to_config(self) -> Dict[str, Any]:
+        """Canonical configuration dictionary (the cache-key input).
+
+        Only plain JSON types, fully describing the simulation this cell
+        performs.  Two cells produce the same simulation result if and
+        only if their configs are equal.
+        """
+        return {
+            "system": self.system,
+            "scheduler": self.scheduler,
+            "num_acs": int(self.num_acs),
+            "workload": self.workload.to_config(),
+            "record_segments": bool(self.record_segments),
+            "fault_rate": float(self.fault_rate),
+            "fault_seed": int(self.fault_seed),
+            "max_retries": int(self.max_retries),
+        }
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep grid.
+
+    The grid is (``schedulers`` x ``ac_counts``) RISPP cells, plus one
+    Molen baseline per AC count (``include_molen``) and one pure-software
+    run (``include_software``).  All cells share the workload and fault
+    configuration; richer grids are built by concatenating the cells of
+    several specs.
+    """
+
+    schedulers: Tuple[str, ...] = ("HEF",)
+    ac_counts: Tuple[int, ...] = (10,)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    include_molen: bool = False
+    include_software: bool = False
+    record_segments: bool = False
+    fault_rate: float = 0.0
+    fault_seed: int = 2008
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schedulers", tuple(self.schedulers))
+        object.__setattr__(self, "ac_counts", tuple(self.ac_counts))
+
+    def cells(self) -> List[SweepCell]:
+        """Enumerate the grid, deterministically ordered.
+
+        Order is AC count outermost (matching the Figure 7 sweep loop),
+        then scheduler, then the Molen baseline; the software run comes
+        last.  The order is part of the engine's contract: reports list
+        cells exactly as enumerated here.
+        """
+        cells: List[SweepCell] = []
+        for num_acs in self.ac_counts:
+            for scheduler in self.schedulers:
+                cells.append(
+                    SweepCell(
+                        system="RISPP",
+                        scheduler=scheduler,
+                        num_acs=num_acs,
+                        workload=self.workload,
+                        record_segments=self.record_segments,
+                        fault_rate=self.fault_rate,
+                        fault_seed=self.fault_seed,
+                        max_retries=self.max_retries,
+                    )
+                )
+            if self.include_molen:
+                cells.append(
+                    SweepCell(
+                        system="Molen",
+                        num_acs=num_acs,
+                        workload=self.workload,
+                        record_segments=self.record_segments,
+                        fault_rate=self.fault_rate,
+                        fault_seed=self.fault_seed,
+                        max_retries=self.max_retries,
+                    )
+                )
+        if self.include_software:
+            cells.append(
+                SweepCell(
+                    system="Software",
+                    num_acs=0,
+                    workload=self.workload,
+                )
+            )
+        return cells
+
+    def __len__(self) -> int:
+        return len(self.cells())

@@ -1,9 +1,16 @@
-"""Result structures produced by the system simulators."""
+"""Result structures produced by the system simulators.
+
+Results round-trip losslessly through plain-JSON dictionaries
+(:meth:`SimulationResult.to_json_dict` /
+:meth:`SimulationResult.from_json_dict`): the sweep-execution engine
+(:mod:`repro.exec`) ships them across process boundaries and stores them
+as content-addressed cache artifacts.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +50,32 @@ class Segment:
     def latency_of(self, si_name: str) -> int:
         return self.latencies[self.si_names.index(si_name)]
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (exact integer round trip)."""
+        return {
+            "t0": int(self.t0),
+            "t1": int(self.t1),
+            "frame_index": int(self.frame_index),
+            "hot_spot": self.hot_spot,
+            "si_names": list(self.si_names),
+            "executions": [int(e) for e in self.executions],
+            "latencies": [int(l) for l in self.latencies],
+            "degraded": bool(self.degraded),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "Segment":
+        return cls(
+            t0=int(data["t0"]),
+            t1=int(data["t1"]),
+            frame_index=int(data["frame_index"]),
+            hot_spot=str(data["hot_spot"]),
+            si_names=tuple(data["si_names"]),
+            executions=tuple(int(e) for e in data["executions"]),
+            latencies=tuple(int(l) for l in data["latencies"]),
+            degraded=bool(data.get("degraded", False)),
+        )
+
 
 @dataclass(frozen=True)
 class LatencyEvent:
@@ -56,6 +89,21 @@ class LatencyEvent:
     cycle: int
     si_name: str
     latency: int
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "cycle": int(self.cycle),
+            "si_name": self.si_name,
+            "latency": int(self.latency),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "LatencyEvent":
+        return cls(
+            cycle=int(data["cycle"]),
+            si_name=str(data["si_name"]),
+            latency=int(data["latency"]),
+        )
 
 
 @dataclass
@@ -144,3 +192,83 @@ class SimulationResult:
 
     def __repr__(self) -> str:
         return f"SimulationResult({self.summary()})"
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Lossless plain-JSON representation of the whole result.
+
+        Every cycle count is an exact Python integer, so serializing and
+        parsing back yields a bit-identical result — the property the
+        sweep cache and the parallel runner rely on.
+        """
+        data: Dict[str, Any] = {
+            "system": self.system,
+            "scheduler_name": self.scheduler_name,
+            "num_acs": int(self.num_acs),
+            "workload_name": self.workload_name,
+            "total_cycles": int(self.total_cycles),
+            "hot_spot_cycles": {
+                k: int(v) for k, v in self.hot_spot_cycles.items()
+            },
+            "per_frame_cycles": [int(c) for c in self.per_frame_cycles],
+            "si_executions": {
+                k: int(v) for k, v in self.si_executions.items()
+            },
+            "loads_started": int(self.loads_started),
+            "loads_completed": int(self.loads_completed),
+            "evictions": int(self.evictions),
+            "loads_failed": int(self.loads_failed),
+            "loads_retried": int(self.loads_retried),
+            "loads_abandoned": int(self.loads_abandoned),
+            "dead_containers": int(self.dead_containers),
+            "degraded_cycles": int(self.degraded_cycles),
+            "segments": None,
+            "latency_events": None,
+        }
+        if self.segments is not None:
+            data["segments"] = [s.to_json_dict() for s in self.segments]
+        if self.latency_events is not None:
+            data["latency_events"] = [
+                e.to_json_dict() for e in self.latency_events
+            ]
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_json_dict` output."""
+        segments = data.get("segments")
+        latency_events = data.get("latency_events")
+        return cls(
+            system=str(data["system"]),
+            scheduler_name=str(data["scheduler_name"]),
+            num_acs=int(data["num_acs"]),
+            workload_name=str(data["workload_name"]),
+            total_cycles=int(data["total_cycles"]),
+            hot_spot_cycles={
+                str(k): int(v)
+                for k, v in data["hot_spot_cycles"].items()
+            },
+            per_frame_cycles=[int(c) for c in data["per_frame_cycles"]],
+            si_executions={
+                str(k): int(v) for k, v in data["si_executions"].items()
+            },
+            loads_started=int(data.get("loads_started", 0)),
+            loads_completed=int(data.get("loads_completed", 0)),
+            evictions=int(data.get("evictions", 0)),
+            loads_failed=int(data.get("loads_failed", 0)),
+            loads_retried=int(data.get("loads_retried", 0)),
+            loads_abandoned=int(data.get("loads_abandoned", 0)),
+            dead_containers=int(data.get("dead_containers", 0)),
+            degraded_cycles=int(data.get("degraded_cycles", 0)),
+            segments=(
+                None
+                if segments is None
+                else [Segment.from_json_dict(s) for s in segments]
+            ),
+            latency_events=(
+                None
+                if latency_events is None
+                else [LatencyEvent.from_json_dict(e) for e in latency_events]
+            ),
+        )

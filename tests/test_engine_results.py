@@ -131,3 +131,63 @@ class TestResultObject:
         assert segment.duration == segment.t1 - segment.t0
         assert segment.executions_of("SI1") >= 0
         assert segment.latency_of("SI1") > 0
+
+
+class TestResultSerialization:
+    @pytest.fixture
+    def result(self, platform):
+        counts = np.ones((50, 2), dtype=np.int64)
+        workload = Workload(
+            "r",
+            [trace(counts, frame=0), trace(counts, frame=1)],
+        )
+        return make_sim(platform, record_segments=True).run(workload)
+
+    def test_round_trip_is_lossless(self, result):
+        from repro import SimulationResult
+
+        rebuilt = SimulationResult.from_json_dict(result.to_json_dict())
+        assert rebuilt == result
+        assert rebuilt.segments == result.segments
+        assert rebuilt.latency_events == result.latency_events
+
+    def test_round_trip_through_json_text(self, result):
+        """Through an actual JSON encode/parse cycle, not just dicts."""
+        import json
+
+        from repro import SimulationResult
+
+        text = json.dumps(result.to_json_dict())
+        rebuilt = SimulationResult.from_json_dict(json.loads(text))
+        assert rebuilt == result
+        assert rebuilt.to_json_dict() == result.to_json_dict()
+
+    def test_payload_is_plain_json_types(self, result):
+        def check(value):
+            if isinstance(value, dict):
+                for k, v in value.items():
+                    assert isinstance(k, str)
+                    check(v)
+            elif isinstance(value, list):
+                for v in value:
+                    check(v)
+            else:
+                assert value is None or isinstance(
+                    value, (str, int, float, bool)
+                )
+                # No numpy scalars sneaking through.
+                assert not isinstance(value, np.generic)
+
+        check(result.to_json_dict())
+
+    def test_round_trip_without_segments(self, platform):
+        from repro import SimulationResult
+
+        counts = np.ones((5, 2), dtype=np.int64)
+        workload = Workload("s", [trace(counts)])
+        result = make_sim(platform).run(workload)
+        assert result.segments is None
+        rebuilt = SimulationResult.from_json_dict(result.to_json_dict())
+        assert rebuilt == result
+        assert rebuilt.segments is None
+        assert rebuilt.latency_events is None

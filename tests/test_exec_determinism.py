@@ -1,0 +1,144 @@
+"""Determinism of the parallel sweep engine.
+
+The engine's contract is that a cell is a pure function of its
+configuration: a ``--jobs 4`` run must produce bit-identical
+``SimulationResult`` payloads to a serial run (any hidden global-RNG or
+ordering dependence would surface here), and a cache replay must be
+bit-identical to both while being much cheaper.
+"""
+
+import pytest
+
+from repro.exec import (
+    ResultCache,
+    SweepSpec,
+    WorkloadSpec,
+    canonical_json,
+    run_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def fig7_like_spec():
+    """A reduced Figure 7 grid: schedulers x AC counts + baselines.
+
+    Small enough for CI, but it exercises every system, molecule
+    upgrades, evictions at the small AC counts, and the software run.
+    """
+    return SweepSpec(
+        schedulers=("HEF", "SJF", "ASF", "FSFR"),
+        ac_counts=(5, 10),
+        workload=WorkloadSpec(frames=3, seed=2008),
+        include_molen=True,
+        include_software=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_report(fig7_like_spec):
+    return run_sweep(fig7_like_spec, jobs=1)
+
+
+def payload_bytes(outcome):
+    """The canonical byte encoding of one cell's full result."""
+    return canonical_json(outcome.result.to_json_dict()).encode("ascii")
+
+
+def test_parallel_matches_serial_bit_for_bit(fig7_like_spec, serial_report):
+    parallel = run_sweep(fig7_like_spec, jobs=4)
+    assert len(parallel) == len(serial_report)
+    for ser, par in zip(serial_report, parallel):
+        assert ser.cell == par.cell
+        assert payload_bytes(ser) == payload_bytes(par), (
+            f"cell {ser.cell.label} differs between serial and --jobs 4"
+        )
+
+
+def test_parallel_matches_serial_with_faults():
+    """Fault injection is seed-driven, so it must parallelise too."""
+    spec = SweepSpec(
+        schedulers=("HEF",),
+        ac_counts=(5, 8),
+        workload=WorkloadSpec(frames=2, seed=2008),
+        include_molen=True,
+        fault_rate=0.2,
+        fault_seed=7,
+        max_retries=2,
+    )
+    serial = run_sweep(spec, jobs=1)
+    parallel = run_sweep(spec, jobs=4)
+    assert [payload_bytes(o) for o in serial] == [
+        payload_bytes(o) for o in parallel
+    ]
+    # The fault schedule actually fired (otherwise this test is vacuous).
+    assert any(o.result.loads_failed for o in serial)
+
+
+def test_repeated_serial_runs_are_identical(fig7_like_spec, serial_report):
+    again = run_sweep(fig7_like_spec, jobs=1)
+    assert [payload_bytes(o) for o in serial_report] == [
+        payload_bytes(o) for o in again
+    ]
+
+
+def test_report_preserves_cell_enumeration_order(
+    fig7_like_spec, serial_report
+):
+    cells = fig7_like_spec.cells()
+    assert [o.cell for o in serial_report] == cells
+
+
+def test_parallel_cached_sweep_acceptance(
+    fig7_like_spec, serial_report, tmp_path
+):
+    """The PR's acceptance criterion, end to end.
+
+    A Figure-7-scale sweep with ``jobs=4`` produces byte-identical
+    per-cell results to the serial run; a second invocation completes
+    with 100% cache hits and, by the recorded per-cell timings, at
+    least 5x lower wall time.
+    """
+    cache = ResultCache(tmp_path / "sweep-cache")
+    first = run_sweep(fig7_like_spec, jobs=4, cache=cache)
+    assert first.cache_hits == 0
+    # Byte-identical to serial, cell by cell.
+    assert [payload_bytes(o) for o in first] == [
+        payload_bytes(o) for o in serial_report
+    ]
+
+    second = run_sweep(fig7_like_spec, jobs=4, cache=cache)
+    # 100% cache hits...
+    assert second.cache_hits == len(fig7_like_spec.cells())
+    assert second.cache_misses == 0
+    # ...still byte-identical...
+    assert [payload_bytes(o) for o in second] == [
+        payload_bytes(o) for o in first
+    ]
+    # ...and >= 5x cheaper by the recorded per-cell wall times.
+    assert first.total_wall_time >= 5 * second.total_wall_time, (
+        f"cache replay not 5x cheaper: first {first.total_wall_time:.3f}s, "
+        f"second {second.total_wall_time:.3f}s"
+    )
+
+
+def test_cache_hit_payloads_match_parallel_worker_payloads(tmp_path):
+    """What the cache serves is exactly what a worker computed."""
+    spec = SweepSpec(
+        schedulers=("HEF",),
+        ac_counts=(6,),
+        workload=WorkloadSpec(frames=2, seed=2008),
+        record_segments=True,
+    )
+    cache = ResultCache(tmp_path / "cache")
+    fresh = run_sweep(spec, jobs=1, cache=cache)
+    replay = run_sweep(spec, jobs=1, cache=cache)
+    assert replay.cache_hits == 1
+    assert payload_bytes(fresh.outcomes[0]) == payload_bytes(
+        replay.outcomes[0]
+    )
+    # Segments survived the round trip (Figure 2/8 style runs).
+    assert replay.outcomes[0].result.segments is not None
+    assert (
+        replay.outcomes[0].result.segments
+        == fresh.outcomes[0].result.segments
+    )

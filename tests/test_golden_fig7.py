@@ -1,0 +1,188 @@
+"""Golden regression tests for the Figure 7 sweep.
+
+Two layers of pinning:
+
+* **Artifact scalars** — key numbers derived from the committed
+  ``full_sweep_results.json`` (the 140-frame paper-scale sweep):
+  per-scheduler speedups and the HEF > SJF > ASF > FSFR quality
+  ordering.  These fail if the artifact is edited or regenerated
+  inconsistently.
+* **Live goldens** — exact ``total_cycles`` of a small pinned sweep
+  (8 frames, seed 2008, three AC counts) re-simulated through the sweep
+  engine on every test run.  Any code change that moves simulation
+  behaviour fails here with a readable expected/got diff.
+
+When a *deliberate* behaviour change moves the live goldens: re-generate
+them (the test failure prints the new values), update ``_GOLDEN_CYCLES``
+below, regenerate ``full_sweep_results.json`` at paper scale, and bump
+the cache salt (``repro.exec.cache.CODE_VERSION_SALT``).
+"""
+
+import json
+import statistics
+from pathlib import Path
+
+import pytest
+
+from repro.exec import SweepSpec, WorkloadSpec, run_sweep
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "full_sweep_results.json"
+
+
+def _diff(expected, actual, tolerance=0.0):
+    """Readable expected-vs-got lines for every moved scalar."""
+    lines = []
+    for name, want in expected.items():
+        got = actual[name]
+        if isinstance(want, float):
+            moved = abs(got - want) > tolerance
+        else:
+            moved = got != want
+        if moved:
+            lines.append(f"  {name}: expected {want!r}, got {got!r}")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: scalars pinned from the committed paper-scale artifact
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return json.loads(ARTIFACT.read_text())
+
+
+class TestArtifactScalars:
+    def test_pinned_speedup_scalars(self, artifact):
+        speedups = artifact["speedups"]
+        actual = {
+            "software Mcycles": artifact["software"],
+            "HEF vs Molen max": max(speedups["HEF vs Molen"]),
+            "HEF vs Molen avg": statistics.mean(speedups["HEF vs Molen"]),
+            "HEF vs ASF max": max(speedups["HEF vs ASF"]),
+            "HEF vs ASF avg": statistics.mean(speedups["HEF vs ASF"]),
+            "ASF vs Molen max": max(speedups["ASF vs Molen"]),
+            "ASF vs Molen avg": statistics.mean(speedups["ASF vs Molen"]),
+        }
+        expected = {
+            "software Mcycles": 7402.894219,
+            "HEF vs Molen max": 1.4462,
+            "HEF vs Molen avg": 1.2448,
+            "HEF vs ASF max": 1.1186,
+            "HEF vs ASF avg": 1.0472,
+            "ASF vs Molen max": 1.2929,
+            "ASF vs Molen avg": 1.1868,
+        }
+        lines = _diff(expected, actual, tolerance=5e-4)
+        assert not lines, (
+            "full_sweep_results.json speedup scalars moved:\n"
+            + "\n".join(lines)
+        )
+
+    def test_scheduler_quality_ordering(self, artifact):
+        """Figure 7's takeaway: HEF > SJF > ASF > FSFR (> Molen) once
+        the fabric is big enough, by mean Mcycles over ACs >= 10."""
+        ac_counts = artifact["ac_counts"]
+        mcycles = artifact["mcycles"]
+        big = [i for i, ac in enumerate(ac_counts) if ac >= 10]
+        mean = {
+            name: statistics.mean(series[i] for i in big)
+            for name, series in mcycles.items()
+        }
+        order = ["HEF", "SJF", "ASF", "FSFR", "Molen"]
+        ranked = sorted(order, key=lambda name: mean[name])
+        assert ranked == order, (
+            "scheduler quality ordering moved: expected "
+            f"{' < '.join(order)} by mean Mcycles (ACs >= 10), got "
+            f"{' < '.join(ranked)} "
+            f"({ {n: round(mean[n], 2) for n in ranked} })"
+        )
+
+    def test_speedups_consistent_with_mcycles(self, artifact):
+        """The artifact's speedup rows must equal the Mcycles ratios —
+        catches half-regenerated artifacts."""
+        mcycles = artifact["mcycles"]
+        pairs = {
+            "HEF vs ASF": ("ASF", "HEF"),
+            "ASF vs Molen": ("Molen", "ASF"),
+            "HEF vs Molen": ("Molen", "HEF"),
+        }
+        for row, (slow, fast) in pairs.items():
+            derived = [
+                s / f for s, f in zip(mcycles[slow], mcycles[fast])
+            ]
+            stored = artifact["speedups"][row]
+            assert stored == pytest.approx(derived, rel=1e-9), (
+                f"speedup row {row!r} inconsistent with mcycles series"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: live goldens — exact cycle counts of a small pinned sweep
+# ---------------------------------------------------------------------------
+
+_GOLDEN_SPEC = SweepSpec(
+    schedulers=("FSFR", "ASF", "SJF", "HEF"),
+    ac_counts=(6, 10, 14),
+    workload=WorkloadSpec(frames=8, seed=2008),
+    include_molen=True,
+    include_software=True,
+)
+
+#: Exact total_cycles per cell, generated by running _GOLDEN_SPEC
+#: through the sweep engine.  All quantities are integer cycle counts,
+#: so equality is exact across platforms.
+_GOLDEN_CYCLES = dict([
+    ("FSFR@6AC/8f", 45455170),
+    ("ASF@6AC/8f", 45126855),
+    ("SJF@6AC/8f", 45126855),
+    ("HEF@6AC/8f", 45101747),
+    ("Molen@6AC/8f", 47244923),
+    ("FSFR@10AC/8f", 33964264),
+    ("ASF@10AC/8f", 33696901),
+    ("SJF@10AC/8f", 33696901),
+    ("HEF@10AC/8f", 32627289),
+    ("Molen@10AC/8f", 38426586),
+    ("FSFR@14AC/8f", 32893771),
+    ("ASF@14AC/8f", 31601811),
+    ("SJF@14AC/8f", 31548331),
+    ("HEF@14AC/8f", 29829759),
+    ("Molen@14AC/8f", 37773723),
+    ("Software@0AC/8f", 435873470),
+])
+
+
+@pytest.fixture(scope="module")
+def live_report():
+    return run_sweep(_GOLDEN_SPEC, jobs=1)
+
+
+class TestLiveGoldens:
+    def test_total_cycles_pinned(self, live_report):
+        actual = {
+            o.cell.label: o.result.total_cycles for o in live_report
+        }
+        assert set(actual) == set(_GOLDEN_CYCLES)
+        lines = _diff(_GOLDEN_CYCLES, actual)
+        assert not lines, (
+            "simulation behaviour moved (update _GOLDEN_CYCLES and bump "
+            "the cache salt if this is deliberate):\n" + "\n".join(lines)
+        )
+
+    def test_live_ordering_matches_paper(self, live_report):
+        """HEF fastest at every swept AC count; Molen slowest."""
+        by_label = {
+            o.cell.label: o.result.total_cycles for o in live_report
+        }
+        for ac in (6, 10, 14):
+            cells = {
+                name: by_label[f"{name}@{ac}AC/8f"]
+                for name in ("FSFR", "ASF", "SJF", "HEF", "Molen")
+            }
+            assert min(cells, key=cells.get) == "HEF", (
+                f"HEF is not the fastest scheduler at {ac} ACs: {cells}"
+            )
+            assert max(cells, key=cells.get) == "Molen", (
+                f"Molen baseline is not the slowest at {ac} ACs: {cells}"
+            )

@@ -3,13 +3,17 @@
 Section 4.1 claims specific algebraic structure: (N^n, ∪) and (N^n, ∩)
 are Abelian semi-groups, (N^n, <=) is a complete lattice, and ⊖ yields
 the minimal completion.  These properties are verified on randomly drawn
-vectors.
+vectors, together with the monotonicity facts the equation-(3) candidate
+expansion and the schedulers rely on, and a metamorphic check that HEF's
+division-free (cross-multiplied) benefit comparison agrees with the
+floating-point benefit ratio.
 """
 
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro import AtomSpace, Molecule, inf, sup
+from repro import AtomSpace, Molecule, MoleculeImpl, SpecialInstruction, inf, sup
+from repro.core.schedulers.base import SchedulerState
 
 SPACE = AtomSpace(["A", "B", "C", "D"])
 
@@ -138,3 +142,184 @@ def test_union_intersection_determinant_identity(m, o):
     assert (m | o).determinant + (m & o).determinant == (
         m.determinant + o.determinant
     )
+
+
+# ---------------------------------------------------------------------------
+# sup/inf absorption over molecule lists
+# ---------------------------------------------------------------------------
+
+
+@given(molecules(), molecules())
+def test_sup_inf_absorption(m, o):
+    """Lattice absorption stated via sup/inf: sup(m, inf(m, o)) == m
+    and inf(m, sup(m, o)) == m."""
+    assert sup([m, inf([m, o])]) == m
+    assert inf([m, sup([m, o])]) == m
+
+
+@given(st.lists(molecules(), min_size=1, max_size=6))
+def test_sup_inf_absorb_their_own_bounds(ms):
+    """Adding sup(ms)/inf(ms) back into the list changes nothing."""
+    s, i = sup(ms), inf(ms)
+    assert sup(ms + [s]) == s
+    assert sup(ms + [i]) == s
+    assert inf(ms + [i]) == i
+    assert inf(ms + [s]) == i
+
+
+# ---------------------------------------------------------------------------
+# Monotonicity of the determinant under ⊖ (equation (3)/(4) cleaning)
+# ---------------------------------------------------------------------------
+#
+# The candidate-expansion/cleaning steps rely on |a ⊖ m| shrinking as the
+# availability a grows (loading atoms never makes a candidate more
+# expensive) and growing with the target m (bigger molecules never need
+# fewer additional atoms).  Ordered pairs are constructed by addition,
+# which realises exactly the component-wise <=.
+
+
+@given(molecules(), molecules(max_count=3), molecules())
+def test_missing_determinant_antitone_in_availability(a1, delta, m):
+    a2 = a1 + delta  # a1 <= a2 by construction
+    assert a1 <= a2
+    assert a2.missing(m).determinant <= a1.missing(m).determinant
+
+
+@given(molecules(), molecules(), molecules(max_count=3))
+def test_missing_determinant_monotone_in_target(a, m1, delta):
+    m2 = m1 + delta  # m1 <= m2 by construction
+    assert m1 <= m2
+    assert a.missing(m1).determinant <= a.missing(m2).determinant
+
+
+@given(molecules(), molecules(max_count=3), molecules())
+def test_scheduling_an_upgrade_never_hurts_other_candidates(a, step, m):
+    """Figure 6 line 27 (a <- a ∪ step) can only shrink |a ⊖ m|."""
+    grown = a | step
+    assert grown.missing(m).determinant <= a.missing(m).determinant
+
+
+# ---------------------------------------------------------------------------
+# Metamorphic: HEF's division-free benefit comparison
+# ---------------------------------------------------------------------------
+#
+# HEF (Figure 6, line 20) ranks candidates by
+#     benefit(o) = expected(o.SI) * improvement(o) / |a ⊖ o|
+# but the hardware FSM (Section 5) avoids the divider by
+# cross-multiplying: num1/den1 > num2/den2 is decided as
+# num1*den2 > num2*den1.  With the bounded integer quantities below the
+# float arithmetic is exact (products <= ~5e5 << 2^53, and two distinct
+# ratios with denominators <= 24 differ by at least 1/576, far above one
+# ulp), so both formulations must agree *exactly*.
+
+_expected = st.integers(min_value=0, max_value=500)
+_improvement = st.integers(min_value=0, max_value=1000)
+_atoms_needed = st.integers(min_value=1, max_value=24)
+
+
+@given(
+    _expected, _improvement, _atoms_needed,
+    _expected, _improvement, _atoms_needed,
+)
+def test_cross_multiplied_comparison_matches_float_ratio(
+    e1, i1, d1, e2, i2, d2
+):
+    num1, den1 = float(e1 * i1), float(d1)
+    num2, den2 = float(e2 * i2), float(d2)
+    cross = num1 * den2 > num2 * den1
+    ratio = (num1 / den1) > (num2 / den2)
+    assert cross == ratio
+
+
+@st.composite
+def scheduler_states(draw):
+    """A valid random SchedulerState over 1-2 SIs.
+
+    Respects every SpecialInstruction invariant: non-zero unique atom
+    vectors, unique names, hardware latency strictly below software.
+    """
+    software = draw(st.integers(min_value=100, max_value=1000))
+    vector = (
+        st.lists(
+            st.integers(min_value=0, max_value=3),
+            min_size=SPACE.size,
+            max_size=SPACE.size,
+        )
+        .map(tuple)
+        .filter(any)
+    )
+    sis = {}
+    selection = {}
+    for idx in range(draw(st.integers(min_value=1, max_value=2))):
+        si_name = f"SI{idx}"
+        vectors = draw(
+            st.lists(vector, min_size=1, max_size=3, unique=True)
+        )
+        impls = [
+            MoleculeImpl(
+                si_name=si_name,
+                name=f"m{j}",
+                atoms=Molecule(SPACE, list(v)),
+                latency=draw(st.integers(min_value=1, max_value=software - 1)),
+            )
+            for j, v in enumerate(vectors)
+        ]
+        si = SpecialInstruction(si_name, SPACE, software, impls)
+        sis[si_name] = si
+        selection[si_name] = draw(st.sampled_from(si.molecules))
+    available = Molecule(
+        SPACE,
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=2),
+                min_size=SPACE.size,
+                max_size=SPACE.size,
+            )
+        ),
+    )
+    expected = {name: float(draw(_expected)) for name in sis}
+    return SchedulerState(selection, sis, available, expected)
+
+
+@given(scheduler_states())
+@settings(max_examples=200)
+def test_hef_benefit_comparison_on_real_candidate_pairs(state):
+    """On every cleaned-candidate pair of a real scheduler state, the
+    division-free comparison picks the same winner as the float ratio."""
+    candidates = state.cleaned_candidates()
+    assume(len(candidates) >= 2)
+    scored = []
+    for cand in candidates:
+        num = state.expected[cand.si_name] * state.improvement(cand)
+        den = float(state.additional_atoms(cand))
+        assert den > 0  # cleaning guarantees missing atoms
+        assert state.improvement(cand) > 0  # and a strict improvement
+        scored.append((num, den))
+    for num1, den1 in scored:
+        for num2, den2 in scored:
+            cross = num1 * den2 > num2 * den1
+            ratio = (num1 / den1) > (num2 / den2)
+            assert cross == ratio
+
+
+@given(scheduler_states())
+@settings(max_examples=100)
+def test_hef_selects_the_max_float_benefit_candidate(state):
+    """The strict-'>' scan HEF uses (first maximum wins) agrees with an
+    argmax over the float benefit ratios."""
+    candidates = state.cleaned_candidates()
+    assume(candidates)
+    best = None
+    best_num, best_den = 0.0, 1.0
+    for cand in candidates:
+        num = state.expected[cand.si_name] * state.improvement(cand)
+        den = float(state.additional_atoms(cand))
+        if best is None or num * best_den > best_num * den:
+            best, best_num, best_den = cand, num, den
+    ratios = [
+        state.expected[c.si_name] * state.improvement(c)
+        / state.additional_atoms(c)
+        for c in candidates
+    ]
+    first_max = candidates[ratios.index(max(ratios))]
+    assert best is first_max
