@@ -34,7 +34,9 @@ paper 140), ``REPRO_JOBS`` (default worker count) and ``REPRO_CACHE_DIR``
 from __future__ import annotations
 
 import argparse
+import re
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from .analysis import (
@@ -61,8 +63,10 @@ from .exec import (
     default_jobs,
     run_sweep,
 )
+from .errors import ObservabilityError
 from .fabric.faults import BernoulliLoadFaults, FaultModel, RetryPolicy
 from .h264.silibrary import build_atom_registry, build_si_library
+from .obs import TRACE_FORMATS, RecordingTracer, export_events
 from .sim.rispp import RisppSimulator
 from .workload.model import generate_workload
 
@@ -151,12 +155,20 @@ def _fault_report(result) -> str:
     )
 
 
+def _trace_cell_path(base: str, label: str) -> Path:
+    """Per-cell trace path: ``out.json`` -> ``out.<label>.json``."""
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", label)
+    path = Path(base)
+    return path.with_name(f"{path.stem}.{slug}{path.suffix or '.json'}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> str:
     registry = build_atom_registry()
     library = build_si_library(registry)
     frames = args.frames if args.frames else default_scale().frames
     workload = generate_workload(num_frames=frames, seed=2008)
     fault_model, retry_policy = _fault_setup(args)
+    tracer = RecordingTracer() if args.trace_out else None
     sim = RisppSimulator(
         library,
         registry,
@@ -164,6 +176,7 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
         args.acs,
         fault_model=fault_model,
         retry_policy=retry_policy,
+        tracer=tracer,
     )
     result = sim.run(workload)
     lines = [
@@ -172,6 +185,12 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
         f"fault seed {args.fault_seed}, max retries {args.max_retries}",
         _fault_report(result),
     ]
+    if tracer is not None:
+        export_events(list(tracer), args.trace_out, args.trace_format)
+        lines.append(
+            f"  trace: {len(tracer)} events -> {args.trace_out} "
+            f"({args.trace_format})"
+        )
     return "\n".join(lines)
 
 
@@ -190,7 +209,30 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         max_retries=args.max_retries,
     )
     jobs, cache = _engine_setup(args)
-    report = run_sweep(spec, jobs=jobs, cache=cache)
+    trace_lines: List[str] = []
+    if args.trace_out:
+        # Per-cell traces force a serial in-process run (tracers cannot
+        # cross process boundaries, and a cache hit would skip events).
+        def _tracer_factory(cell):
+            return RecordingTracer()
+
+        def _on_trace(cell, tracer):
+            path = _trace_cell_path(args.trace_out, cell.label)
+            export_events(list(tracer), path, args.trace_format)
+            trace_lines.append(
+                f"  trace: {len(tracer)} events -> {path} "
+                f"({args.trace_format})"
+            )
+
+        report = run_sweep(
+            spec,
+            jobs=jobs,
+            cache=cache,
+            tracer_factory=_tracer_factory,
+            on_trace=_on_trace,
+        )
+    else:
+        report = run_sweep(spec, jobs=jobs, cache=cache)
     lines = [
         f"AC sweep ({args.scheduler}, {frames} frames, fault rate "
         f"{args.fault_rate}, seed {args.fault_seed}, max retries "
@@ -210,6 +252,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             f"{outcome.wall_time * 1e3:>7.1f}ms "
             f"{'cache' if outcome.cache_hit else 'run':>6s}"
         )
+    lines.extend(trace_lines)
     lines.append(report.summary())
     return "\n".join(lines)
 
@@ -353,6 +396,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore any configured result cache and simulate fresh",
     )
     parser.add_argument(
+        "--trace-out",
+        default="",
+        metavar="PATH",
+        help="write a run trace for simulate/sweep; sweep writes one "
+        "file per cell (PATH gets a cell-label suffix) and runs "
+        "serially in-process",
+    )
+    parser.add_argument(
+        "--trace-format",
+        default="json",
+        choices=TRACE_FORMATS,
+        help="trace output format: versioned JSON event log, Chrome "
+        "trace-event JSON (chrome://tracing / Perfetto), or a plain-"
+        "text timeline (default json)",
+    )
+    parser.add_argument(
         "--fault-rate",
         type=_probability,
         default=0.0,
@@ -388,7 +447,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             continue
         seen.add(name)
         command = _COMMANDS.get(name) or _EXTRA_COMMANDS[name]
-        print(command(args))
+        try:
+            print(command(args))
+        except ObservabilityError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         print()
     return 0
 

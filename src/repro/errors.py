@@ -22,6 +22,7 @@ __all__ = [
     "SimulationError",
     "TraceError",
     "CalibrationError",
+    "ObservabilityError",
 ]
 
 
@@ -111,3 +112,13 @@ class TraceError(RisppError, ValueError):
 
 class CalibrationError(RisppError, ValueError):
     """A calibration constant was given an out-of-range value."""
+
+
+class ObservabilityError(RisppError, ValueError):
+    """The observability layer was misused or fed malformed data.
+
+    Raised for unknown trace-event kinds, event logs with an unsupported
+    schema version, unwritable trace outputs, Chrome-trace validation
+    failures and inconsistent replay inputs.  Never raised by a run that
+    merely *records* — emission is infallible by design.
+    """

@@ -61,8 +61,17 @@ def cache_from_env() -> Optional[ResultCache]:
     return ResultCache(root) if root else None
 
 
-def execute_cell(cell: SweepCell) -> SimulationResult:
-    """Run one cell's simulation from scratch (no cache, no pool)."""
+def execute_cell(
+    cell: SweepCell,
+    tracer=None,
+    metrics=None,
+) -> SimulationResult:
+    """Run one cell's simulation from scratch (no cache, no pool).
+
+    ``tracer`` / ``metrics`` (see :mod:`repro.obs`) attach per-cell
+    instrumentation to the simulator; the ``Software`` baseline has no
+    fabric and ignores them.
+    """
     from ..core.schedulers import get_scheduler
     from ..fabric.faults import BernoulliLoadFaults, RetryPolicy
     from ..h264.silibrary import build_atom_registry, build_si_library
@@ -90,6 +99,8 @@ def execute_cell(cell: SweepCell) -> SimulationResult:
             record_segments=cell.record_segments,
             fault_model=fault_model,
             retry_policy=retry_policy,
+            tracer=tracer,
+            metrics=metrics,
         )
     else:  # Molen
         sim = MolenSimulator(
@@ -99,6 +110,8 @@ def execute_cell(cell: SweepCell) -> SimulationResult:
             record_segments=cell.record_segments,
             fault_model=fault_model,
             retry_policy=retry_policy,
+            tracer=tracer,
+            metrics=metrics,
         )
     return sim.run(workload)
 
@@ -180,6 +193,27 @@ class SweepReport:
             f"{self.elapsed:.2f}s wall ({self.jobs} jobs)"
         )
 
+    def metrics(self, registry=None):
+        """Sweep-level aggregates as a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Fills ``cells.total``, ``cache.hits`` / ``cache.misses``, the
+        ``cache.hit_rate`` gauge and the ``cell.wall_seconds`` histogram
+        (into ``registry`` or a fresh one).
+        """
+        from ..obs.metrics import MetricsRegistry
+
+        registry = registry if registry is not None else MetricsRegistry()
+        registry.counter("cells.total").inc(len(self.outcomes))
+        registry.counter("cache.hits").inc(self.cache_hits)
+        registry.counter("cache.misses").inc(self.cache_misses)
+        registry.gauge("cache.hit_rate").set(
+            self.cache_hits / len(self.outcomes) if self.outcomes else 0.0
+        )
+        hist = registry.histogram("cell.wall_seconds")
+        for outcome in self.outcomes:
+            hist.observe(outcome.wall_time)
+        return registry
+
 
 def _chunksize(num_tasks: int, jobs: int) -> int:
     """Chunk tasks so each worker sees a few batches (amortises IPC
@@ -192,6 +226,8 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[CellOutcome], None]] = None,
+    tracer_factory: Optional[Callable[[SweepCell], Any]] = None,
+    on_trace: Optional[Callable[[SweepCell, Any], None]] = None,
 ) -> SweepReport:
     """Execute a sweep: every cell of ``spec``, cache-first, in parallel.
 
@@ -207,6 +243,15 @@ def run_sweep(
         stored after execution.
     progress:
         Callback invoked once per finished cell, in completion order.
+    tracer_factory:
+        When given, every cell runs *serially in-process* with a fresh
+        tracer built by ``tracer_factory(cell)`` attached, and the cache
+        is bypassed for reads — traces cannot be served from stored
+        results, and tracers cannot cross process boundaries.  Computed
+        payloads are still written to the cache.
+    on_trace:
+        Callback invoked after each traced cell with ``(cell, tracer)``;
+        typically exports the recorded events.
 
     The returned report lists outcomes in *cell enumeration order*
     regardless of completion order, so downstream table/figure code can
@@ -216,10 +261,11 @@ def run_sweep(
     jobs = max(1, int(jobs))
     started = time.perf_counter()
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    traced = tracer_factory is not None
 
     pending: List[Tuple[int, SweepCell]] = []
     for index, cell in enumerate(cells):
-        if cache is not None:
+        if cache is not None and not traced:
             t0 = time.perf_counter()
             payload = cache.get(cell)
             if payload is not None:
@@ -249,7 +295,16 @@ def run_sweep(
         if progress is not None:
             progress(outcome)
 
-    if pending and jobs > 1 and len(pending) > 1:
+    if traced:
+        for index, cell in pending:
+            tracer = tracer_factory(cell)
+            t0 = time.perf_counter()
+            result = execute_cell(cell, tracer=tracer)
+            seconds = time.perf_counter() - t0
+            if on_trace is not None:
+                on_trace(cell, tracer)
+            finish(index, cell, result.to_json_dict(), seconds)
+    elif pending and jobs > 1 and len(pending) > 1:
         workers = min(jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             mapped = pool.map(

@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.molecule import AtomSpace, Molecule
 from ..errors import CapacityError, ContainerFaultError, FabricError
+from ..obs.events import Eviction
+from ..obs.tracer import NULL_TRACER, Tracer
 from .atom import AtomRegistry
 from .container import AtomContainer, ContainerState
 from .eviction import EvictionPolicy, LRUEviction
@@ -36,6 +38,8 @@ class Fabric:
         The atom-type registry (defines the atom space).
     num_acs:
         Number of Atom Containers.
+    tracer:
+        Observability sink for eviction events; no-op when omitted.
     """
 
     def __init__(
@@ -43,6 +47,7 @@ class Fabric:
         registry: AtomRegistry,
         num_acs: int,
         eviction_policy: Optional[EvictionPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if num_acs < 0:
             raise FabricError(f"negative AC count: {num_acs}")
@@ -51,6 +56,7 @@ class Fabric:
         self.eviction_policy = (
             eviction_policy if eviction_policy is not None else LRUEviction()
         )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.containers: List[AtomContainer] = [
             AtomContainer(i) for i in range(self.num_acs)
         ]
@@ -206,6 +212,14 @@ class Fabric:
         if target is None:
             target = self._pick_victim(retained)
             if target is not None:
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        Eviction(
+                            cycle=now,
+                            atom_type=target.atom_type,
+                            container_index=target.index,
+                        )
+                    )
                 target.evict()
                 self._evictions += 1
         if target is None:

@@ -35,6 +35,15 @@ from typing import Deque, List, Optional, Sequence
 
 from ..core.molecule import Molecule
 from ..errors import CapacityError, FabricError, SimulationError, TransientLoadError
+from ..obs.events import (
+    ContainerDead,
+    LoadAbandoned,
+    LoadComplete as LoadCompleteEvent,
+    LoadFailed,
+    LoadRetry,
+    LoadStart,
+)
+from ..obs.tracer import NULL_TRACER, Tracer
 from .fabric import Fabric
 from .faults import FaultModel, LoadFault, NoFaults, RetryPolicy
 
@@ -63,6 +72,9 @@ class ReconfigPort:
     retry_policy:
         Reaction to transient load failures; sensible defaults apply
         when omitted.
+    tracer:
+        Observability sink for load start/complete/fail/retry/abandon
+        events; the no-op tracer when omitted (zero overhead).
     """
 
     def __init__(
@@ -70,12 +82,14 @@ class ReconfigPort:
         fabric: Fabric,
         fault_model: Optional[FaultModel] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.fabric = fabric
         self.fault_model = fault_model if fault_model is not None else NoFaults()
         self.retry_policy = (
             retry_policy if retry_policy is not None else RetryPolicy()
         )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._pending: Deque[str] = deque()
         #: The meta-molecule of atoms the active plan retains (eviction
         #: reference); updated on every :meth:`replace_queue`.
@@ -89,6 +103,7 @@ class ReconfigPort:
         self._loads_failed = 0
         self._loads_retried = 0
         self._loads_abandoned = 0
+        self._busy_cycles = 0
 
     # -- statistics ------------------------------------------------------------
 
@@ -118,6 +133,16 @@ class ReconfigPort:
         executing through the base-ISA trap path.
         """
         return self._loads_abandoned
+
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles the bus spent (or is committed to spend) writing.
+
+        Accumulated when a load *starts* — retry backoff included, so at
+        any moment this is the port's total committed bus occupancy; at
+        most one not-yet-finished load is counted ahead of time.
+        """
+        return self._busy_cycles
 
     @property
     def pending_count(self) -> int:
@@ -186,6 +211,14 @@ class ReconfigPort:
             if not self.fabric.is_degraded:
                 raise
             self._loads_abandoned += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    LoadAbandoned(
+                        cycle=now,
+                        atom_type=atom_type,
+                        reason="degraded-fabric",
+                    )
+                )
             return False
         duration = self.fabric.registry.reconfig_cycles(atom_type)
         self._in_flight = atom_type
@@ -193,6 +226,17 @@ class ReconfigPort:
         self._in_flight_failures = failures
         self._busy_until = now + delay + duration
         self._loads_started += 1
+        self._busy_cycles += delay + duration
+        if self.tracer.enabled:
+            self.tracer.emit(
+                LoadStart(
+                    cycle=now,
+                    atom_type=atom_type,
+                    container_index=container.index,
+                    expected_completion=self._busy_until,
+                    attempt=failures,
+                )
+            )
         return True
 
     def _maybe_start(self, now: int) -> None:
@@ -216,21 +260,45 @@ class ReconfigPort:
         atom_type = self._in_flight
         failures = self._in_flight_failures + 1
         self._loads_failed += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                LoadFailed(
+                    cycle=finish,
+                    atom_type=atom_type,
+                    container_index=container.index,
+                    fault=fault.name.lower(),
+                    attempt=failures - 1,
+                )
+            )
         container.fail_load()
         if fault is LoadFault.PERMANENT:
             self.fabric.kill_container(container.index)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ContainerDead(cycle=finish, container_index=container.index)
+                )
         self._clear_in_flight()
         if self.retry_policy.allows_retry(failures):
             # Backoff is modelled as extra in-flight time of the retry:
             # the port stays "busy" through the gap, keeping completion
             # times monotone and exactly accounted.
+            backoff = self.retry_policy.delay(failures)
             if self._start_load(
                 atom_type,
                 finish,
-                delay=self.retry_policy.delay(failures),
+                delay=backoff,
                 failures=failures,
             ):
                 self._loads_retried += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        LoadRetry(
+                            cycle=finish,
+                            atom_type=atom_type,
+                            attempt=failures,
+                            backoff=backoff,
+                        )
+                    )
                 return
         else:
             if self.retry_policy.on_exhausted == "raise":
@@ -240,6 +308,14 @@ class ReconfigPort:
                     f"({self.retry_policy.max_retries}) exhausted"
                 )
             self._loads_abandoned += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    LoadAbandoned(
+                        cycle=finish,
+                        atom_type=atom_type,
+                        reason="retry-budget-exhausted",
+                    )
+                )
         self._maybe_start(finish)
 
     def advance_to(self, cycle: int) -> List[LoadCompletion]:
@@ -275,6 +351,14 @@ class ReconfigPort:
                 )
             )
             self._loads_completed += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    LoadCompleteEvent(
+                        cycle=finish,
+                        atom_type=self._in_flight,
+                        container_index=container.index,
+                    )
+                )
             self._clear_in_flight()
             self._maybe_start(finish)
         return events

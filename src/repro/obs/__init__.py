@@ -1,0 +1,106 @@
+"""repro.obs — the observability layer.
+
+Zero-overhead-by-default instrumentation threaded through the whole
+stack (simulators, schedulers' decisions, reconfiguration port, fabric):
+
+* :mod:`repro.obs.events` — the typed trace-event vocabulary,
+* :mod:`repro.obs.tracer` — the :class:`Tracer` protocol with the no-op
+  default and the in-memory :class:`RecordingTracer`,
+* :mod:`repro.obs.metrics` — counters/gauges/histograms plus the
+  :func:`run_metrics` derivation (bus busy fraction,
+  cycles-to-first-acceleration, ...),
+* :mod:`repro.obs.export` — JSON event log (versioned schema), Chrome
+  trace-event format (``chrome://tracing`` / Perfetto), plain-text
+  timeline,
+* :mod:`repro.obs.replay` — the independent per-iteration
+  micro-interpreter behind the differential tests.
+
+A run records by passing ``tracer=RecordingTracer()`` to a simulator;
+without one, the simulators behave (and perform) exactly as before —
+pinned by the overhead-guard tests.
+"""
+
+from .events import (
+    ContainerDead,
+    DecisionStep,
+    DegradedEnter,
+    DegradedExit,
+    Eviction,
+    HotSpotSwitch,
+    LoadAbandoned,
+    LoadComplete,
+    LoadFailed,
+    LoadRetry,
+    LoadStart,
+    RunEnd,
+    RunStart,
+    SchedulerDecision,
+    SIUpgrade,
+    TraceEvent,
+    event_from_json_dict,
+    event_kinds,
+)
+from .export import (
+    OBS_SCHEMA,
+    OBS_SCHEMA_VERSION,
+    TRACE_FORMATS,
+    events_from_json_dict,
+    events_to_json_dict,
+    export_events,
+    read_event_log,
+    to_chrome_trace,
+    to_summary_text,
+    validate_chrome_trace,
+    write_event_log,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, run_metrics
+from .replay import LatencyTimeline, replay_total_cycles
+from .tracer import NULL_TRACER, NullTracer, RecordingTracer, Tracer
+
+__all__ = [
+    # events
+    "TraceEvent",
+    "RunStart",
+    "RunEnd",
+    "HotSpotSwitch",
+    "DecisionStep",
+    "SchedulerDecision",
+    "LoadStart",
+    "LoadComplete",
+    "LoadFailed",
+    "LoadRetry",
+    "LoadAbandoned",
+    "Eviction",
+    "ContainerDead",
+    "SIUpgrade",
+    "DegradedEnter",
+    "DegradedExit",
+    "event_from_json_dict",
+    "event_kinds",
+    # tracer
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "run_metrics",
+    # export
+    "OBS_SCHEMA",
+    "OBS_SCHEMA_VERSION",
+    "TRACE_FORMATS",
+    "events_to_json_dict",
+    "events_from_json_dict",
+    "write_event_log",
+    "read_event_log",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "to_summary_text",
+    "export_events",
+    # replay
+    "LatencyTimeline",
+    "replay_total_cycles",
+]

@@ -1,0 +1,362 @@
+"""Typed trace events — the vocabulary of the observability layer.
+
+Every event is a small frozen dataclass with a ``cycle`` timestamp (the
+simulated clock, *not* wall time) and a class-level ``kind`` tag.  The
+set of kinds mirrors the paper's run-time anatomy: hot-spot switches
+(Section 3), scheduler decisions with the HEF benefit terms (Figure 6,
+line 20), the serial reconfiguration-bus activity (Section 5), evictions,
+SI upgrades landing (Figure 8's latency step-downs) and degraded-mode
+segments from the fault-injection subsystem.
+
+Events round-trip losslessly through plain-JSON dictionaries
+(:meth:`TraceEvent.to_json_dict` / :func:`event_from_json_dict`); the
+kind registry drives generic deserialisation.  Wall-clock quantities are
+deliberately *excluded* from events so a recorded run is bit-reproducible
+— wall time lives in :mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple, Type
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "TraceEvent",
+    "RunStart",
+    "RunEnd",
+    "HotSpotSwitch",
+    "DecisionStep",
+    "SchedulerDecision",
+    "LoadStart",
+    "LoadComplete",
+    "LoadFailed",
+    "LoadRetry",
+    "LoadAbandoned",
+    "Eviction",
+    "ContainerDead",
+    "SIUpgrade",
+    "DegradedEnter",
+    "DegradedExit",
+    "event_from_json_dict",
+    "event_kinds",
+]
+
+
+_KIND_REGISTRY: Dict[str, Type["TraceEvent"]] = {}
+
+
+def _register(cls: Type["TraceEvent"]) -> Type["TraceEvent"]:
+    """Class decorator: register an event dataclass under its kind."""
+    if not cls.kind or cls.kind in _KIND_REGISTRY:
+        raise ObservabilityError(
+            f"event class {cls.__name__} has a missing or duplicate "
+            f"kind {cls.kind!r}"
+        )
+    _KIND_REGISTRY[cls.kind] = cls
+    return cls
+
+
+def event_kinds() -> Tuple[str, ...]:
+    """All registered event kinds, sorted."""
+    return tuple(sorted(_KIND_REGISTRY))
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base of all trace events: a timestamped, typed record."""
+
+    #: Class-level kind tag; concrete subclasses override it.
+    kind = ""
+
+    cycle: int
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation: the fields plus the kind tag."""
+        data: Dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = [
+                    v.to_json_dict() if isinstance(v, DecisionStep) else v
+                    for v in value
+                ]
+            data[field.name] = value
+        return data
+
+
+def event_from_json_dict(data: Mapping[str, Any]) -> TraceEvent:
+    """Rebuild a typed event from :meth:`TraceEvent.to_json_dict` output.
+
+    Raises
+    ------
+    ObservabilityError
+        For an unknown kind or a payload that does not match the kind's
+        fields — the event log is a versioned format, not free-form JSON.
+    """
+    kind = data.get("kind")
+    cls = _KIND_REGISTRY.get(kind)
+    if cls is None:
+        raise ObservabilityError(
+            f"unknown trace-event kind {kind!r}; known: {list(event_kinds())}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for field in dataclasses.fields(cls):
+        if field.name not in data:
+            raise ObservabilityError(
+                f"event of kind {kind!r} is missing field {field.name!r}"
+            )
+        value = data[field.name]
+        if isinstance(value, (list, tuple)):
+            if cls is SchedulerDecision and field.name == "steps":
+                value = tuple(
+                    DecisionStep.from_json_dict(v) for v in value
+                )
+            else:
+                value = _tupleize(value)
+        kwargs[field.name] = value
+    return cls(**kwargs)
+
+
+def _tupleize(value: Any) -> Any:
+    """Recursively turn (nested) lists into tuples (JSON -> dataclass)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tupleize(v) for v in value)
+    return value
+
+
+# -- run demarcation -----------------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class RunStart(TraceEvent):
+    """A simulator run began (cycle 0)."""
+
+    kind = "run_start"
+
+    system: str
+    scheduler: str
+    num_acs: int
+    workload_name: str
+
+
+@_register
+@dataclass(frozen=True)
+class RunEnd(TraceEvent):
+    """The run finished; ``cycle`` equals the result's total cycles."""
+
+    kind = "run_end"
+
+    total_cycles: int
+
+
+# -- hot-spot switches and scheduler decisions ---------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class HotSpotSwitch(TraceEvent):
+    """Execution entered a hot spot (before the RTM entry overhead)."""
+
+    kind = "hot_spot_switch"
+
+    hot_spot: str
+    frame_index: int
+    trace_index: int
+    entry_overhead: int
+
+
+@dataclass(frozen=True)
+class DecisionStep:
+    """One molecule-level upgrade step of a scheduler decision.
+
+    ``benefit_num``/``benefit_den`` are the HEF benefit terms of
+    Figure 6 line 20 evaluated for the committed step:
+    ``expectedExecutions * (latency_before - latency)`` over the number
+    of additionally loaded atoms.  For the other schedulers the same
+    terms describe what HEF *would* have credited the step with, which
+    is exactly what a Figure 7 why-does-HEF-win audit needs.
+    ``latency_after`` is the SI's best latency once the step's loads
+    finished (never above ``latency_before``).
+    """
+
+    si_name: str
+    molecule: str
+    num_loads: int
+    latency_before: int
+    latency_after: int
+    benefit_num: float
+    benefit_den: int
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "DecisionStep":
+        return cls(
+            si_name=str(data["si_name"]),
+            molecule=str(data["molecule"]),
+            num_loads=int(data["num_loads"]),
+            latency_before=int(data["latency_before"]),
+            latency_after=int(data["latency_after"]),
+            benefit_num=float(data["benefit_num"]),
+            benefit_den=int(data["benefit_den"]),
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class SchedulerDecision(TraceEvent):
+    """The run-time manager planned the loads for a hot-spot entry."""
+
+    kind = "scheduler_decision"
+
+    hot_spot: str
+    scheduler: str
+    #: SI name -> selected molecule name (the candidate set the decision
+    #: chose from; software selections are omitted).
+    selection: Tuple[Tuple[str, str], ...]
+    #: Upgrade steps in commit order (empty for plain load sequences).
+    steps: Tuple[DecisionStep, ...]
+    #: The resulting atom load order handed to the reconfiguration port.
+    atom_sequence: Tuple[str, ...]
+
+
+# -- reconfiguration bus -------------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class LoadStart(TraceEvent):
+    """The port began writing one atom bitstream into a container.
+
+    ``cycle`` is when the port accepted the load; retry backoff is part
+    of the in-flight time, so ``expected_completion`` already includes
+    it.  ``attempt`` is 0 for a fresh load, n for the n-th retry.
+    """
+
+    kind = "load_start"
+
+    atom_type: str
+    container_index: int
+    expected_completion: int
+    attempt: int
+
+
+@_register
+@dataclass(frozen=True)
+class LoadComplete(TraceEvent):
+    """An atom load finished successfully; the atom is usable now."""
+
+    kind = "load_complete"
+
+    atom_type: str
+    container_index: int
+
+
+@_register
+@dataclass(frozen=True)
+class LoadFailed(TraceEvent):
+    """The fault model failed a completing load."""
+
+    kind = "load_failed"
+
+    atom_type: str
+    container_index: int
+    fault: str
+    attempt: int
+
+
+@_register
+@dataclass(frozen=True)
+class LoadRetry(TraceEvent):
+    """A failed load re-entered the port under the retry policy."""
+
+    kind = "load_retry"
+
+    atom_type: str
+    attempt: int
+    backoff: int
+
+
+@_register
+@dataclass(frozen=True)
+class LoadAbandoned(TraceEvent):
+    """A load was given up on (retry budget or degraded fabric)."""
+
+    kind = "load_abandoned"
+
+    atom_type: str
+    reason: str
+
+
+# -- fabric --------------------------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class Eviction(TraceEvent):
+    """A stale loaded atom was evicted to make room for a new load."""
+
+    kind = "eviction"
+
+    atom_type: str
+    container_index: int
+
+
+@_register
+@dataclass(frozen=True)
+class ContainerDead(TraceEvent):
+    """A container was permanently retired by a hard fault."""
+
+    kind = "container_dead"
+
+    container_index: int
+
+
+# -- SI latency timeline -------------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class SIUpgrade(TraceEvent):
+    """An SI's effective per-execution latency changed.
+
+    Emitted whenever the engine observes a different effective latency
+    for an SI than the last recorded one — usually a step *down* when an
+    upgrade lands, occasionally a step *up* when an eviction or fault
+    removed atoms an implementation was using.  ``latency`` includes the
+    trap overhead while the SI runs in software, i.e. it is the true
+    per-execution cost the pipeline observes — the differential replay
+    (:mod:`repro.obs.replay`) reconstructs cycle counts from exactly
+    these events.
+    """
+
+    kind = "si_upgrade"
+
+    si_name: str
+    molecule: str
+    latency: int
+    software: bool
+
+
+# -- degraded-mode segments ----------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True)
+class DegradedEnter(TraceEvent):
+    """Execution entered degraded mode (dead containers or a retry)."""
+
+    kind = "degraded_enter"
+
+
+@_register
+@dataclass(frozen=True)
+class DegradedExit(TraceEvent):
+    """Execution left degraded mode."""
+
+    kind = "degraded_exit"

@@ -1,0 +1,477 @@
+"""Exporters: render a recorded run as JSON, Chrome trace, or text.
+
+Three formats, one source of truth (the typed event list):
+
+* **JSON event log** — a versioned schema
+  (:data:`OBS_SCHEMA_VERSION`); round-trips losslessly through
+  :func:`events_to_json_dict` / :func:`events_from_json_dict`.  Schema
+  bumps are explicit: a log with a different version is rejected, never
+  silently reinterpreted.
+* **Chrome trace-event format** — loadable in ``chrome://tracing`` or
+  Perfetto (https://ui.perfetto.dev).  One duration track per Atom
+  Container showing bitstream writes as B/E slices, a scheduler track
+  with hot-spot switches and decisions as instant events, and one
+  counter track per SI plotting its effective latency over time.
+* **Plain-text timeline** — a terminal-friendly chronological summary.
+
+Timestamps are simulated cycles rendered as microseconds (the prototype
+runs at 100 MHz, so 1 cycle = 0.01 us; we keep 1 cycle = 1 us for
+readability — the *shape* of the timeline is what matters).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ObservabilityError
+from .events import (
+    DegradedEnter,
+    DegradedExit,
+    Eviction,
+    HotSpotSwitch,
+    LoadAbandoned,
+    LoadComplete,
+    LoadFailed,
+    LoadStart,
+    RunEnd,
+    RunStart,
+    SchedulerDecision,
+    SIUpgrade,
+    TraceEvent,
+    event_from_json_dict,
+)
+
+__all__ = [
+    "OBS_SCHEMA",
+    "OBS_SCHEMA_VERSION",
+    "TRACE_FORMATS",
+    "events_to_json_dict",
+    "events_from_json_dict",
+    "write_event_log",
+    "read_event_log",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "to_summary_text",
+    "export_events",
+]
+
+#: Identifier of the event-log format.
+OBS_SCHEMA = "repro.obs/event-log"
+
+#: Version of the event-log schema.  Bump this (and extend the golden
+#: test) whenever an event gains/loses fields or a kind is renamed —
+#: readers reject logs whose version they do not know.
+OBS_SCHEMA_VERSION = 1
+
+#: The formats :func:`export_events` (and the CLI) understand.
+TRACE_FORMATS = ("json", "chrome", "summary")
+
+
+# -- JSON event log ------------------------------------------------------------
+
+
+def events_to_json_dict(events: Sequence[TraceEvent]) -> Dict[str, Any]:
+    """The versioned plain-JSON envelope of an event list."""
+    return {
+        "schema": OBS_SCHEMA,
+        "schema_version": OBS_SCHEMA_VERSION,
+        "num_events": len(events),
+        "events": [event.to_json_dict() for event in events],
+    }
+
+
+def events_from_json_dict(data: Mapping[str, Any]) -> List[TraceEvent]:
+    """Parse a :func:`events_to_json_dict` envelope back to typed events.
+
+    Raises
+    ------
+    ObservabilityError
+        When the envelope is not an event log, carries an unknown schema
+        version, or contains malformed events.
+    """
+    if not isinstance(data, Mapping) or data.get("schema") != OBS_SCHEMA:
+        raise ObservabilityError(
+            f"not a {OBS_SCHEMA} document: schema="
+            f"{data.get('schema') if isinstance(data, Mapping) else data!r}"
+        )
+    version = data.get("schema_version")
+    if version != OBS_SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"unsupported event-log schema version {version!r}; this "
+            f"reader understands version {OBS_SCHEMA_VERSION} only — "
+            f"schema bumps are explicit, re-record the trace"
+        )
+    raw_events = data.get("events")
+    if not isinstance(raw_events, list):
+        raise ObservabilityError("event log carries no 'events' list")
+    return [event_from_json_dict(raw) for raw in raw_events]
+
+
+def write_event_log(
+    events: Sequence[TraceEvent], path: Union[str, Path]
+) -> Path:
+    """Write the JSON event log to ``path``; wraps I/O failures."""
+    return _write_text(
+        path, json.dumps(events_to_json_dict(events), indent=1, sort_keys=True)
+    )
+
+
+def read_event_log(path: Union[str, Path]) -> List[TraceEvent]:
+    """Load a JSON event log written by :func:`write_event_log`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot read event log {str(path)!r}: {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise ObservabilityError(
+            f"event log {str(path)!r} is not valid JSON: {exc}"
+        ) from exc
+    return events_from_json_dict(data)
+
+
+def _write_text(path: Union[str, Path], text: str) -> Path:
+    path = Path(path)
+    try:
+        path.write_text(text + "\n", encoding="utf-8")
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot write trace to {str(path)!r}: {exc}"
+        ) from exc
+    return path
+
+
+# -- Chrome trace-event format -------------------------------------------------
+
+_PID = 1
+_SCHED_TID = 0
+
+
+def _ac_tid(container_index: int) -> int:
+    return container_index + 1
+
+
+def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, Any]:
+    """Render events in the Chrome trace-event (JSON object) format.
+
+    Track layout: tid 0 is the scheduler track (hot-spot switches and
+    scheduler decisions as instant events), tid ``i + 1`` is Atom
+    Container ``i`` (every bitstream write as one B/E slice — completed,
+    failed and run-truncated loads alike, the latter closed at run end
+    and tagged ``truncated``).  SI latencies are emitted as counter
+    events, which Perfetto plots as step lines — Figure 8's latency
+    timeline, straight from the trace.
+
+    Timestamps within one track are kept *strictly* increasing (the
+    trace-event spec's nesting rules): same-cycle neighbours on a track
+    are offset by a sub-cycle epsilon, which is invisible at cycle
+    resolution but keeps every viewer and validator happy.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    acs_seen: List[int] = []
+    open_loads: Dict[int, LoadStart] = {}
+    last_ts: Dict[Tuple[int, int], float] = {}
+    run_end_cycle: Optional[int] = None
+
+    def stamp(tid: int, cycle: int) -> float:
+        """Strictly-increasing timestamp for ``cycle`` on track ``tid``."""
+        ts = float(cycle)
+        previous = last_ts.get((_PID, tid))
+        if previous is not None and ts <= previous:
+            ts = previous + 1e-3
+        last_ts[(_PID, tid)] = ts
+        return ts
+
+    def emit(record: Dict[str, Any]) -> None:
+        trace_events.append(record)
+
+    def begin_load(event: LoadStart) -> None:
+        tid = _ac_tid(event.container_index)
+        if event.container_index not in acs_seen:
+            acs_seen.append(event.container_index)
+        open_loads[event.container_index] = event
+        emit(
+            {
+                "name": f"load {event.atom_type}",
+                "ph": "B",
+                "pid": _PID,
+                "tid": tid,
+                "ts": stamp(tid, event.cycle),
+                "args": {
+                    "atom": event.atom_type,
+                    "attempt": event.attempt,
+                },
+            }
+        )
+
+    def end_load(
+        container_index: int, cycle: int, args: Dict[str, Any]
+    ) -> None:
+        started = open_loads.pop(container_index, None)
+        if started is None:
+            return
+        tid = _ac_tid(container_index)
+        emit(
+            {
+                "name": f"load {started.atom_type}",
+                "ph": "E",
+                "pid": _PID,
+                "tid": tid,
+                "ts": stamp(tid, cycle),
+                "args": args,
+            }
+        )
+
+    for event in events:
+        if isinstance(event, RunEnd):
+            run_end_cycle = event.cycle
+        if isinstance(event, LoadStart):
+            begin_load(event)
+        elif isinstance(event, LoadComplete):
+            end_load(event.container_index, event.cycle, {"outcome": "ok"})
+        elif isinstance(event, LoadFailed):
+            end_load(
+                event.container_index,
+                event.cycle,
+                {"outcome": "failed", "fault": event.fault},
+            )
+        elif isinstance(event, HotSpotSwitch):
+            emit(
+                {
+                    "name": f"hot spot {event.hot_spot}",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": _SCHED_TID,
+                    "ts": stamp(_SCHED_TID, event.cycle),
+                    "args": {
+                        "frame": event.frame_index,
+                        "trace": event.trace_index,
+                    },
+                }
+            )
+        elif isinstance(event, SchedulerDecision):
+            emit(
+                {
+                    "name": f"{event.scheduler} decision",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": _SCHED_TID,
+                    "ts": stamp(_SCHED_TID, event.cycle),
+                    "args": {
+                        "hot_spot": event.hot_spot,
+                        "loads": len(event.atom_sequence),
+                        "steps": [
+                            {
+                                "si": s.si_name,
+                                "molecule": s.molecule,
+                                "benefit_num": s.benefit_num,
+                                "benefit_den": s.benefit_den,
+                            }
+                            for s in event.steps
+                        ],
+                    },
+                }
+            )
+        elif isinstance(event, SIUpgrade):
+            emit(
+                {
+                    "name": f"latency {event.si_name}",
+                    "ph": "C",
+                    "pid": _PID,
+                    "tid": _SCHED_TID,
+                    "ts": float(event.cycle),
+                    "args": {"cycles": event.latency},
+                }
+            )
+
+    # Close loads the run truncated (port still busy at the last trace's
+    # end) so every B has its E.
+    final = run_end_cycle
+    if final is None:
+        final = max((e.cycle for e in events), default=0)
+    for container_index in sorted(open_loads):
+        end_load(container_index, final, {"outcome": "truncated"})
+
+    metadata: List[Dict[str, Any]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _SCHED_TID,
+            "args": {"name": "scheduler"},
+        }
+    ]
+    for container_index in sorted(acs_seen):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": _ac_tid(container_index),
+                "args": {"name": f"AC{container_index}"},
+            }
+        )
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs", "clock": "cycles"},
+    }
+
+
+def validate_chrome_trace(trace: Mapping[str, Any]) -> None:
+    """Check a Chrome trace against the spec's structural rules.
+
+    Asserted properties: every record has ``ph``/``pid``/``tid``/``ts``
+    (metadata aside), timestamps are strictly increasing per track for
+    duration/instant events, and B/E events on each track pair up (equal
+    names, no E without a B, nothing left open).
+
+    Raises
+    ------
+    ObservabilityError
+        On the first violation.
+    """
+    records = trace.get("traceEvents")
+    if not isinstance(records, list):
+        raise ObservabilityError("chrome trace has no traceEvents list")
+    last_ts: Dict[Tuple[int, int], float] = {}
+    stacks: Dict[Tuple[int, int], List[str]] = {}
+    for record in records:
+        ph = record.get("ph")
+        if ph == "M":
+            continue
+        for key in ("pid", "tid", "ts", "name"):
+            if key not in record:
+                raise ObservabilityError(
+                    f"trace record missing {key!r}: {record!r}"
+                )
+        track = (record["pid"], record["tid"])
+        ts = float(record["ts"])
+        if ph in ("B", "E", "i", "I"):
+            previous = last_ts.get(track)
+            if previous is not None and ts <= previous:
+                raise ObservabilityError(
+                    f"timestamp {ts} on track {track} is not strictly "
+                    f"increasing (previous {previous}): {record!r}"
+                )
+            last_ts[track] = ts
+        if ph == "B":
+            stacks.setdefault(track, []).append(record["name"])
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                raise ObservabilityError(
+                    f"E without matching B on track {track}: {record!r}"
+                )
+            begun = stack.pop()
+            if begun != record["name"]:
+                raise ObservabilityError(
+                    f"mismatched B/E pair on track {track}: opened "
+                    f"{begun!r}, closed {record['name']!r}"
+                )
+    for track, stack in stacks.items():
+        if stack:
+            raise ObservabilityError(
+                f"unclosed B events on track {track}: {stack!r}"
+            )
+
+
+# -- plain-text timeline -------------------------------------------------------
+
+
+def to_summary_text(events: Sequence[TraceEvent]) -> str:
+    """A chronological, human-readable timeline of the recorded run."""
+    lines: List[str] = []
+    loads = completions = upgrades = 0
+    for event in events:
+        prefix = f"{event.cycle:>12,}  "
+        if isinstance(event, RunStart):
+            lines.append(
+                prefix
+                + f"run start: {event.system}/{event.scheduler} @ "
+                f"{event.num_acs} ACs, workload {event.workload_name}"
+            )
+        elif isinstance(event, HotSpotSwitch):
+            lines.append(
+                prefix
+                + f"hot spot {event.hot_spot} (frame {event.frame_index})"
+            )
+        elif isinstance(event, SchedulerDecision):
+            lines.append(
+                prefix
+                + f"{event.scheduler} schedules "
+                f"{len(event.atom_sequence)} loads, "
+                f"{len(event.steps)} upgrade steps"
+            )
+        elif isinstance(event, LoadStart):
+            loads += 1
+            attempt = f" (retry {event.attempt})" if event.attempt else ""
+            lines.append(
+                prefix
+                + f"load {event.atom_type} -> AC{event.container_index}"
+                + attempt
+            )
+        elif isinstance(event, LoadComplete):
+            completions += 1
+            lines.append(
+                prefix
+                + f"done {event.atom_type} @ AC{event.container_index}"
+            )
+        elif isinstance(event, LoadFailed):
+            lines.append(
+                prefix
+                + f"FAIL {event.atom_type} @ AC{event.container_index} "
+                f"({event.fault})"
+            )
+        elif isinstance(event, LoadAbandoned):
+            lines.append(
+                prefix + f"abandoned {event.atom_type} ({event.reason})"
+            )
+        elif isinstance(event, Eviction):
+            lines.append(
+                prefix
+                + f"evict {event.atom_type} from AC{event.container_index}"
+            )
+        elif isinstance(event, SIUpgrade):
+            upgrades += 1
+            how = "software" if event.software else event.molecule
+            lines.append(
+                prefix
+                + f"{event.si_name} -> {how} ({event.latency} cyc/exec)"
+            )
+        elif isinstance(event, DegradedEnter):
+            lines.append(prefix + "degraded mode entered")
+        elif isinstance(event, DegradedExit):
+            lines.append(prefix + "degraded mode left")
+        elif isinstance(event, RunEnd):
+            lines.append(prefix + f"run end: {event.total_cycles:,} cycles")
+    lines.append(
+        f"-- {len(events)} events: {loads} load starts, "
+        f"{completions} completions, {upgrades} SI latency changes"
+    )
+    return "\n".join(lines)
+
+
+def export_events(
+    events: Sequence[TraceEvent],
+    path: Union[str, Path],
+    fmt: str = "json",
+) -> Path:
+    """Write ``events`` to ``path`` in one of :data:`TRACE_FORMATS`."""
+    if fmt == "json":
+        return write_event_log(events, path)
+    if fmt == "chrome":
+        return _write_text(
+            path, json.dumps(to_chrome_trace(events), indent=1)
+        )
+    if fmt == "summary":
+        return _write_text(path, to_summary_text(events))
+    raise ObservabilityError(
+        f"unknown trace format {fmt!r}; known: {list(TRACE_FORMATS)}"
+    )

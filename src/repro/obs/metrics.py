@@ -1,0 +1,233 @@
+"""Per-run metrics: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is a small, dependency-free metrics surface
+in the spirit of Prometheus client libraries: named counters (monotone),
+gauges (last value wins) and histograms (running count/sum/min/max plus
+the raw observations for percentiles).  The simulators and the sweep
+engine feed it, and :func:`run_metrics` derives the headline run
+aggregates the paper's analysis needs — reconfiguration-bus busy
+fraction, mean cycles-to-first-acceleration per SI, scheduler decision
+wall time — from a result plus a recorded event stream.
+
+Unlike trace events (:mod:`repro.obs.events`), metrics may contain
+wall-clock measurements; they are diagnostics, not part of the
+deterministic event-log format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..errors import ObservabilityError
+from .events import (
+    HotSpotSwitch,
+    LoadComplete,
+    LoadFailed,
+    LoadStart,
+    SIUpgrade,
+    TraceEvent,
+)
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "run_metrics"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways; the last ``set`` wins."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A distribution of observations with running aggregates."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self._values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the observations, 0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors.
+
+    A name is bound to one metric type for the registry's lifetime;
+    asking for the same name as a different type is an error (it would
+    silently fork the data otherwise).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ObservabilityError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str):
+        """The metric registered under ``name`` (KeyError when absent)."""
+        return self._metrics[name]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """All metrics as one plain-JSON dictionary, sorted by name."""
+        return {
+            name: self._metrics[name].to_json_dict()
+            for name in self.names()
+        }
+
+    def format_text(self) -> str:
+        """Human-readable one-metric-per-line dump."""
+        lines = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                lines.append(
+                    f"{name}: count={metric.count} mean={metric.mean:g} "
+                    f"min={metric.min if metric.min is not None else '-'} "
+                    f"max={metric.max if metric.max is not None else '-'}"
+                )
+            else:
+                lines.append(f"{name}: {metric.value:g}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+def run_metrics(
+    events: Iterable[TraceEvent],
+    total_cycles: int,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Derive the headline run aggregates from a recorded event stream.
+
+    Fills (into ``registry`` or a fresh one):
+
+    * ``bus.busy_cycles`` / ``bus.busy_fraction`` — cycles the serial
+      reconfiguration port spent writing bitstreams (completed *and*
+      failed loads both occupy the bus), relative to the run length.
+      This is the direct audit of the paper's serial-bottleneck
+      assumption.
+    * ``si.first_acceleration.<SI>`` — cycle of the first hardware
+      implementation becoming effective for each SI, plus the
+      ``si.first_acceleration.mean`` gauge over all accelerated SIs.
+    * ``loads.completed`` / ``loads.failed`` counters and the
+      ``hot_spots.switches`` counter.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    busy = 0
+    starts: Dict[int, int] = {}
+    first_hw: Dict[str, int] = {}
+    for event in events:
+        if isinstance(event, LoadStart):
+            starts[event.container_index] = event.cycle
+        elif isinstance(event, LoadComplete):
+            begun = starts.pop(event.container_index, None)
+            if begun is not None:
+                busy += event.cycle - begun
+            registry.counter("loads.completed").inc()
+        elif isinstance(event, LoadFailed):
+            begun = starts.pop(event.container_index, None)
+            if begun is not None:
+                busy += event.cycle - begun
+            registry.counter("loads.failed").inc()
+        elif isinstance(event, SIUpgrade):
+            if not event.software and event.si_name not in first_hw:
+                first_hw[event.si_name] = event.cycle
+        elif isinstance(event, HotSpotSwitch):
+            registry.counter("hot_spots.switches").inc()
+    registry.gauge("bus.busy_cycles").set(busy)
+    registry.gauge("bus.busy_fraction").set(
+        busy / total_cycles if total_cycles else 0.0
+    )
+    for si_name, cycle in sorted(first_hw.items()):
+        registry.gauge(f"si.first_acceleration.{si_name}").set(cycle)
+    if first_hw:
+        registry.gauge("si.first_acceleration.mean").set(
+            sum(first_hw.values()) / len(first_hw)
+        )
+    return registry

@@ -1,0 +1,111 @@
+"""Differential replay: an independent micro-interpreter of event logs.
+
+The simulation engine (:mod:`repro.sim.engine`) advances *analytically*
+— one vectorised cumulative sum per latency span.  This module is its
+adversary: a deliberately naive interpreter that walks the workload
+**iteration by iteration** in plain Python integer arithmetic, looking
+up each SI's effective latency from the recorded
+:class:`~repro.obs.events.SIUpgrade` timeline.  If the two disagree on a
+single cycle, either the engine's span arithmetic (including the
+straddling-iteration rule: an iteration in flight when an upgrade lands
+finishes at its old latencies) or the event emission is wrong.
+
+``tests/test_obs_differential.py`` pins exact agreement across the
+scheduler x AC-count grid.  Keep this module free of any import from
+:mod:`repro.sim` — independence is the point.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ObservabilityError
+from .events import HotSpotSwitch, SIUpgrade, TraceEvent
+
+__all__ = ["LatencyTimeline", "replay_total_cycles"]
+
+
+class LatencyTimeline:
+    """Per-SI effective latencies over time, built from SIUpgrade events."""
+
+    def __init__(self, events: Iterable[TraceEvent]):
+        self._cycles: Dict[str, List[int]] = {}
+        self._values: Dict[str, List[int]] = {}
+        for event in events:
+            if isinstance(event, SIUpgrade):
+                self._cycles.setdefault(event.si_name, []).append(event.cycle)
+                self._values.setdefault(event.si_name, []).append(
+                    event.latency
+                )
+        for si_name, cycles in self._cycles.items():
+            if any(b < a for a, b in zip(cycles, cycles[1:])):
+                raise ObservabilityError(
+                    f"SIUpgrade events of {si_name!r} are not in time order"
+                )
+
+    def latency_at(self, si_name: str, cycle: int) -> int:
+        """The latency in effect for ``si_name`` at ``cycle``.
+
+        The engine re-reads latencies at span starts, so a change
+        recorded *at* ``cycle`` applies to an iteration starting at
+        ``cycle``.
+        """
+        cycles = self._cycles.get(si_name)
+        if not cycles:
+            raise ObservabilityError(
+                f"no recorded latency for SI {si_name!r}"
+            )
+        index = bisect_right(cycles, cycle) - 1
+        if index < 0:
+            raise ObservabilityError(
+                f"SI {si_name!r} executed at cycle {cycle} before its "
+                f"first recorded latency (cycle {cycles[0]})"
+            )
+        return self._values[si_name][index]
+
+
+def replay_total_cycles(
+    events: Sequence[TraceEvent], workload
+) -> int:
+    """Reconstruct a run's total cycle count from its event log.
+
+    ``workload`` is the same :class:`~repro.workload.trace.Workload` the
+    recorded run replayed (workloads are seed-deterministic, so the test
+    rebuilds it from the cell configuration).  Hot-spot entry overheads
+    are taken from the recorded :class:`HotSpotSwitch` events; SI
+    latencies from the :class:`SIUpgrade` timeline.  Everything else is
+    first-principles per-iteration accounting.
+    """
+    timeline = LatencyTimeline(events)
+    switches = [e for e in events if isinstance(e, HotSpotSwitch)]
+    traces = list(workload)
+    if len(switches) != len(traces):
+        raise ObservabilityError(
+            f"event log records {len(switches)} hot-spot switches but the "
+            f"workload has {len(traces)} traces — wrong workload?"
+        )
+    now = 0
+    for trace, switch in zip(traces, switches):
+        if switch.hot_spot != trace.hot_spot:
+            raise ObservabilityError(
+                f"hot-spot order mismatch: recorded {switch.hot_spot!r}, "
+                f"workload has {trace.hot_spot!r}"
+            )
+        if switch.cycle != now:
+            raise ObservabilityError(
+                f"hot spot {trace.hot_spot!r} recorded at cycle "
+                f"{switch.cycle}, replay reached it at {now}"
+            )
+        now += switch.entry_overhead
+        si_names = trace.si_names
+        overhead = trace.overhead_per_iteration
+        for row in trace.counts:
+            duration = overhead
+            for si_name, count in zip(si_names, row):
+                if count:
+                    duration += int(count) * timeline.latency_at(
+                        si_name, now
+                    )
+            now += duration
+    return now

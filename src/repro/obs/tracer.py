@@ -1,0 +1,88 @@
+"""Tracer protocol: zero-overhead-by-default instrumentation.
+
+Every instrumentable component (simulator engine, reconfiguration port,
+fabric) holds a :class:`Tracer`.  The default is the no-op
+:data:`NULL_TRACER` whose :attr:`Tracer.enabled` flag is ``False`` — hot
+paths guard event *construction* behind that flag, so a run without a
+recording tracer performs no per-event work at all and stays
+bit-identical to a tracer-free build (``tests/test_obs_overhead.py``
+pins both properties).
+
+A :class:`RecordingTracer` appends every emitted event to an in-memory
+list; exporters (:mod:`repro.obs.export`), metrics derivation
+(:mod:`repro.obs.metrics`) and the differential replay
+(:mod:`repro.obs.replay`) all consume that list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Type
+
+from .events import TraceEvent
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "RecordingTracer"]
+
+
+class Tracer:
+    """Base tracer: ignores every event.
+
+    Subclasses that actually observe events set :attr:`enabled` to
+    ``True`` and override :meth:`emit`.  Instrumented code must guard
+    event construction with ``if tracer.enabled:`` — the flag check is
+    the *only* cost a disabled tracer adds.
+    """
+
+    #: Whether instrumented code should construct and emit events.
+    enabled: bool = False
+
+    def emit(self, event: TraceEvent) -> None:
+        """Observe one event (no-op in the base tracer)."""
+
+
+class NullTracer(Tracer):
+    """Explicitly-named no-op tracer (identical to the base)."""
+
+
+#: Shared no-op instance used as the default everywhere.
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer(Tracer):
+    """Tracer that records every event in emission order.
+
+    The recorded list is append-only during a run; ``clear()`` starts a
+    fresh recording.  Events are timestamped with the *simulated* clock,
+    so a recording is deterministic and diffable across runs.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(
+        self, *kinds: str
+    ) -> List[TraceEvent]:
+        """The recorded events whose kind is one of ``kinds``, in order."""
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def of_type(self, event_type: Type[TraceEvent]) -> List[TraceEvent]:
+        """The recorded events of one dataclass type, in order."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def __repr__(self) -> str:
+        return f"RecordingTracer({len(self.events)} events)"

@@ -23,6 +23,7 @@ seconds while remaining exact for the modelled semantics.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,6 +38,17 @@ from ..fabric.fabric import Fabric
 from ..fabric.faults import FaultModel, NoFaults, RetryPolicy
 from ..fabric.reconfig import ReconfigPort
 from ..isa.processor import BaseProcessor
+from ..obs.events import (
+    DegradedEnter,
+    DegradedExit,
+    HotSpotSwitch,
+    RunEnd,
+    RunStart,
+    SchedulerDecision,
+    SIUpgrade,
+)
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..workload.trace import HotSpotTrace, Workload
 from .results import LatencyEvent, Segment, SimulationResult
 
@@ -65,6 +77,15 @@ class SystemSimulator(ABC):
         when omitted); see :mod:`repro.fabric.faults`.
     retry_policy:
         How the reconfiguration port reacts to transient load failures.
+    tracer:
+        Observability sink for the typed run events (hot-spot switches,
+        scheduler decisions, atom loads, SI upgrades, degraded segments);
+        see :mod:`repro.obs`.  Defaults to the no-op tracer, in which
+        case no event objects are ever constructed.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        wall-clock scheduler-decision timings and end-of-run gauges.
+        Wall-clock readings never enter the (deterministic) event log.
     """
 
     #: Reported in results as the system column.
@@ -80,6 +101,8 @@ class SystemSimulator(ABC):
         eviction_policy: Optional[EvictionPolicy] = None,
         fault_model: Optional[FaultModel] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if registry.space != library.space:
             raise SimulationError(
@@ -96,14 +119,24 @@ class SystemSimulator(ABC):
         self.retry_policy = (
             retry_policy if retry_policy is not None else RetryPolicy()
         )
-        self.fabric = Fabric(registry, num_acs, eviction_policy=eviction_policy)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.fabric = Fabric(
+            registry,
+            num_acs,
+            eviction_policy=eviction_policy,
+            tracer=self.tracer,
+        )
         self.port = ReconfigPort(
             self.fabric,
             fault_model=self.fault_model,
             retry_policy=self.retry_policy,
+            tracer=self.tracer,
         )
         self._sis = {si.name: si for si in library}
         self._degraded_cycles = 0
+        self._obs_last_latency: Dict[str, int] = {}
+        self._obs_degraded = False
 
     # -- hooks for the concrete systems ------------------------------------------
 
@@ -133,6 +166,28 @@ class SystemSimulator(ABC):
     def _finish(self, trace: HotSpotTrace, context: object) -> None:
         """Hook called after a hot-spot invocation completed."""
 
+    def _decision_event(
+        self,
+        trace: HotSpotTrace,
+        context: object,
+        cycle: int,
+        atom_sequence: Sequence[str],
+    ) -> SchedulerDecision:
+        """Build the trace event describing a scheduler decision.
+
+        The base implementation records the chosen load order only;
+        systems with richer planning state (RISPP's candidate evaluation
+        with HEF benefit terms) override this to attach it.
+        """
+        return SchedulerDecision(
+            cycle=cycle,
+            hot_spot=trace.hot_spot,
+            scheduler=self.scheduler_name,
+            selection=(),
+            steps=(),
+            atom_sequence=tuple(atom_sequence),
+        )
+
     # -- main loop -------------------------------------------------------------------
 
     def reset(self) -> None:
@@ -148,8 +203,11 @@ class SystemSimulator(ABC):
             self.fabric,
             fault_model=self.fault_model,
             retry_policy=self.retry_policy,
+            tracer=self.tracer,
         )
         self._degraded_cycles = 0
+        self._obs_last_latency = {}
+        self._obs_degraded = False
 
     def run(self, workload: Workload) -> SimulationResult:
         """Replay ``workload`` and return the accounted result."""
@@ -163,13 +221,48 @@ class SystemSimulator(ABC):
             [] if self.record_segments else None
         )
         last_latency: Dict[str, int] = {}
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                RunStart(
+                    cycle=0,
+                    system=self.system_name,
+                    scheduler=self.scheduler_name,
+                    num_acs=self.num_acs,
+                    workload_name=workload.name,
+                )
+            )
 
-        for trace in workload:
+        for trace_index, trace in enumerate(workload):
             start = now
+            # Drain completions up to the switch cycle first so the event
+            # log stays non-decreasing in cycle across trace boundaries.
+            self.port.advance_to(now)
+            if tracer.enabled:
+                tracer.emit(
+                    HotSpotSwitch(
+                        cycle=now,
+                        hot_spot=trace.hot_spot,
+                        frame_index=trace.frame_index,
+                        trace_index=trace_index,
+                        entry_overhead=self.processor.hot_spot_entry_overhead,
+                    )
+                )
             now += self.processor.hot_spot_entry_overhead
             self.port.advance_to(now)
             available = self.fabric.available()
-            atom_sequence, retained, context = self._plan(trace, available)
+            if self.metrics is not None:
+                t0 = time.perf_counter()
+                atom_sequence, retained, context = self._plan(trace, available)
+                self.metrics.histogram("scheduler.decision_seconds").observe(
+                    time.perf_counter() - t0
+                )
+            else:
+                atom_sequence, retained, context = self._plan(trace, available)
+            if tracer.enabled:
+                tracer.emit(
+                    self._decision_event(trace, context, now, atom_sequence)
+                )
             self.port.replace_queue(list(atom_sequence), retained, now)
             now = self._execute(
                 trace, context, now, segments, latency_events, last_latency
@@ -185,6 +278,20 @@ class SystemSimulator(ABC):
                 frame_cycles.get(trace.frame_index, 0) + elapsed
             )
 
+        if tracer.enabled:
+            tracer.emit(RunEnd(cycle=now, total_cycles=now))
+        if self.metrics is not None:
+            self.metrics.gauge("run.total_cycles").set(now)
+            self.metrics.gauge("bus.busy_cycles").set(self.port.busy_cycles)
+            self.metrics.gauge("bus.busy_fraction").set(
+                min(1.0, self.port.busy_cycles / now) if now else 0.0
+            )
+            self.metrics.gauge("loads.completed").set(
+                self.port.loads_completed
+            )
+            self.metrics.gauge("fabric.evictions").set(
+                self.fabric.num_evictions
+            )
         per_frame = [
             frame_cycles[idx] for idx in sorted(frame_cycles)
         ]
@@ -237,10 +344,26 @@ class SystemSimulator(ABC):
         n_iterations = trace.iterations
         overhead = trace.overhead_per_iteration
         i = 0
+        tracer = self.tracer
         while i < n_iterations:
             self.port.advance_to(now)
             available = self.fabric.available()
             latvec, used = self._effective_latencies(trace, available, context)
+            if tracer.enabled:
+                for col, si_name in enumerate(trace.si_names):
+                    lat = int(latvec[col])
+                    if self._obs_last_latency.get(si_name) != lat:
+                        self._obs_last_latency[si_name] = lat
+                        impl = self._impl_for(si_name, available, context)
+                        tracer.emit(
+                            SIUpgrade(
+                                cycle=now,
+                                si_name=si_name,
+                                molecule=impl.name,
+                                latency=lat,
+                                software=impl.is_software,
+                            )
+                        )
             if latency_events is not None:
                 for col, si_name in enumerate(trace.si_names):
                     lat = int(latvec[col])
@@ -266,6 +389,13 @@ class SystemSimulator(ABC):
             # port is burning its time budget on a retry.  Summed up so
             # experiments can quantify the fault-induced slowdown.
             degraded = self.fabric.is_degraded or self.port.is_retrying
+            if tracer.enabled and degraded != self._obs_degraded:
+                self._obs_degraded = degraded
+                tracer.emit(
+                    DegradedEnter(cycle=now)
+                    if degraded
+                    else DegradedExit(cycle=now)
+                )
             if degraded:
                 self._degraded_cycles += span
             if segments is not None:

@@ -25,6 +25,7 @@ from ..core.selection import MoleculeSelection, select_molecules
 from ..core.si import MoleculeImpl, SILibrary
 from ..fabric.atom import AtomRegistry
 from ..isa.processor import BaseProcessor
+from ..obs.events import SchedulerDecision
 from ..workload.trace import HotSpotTrace
 from .engine import SystemSimulator
 
@@ -55,6 +56,8 @@ class MolenSimulator(SystemSimulator):
         eviction_policy=None,
         fault_model=None,
         retry_policy=None,
+        tracer=None,
+        metrics=None,
     ):
         super().__init__(
             library,
@@ -65,6 +68,8 @@ class MolenSimulator(SystemSimulator):
             eviction_policy=eviction_policy,
             fault_model=fault_model,
             retry_policy=retry_policy,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.monitor = monitor if monitor is not None else ExecutionMonitor()
 
@@ -105,6 +110,29 @@ class MolenSimulator(SystemSimulator):
             virtual = virtual | impl.atoms
         context = _MolenContext(selection=selection, expected=dict(expected))
         return atom_sequence, selection.meta, context
+
+    def _decision_event(
+        self,
+        trace: HotSpotTrace,
+        context: _MolenContext,
+        cycle: int,
+        atom_sequence: Sequence[str],
+    ) -> SchedulerDecision:
+        selection = tuple(
+            sorted(
+                (si_name, impl.name)
+                for si_name, impl in
+                context.selection.hardware_selection().items()
+            )
+        )
+        return SchedulerDecision(
+            cycle=cycle,
+            hot_spot=trace.hot_spot,
+            scheduler=self.scheduler_name,
+            selection=selection,
+            steps=(),
+            atom_sequence=tuple(atom_sequence),
+        )
 
     def _impl_for(
         self, si_name: str, available: Molecule, context: _MolenContext

@@ -19,6 +19,7 @@ from ..core.schedulers.base import AtomScheduler
 from ..core.si import MoleculeImpl, SILibrary
 from ..fabric.atom import AtomRegistry
 from ..isa.processor import BaseProcessor
+from ..obs.events import DecisionStep, SchedulerDecision
 from ..workload.trace import HotSpotTrace
 from .engine import SystemSimulator
 
@@ -54,6 +55,8 @@ class RisppSimulator(SystemSimulator):
         eviction_policy=None,
         fault_model=None,
         retry_policy=None,
+        tracer=None,
+        metrics=None,
     ):
         super().__init__(
             library,
@@ -64,6 +67,8 @@ class RisppSimulator(SystemSimulator):
             eviction_policy=eviction_policy,
             fault_model=fault_model,
             retry_policy=retry_policy,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.runtime = RuntimeManager(
             library,
@@ -104,6 +109,52 @@ class RisppSimulator(SystemSimulator):
         self, si_name: str, available: Molecule, context: HotSpotPlan
     ) -> MoleculeImpl:
         return self.runtime.dispatch(si_name, available)
+
+    def _decision_event(
+        self,
+        trace: HotSpotTrace,
+        context: HotSpotPlan,
+        cycle: int,
+        atom_sequence: Sequence[str],
+    ) -> SchedulerDecision:
+        """Attach the candidate evaluation behind the chosen schedule.
+
+        Each upgrade step carries the two terms every scheduler's
+        profitability view reduces to: the benefit numerator
+        ``expected × (latency_before − latency_after)`` and the
+        denominator ``|a ⊖ o|`` (atoms still to load) — for HEF these
+        are exactly the cross-multiplied comparison terms.
+        """
+        steps = []
+        for step in context.schedule.steps:
+            si_name = step.impl.si_name
+            expected = context.expected.get(si_name, 0.0)
+            steps.append(
+                DecisionStep(
+                    si_name=si_name,
+                    molecule=step.impl.name,
+                    num_loads=step.num_loads,
+                    latency_before=step.latency_before,
+                    latency_after=min(step.latency_before, step.impl.latency),
+                    benefit_num=expected * step.improvement,
+                    benefit_den=step.num_loads,
+                )
+            )
+        selection = tuple(
+            sorted(
+                (si_name, impl.name)
+                for si_name, impl in
+                context.selection.hardware_selection().items()
+            )
+        )
+        return SchedulerDecision(
+            cycle=cycle,
+            hot_spot=trace.hot_spot,
+            scheduler=self.scheduler_name,
+            selection=selection,
+            steps=tuple(steps),
+            atom_sequence=tuple(atom_sequence),
+        )
 
     def _finish(self, trace: HotSpotTrace, context: HotSpotPlan) -> None:
         self.runtime.finish_hot_spot(trace.hot_spot, trace.totals())

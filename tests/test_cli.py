@@ -122,3 +122,90 @@ class TestFaultInjectionFlags:
         # One row per AC count of --ac-list.
         rows = [l for l in out.splitlines() if l.strip().startswith(("4", "8"))]
         assert len(rows) == 2
+
+
+class TestTraceFlags:
+    def test_trace_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["simulate", "--trace-out", "t.json", "--trace-format", "chrome"]
+        )
+        assert args.trace_out == "t.json"
+        assert args.trace_format == "chrome"
+
+    def test_unknown_trace_format_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["simulate", "--trace-out", "t.json",
+                 "--trace-format", "yaml"]
+            )
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize(
+        "fmt,probe",
+        [("json", '"schema"'), ("chrome", "traceEvents"),
+         ("summary", "run start")],
+    )
+    def test_simulate_writes_trace(self, tmp_path, capsys, fmt, probe):
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["simulate", "--frames", "1", "--trace-out", str(out_path),
+             "--trace-format", fmt]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and str(out_path) in out
+        assert probe in out_path.read_text()
+
+    def test_simulate_json_trace_round_trips(self, tmp_path, capsys):
+        from repro.obs import read_event_log
+
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["simulate", "--frames", "1", "--trace-out", str(out_path)]
+        ) == 0
+        events = read_event_log(out_path)
+        assert events[0].kind == "run_start"
+        assert events[-1].kind == "run_end"
+
+    def test_simulate_chrome_trace_validates(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["simulate", "--frames", "1", "--trace-out", str(out_path),
+             "--trace-format", "chrome"]
+        ) == 0
+        validate_chrome_trace(json.loads(out_path.read_text()))
+
+    def test_sweep_writes_one_trace_per_cell(self, tmp_path, capsys):
+        base = tmp_path / "sweep.json"
+        assert main(
+            ["sweep", "--frames", "1", "--ac-list", "4,8",
+             "--trace-out", str(base)]
+        ) == 0
+        out = capsys.readouterr().out
+        written = sorted(tmp_path.glob("sweep.*.json"))
+        assert len(written) == 2
+        for path in written:
+            assert str(path) in out
+
+    def test_unwritable_trace_path_fails_cleanly(self, tmp_path, capsys):
+        blocker = tmp_path / "file.txt"
+        blocker.write_text("occupied")
+        bad = blocker / "trace.json"  # a file is not a directory
+        assert main(
+            ["simulate", "--frames", "1", "--trace-out", str(bad)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot write trace" in err
+
+    def test_unwritable_sweep_trace_path_fails_cleanly(self, tmp_path, capsys):
+        blocker = tmp_path / "file.txt"
+        blocker.write_text("occupied")
+        bad = blocker / "sweep.json"
+        assert main(
+            ["sweep", "--frames", "1", "--ac-list", "4",
+             "--trace-out", str(bad)]
+        ) == 1
+        assert "cannot write trace" in capsys.readouterr().err

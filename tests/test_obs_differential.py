@@ -1,0 +1,158 @@
+"""Differential replay: the naive per-iteration interpreter must agree
+with the analytic engine on exact cycle counts.
+
+The engine advances span by span with a vectorised cumulative sum; the
+replay in :mod:`repro.obs.replay` walks iteration by iteration in plain
+integer arithmetic using only the recorded event log.  Any disagreement
+— on a single cycle — means either the span math (including the
+straddling-iteration rule) or the event emission is broken.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    AtomSpace,
+    AtomRegistry,
+    HotSpotTrace,
+    MoleculeImpl,
+    RecordingTracer,
+    SILibrary,
+    SpecialInstruction,
+    Workload,
+    generate_workload,
+    replay_total_cycles,
+)
+from repro.core.schedulers import PAPER_SCHEDULERS, get_scheduler
+from repro.errors import ObservabilityError
+from repro.obs.events import LoadComplete, SIUpgrade
+from repro.sim.molen import MolenSimulator
+from repro.sim.rispp import RisppSimulator
+
+
+GRID_WORKLOAD = dict(num_frames=2, seed=2008)
+AC_COUNTS = (4, 10)
+
+
+@pytest.fixture(scope="module")
+def grid_workload():
+    return generate_workload(**GRID_WORKLOAD)
+
+
+@pytest.mark.parametrize("scheduler", PAPER_SCHEDULERS)
+@pytest.mark.parametrize("num_acs", AC_COUNTS)
+def test_replay_matches_engine_exactly(
+    h264_library, h264_registry, grid_workload, scheduler, num_acs
+):
+    tracer = RecordingTracer()
+    sim = RisppSimulator(
+        h264_library,
+        h264_registry,
+        get_scheduler(scheduler),
+        num_acs,
+        tracer=tracer,
+    )
+    result = sim.run(grid_workload)
+    assert replay_total_cycles(list(tracer), grid_workload) == (
+        result.total_cycles
+    )
+
+
+def test_replay_matches_molen(h264_library, h264_registry, grid_workload):
+    tracer = RecordingTracer()
+    sim = MolenSimulator(h264_library, h264_registry, 10, tracer=tracer)
+    result = sim.run(grid_workload)
+    assert replay_total_cycles(list(tracer), grid_workload) == (
+        result.total_cycles
+    )
+
+
+def test_replay_rejects_wrong_workload(
+    h264_library, h264_registry, grid_workload
+):
+    tracer = RecordingTracer()
+    sim = RisppSimulator(
+        h264_library, h264_registry, get_scheduler("HEF"), 10, tracer=tracer
+    )
+    sim.run(grid_workload)
+    other = generate_workload(num_frames=1, seed=2008)
+    with pytest.raises(ObservabilityError):
+        replay_total_cycles(list(tracer), other)
+
+
+# -- the drain/straddle edge of the span arithmetic ---------------------------
+
+
+def _single_atom_platform():
+    """One SI, one single-atom molecule: the smallest upgrade scenario."""
+    space = AtomSpace(["A"])
+    si = SpecialInstruction(
+        "SI1",
+        space,
+        1000,
+        [MoleculeImpl("SI1", "m1", space.molecule({"A": 1}), 400)],
+    )
+    library = SILibrary(space, [si])
+    registry = AtomRegistry.uniform(["A"])
+    return library, registry
+
+
+def _run_single_atom(n_iterations):
+    library, registry = _single_atom_platform()
+    counts = np.ones((n_iterations, 1), dtype=np.int64)
+    workload = Workload(
+        "straddle", [HotSpotTrace("HS", ("SI1",), counts)]
+    )
+    tracer = RecordingTracer()
+    sim = RisppSimulator(
+        library, registry, get_scheduler("HEF"), 1, tracer=tracer
+    )
+    result = sim.run(workload)
+    events = list(tracer)
+    upgrades = [e for e in events if isinstance(e, SIUpgrade)]
+    completes = [e for e in events if isinstance(e, LoadComplete)]
+    return result, upgrades, completes, workload, events
+
+
+def test_straddling_iteration_finishes_at_old_latency():
+    """General case: hand-computed totals with the straddle rule.
+
+    ``k = ceil(budget / L0)`` iterations run at the software latency —
+    the ones strictly before the atom completes *plus* the one in flight
+    when it lands — and the rest at the hardware latency.
+    """
+    entry = 200  # BaseProcessor default hot-spot entry overhead
+    n = 200
+    result, upgrades, completes, workload, events = _run_single_atom(n)
+    assert len(completes) == 1
+    l0 = upgrades[0].latency  # software (trap) latency
+    l1 = upgrades[1].latency  # hardware latency after the upgrade
+    assert l1 < l0
+    budget = completes[0].cycle - entry
+    k = math.ceil(budget / l0)
+    assert 0 < k < n, "choose n so the completion lands mid-trace"
+    expected = entry + k * l0 + (n - k) * l1
+    assert result.total_cycles == expected
+    # The upgrade event lands at the end of the straddling iteration,
+    # not at the raw completion cycle.
+    assert upgrades[1].cycle == entry + k * l0
+    assert replay_total_cycles(events, workload) == expected
+
+
+def test_final_iteration_straddling_completion_keeps_old_latency():
+    """Regression: a trace that ends *while* the last atom is still
+    loading (or just completed mid-iteration) must finish entirely at
+    the old latencies — the drain must not retro-apply the upgrade."""
+    entry = 200
+    # First learn where the completion lands, then shrink the trace so
+    # the completion falls inside (or after) its final iteration.
+    probe, upgrades, completes, _, _ = _run_single_atom(200)
+    l0 = upgrades[0].latency
+    budget = completes[0].cycle - entry
+    k = math.ceil(budget / l0)
+    for n in (k, k - 1):
+        result, _, _, workload, events = _run_single_atom(n)
+        assert result.total_cycles == entry + n * l0
+        assert replay_total_cycles(events, workload) == entry + n * l0

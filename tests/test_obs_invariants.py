@@ -1,0 +1,112 @@
+"""Property tests of the recorded event streams.
+
+Whatever the platform, workload, scheduler or AC budget, a recorded run
+must satisfy the structural invariants of the modelled hardware:
+
+* the serial reconfiguration bus never loads two atoms concurrently,
+* every completion was preceded by a matching load start,
+* within one scheduler decision, each SI's planned latency only improves,
+* the event log is non-decreasing in cycle time.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RecordingTracer, generate_workload
+from repro.core.schedulers import PAPER_SCHEDULERS, get_scheduler
+from repro.obs.events import (
+    LoadComplete,
+    LoadFailed,
+    LoadStart,
+    SchedulerDecision,
+)
+from repro.sim.rispp import RisppSimulator
+
+
+runs = st.fixed_dictionaries(
+    {
+        "scheduler": st.sampled_from(PAPER_SCHEDULERS),
+        "num_acs": st.integers(min_value=1, max_value=12),
+        "frames": st.integers(min_value=1, max_value=2),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+    }
+)
+
+
+def _record_run(h264_library, h264_registry, params):
+    tracer = RecordingTracer()
+    sim = RisppSimulator(
+        h264_library,
+        h264_registry,
+        get_scheduler(params["scheduler"]),
+        params["num_acs"],
+        tracer=tracer,
+    )
+    workload = generate_workload(
+        num_frames=params["frames"], seed=params["seed"]
+    )
+    sim.run(workload)
+    return list(tracer)
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=runs)
+def test_bus_is_serial(h264_library, h264_registry, params):
+    """A load may only start once the previous one left the bus."""
+    events = _record_run(h264_library, h264_registry, params)
+    previous_completion = None
+    for event in events:
+        if isinstance(event, LoadStart):
+            if previous_completion is not None:
+                assert event.cycle >= previous_completion
+            previous_completion = event.expected_completion
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=runs)
+def test_every_completion_has_a_matching_start(
+    h264_library, h264_registry, params
+):
+    events = _record_run(h264_library, h264_registry, params)
+    in_flight = None
+    completions = 0
+    for event in events:
+        if isinstance(event, LoadStart):
+            in_flight = event
+        elif isinstance(event, (LoadComplete, LoadFailed)):
+            assert in_flight is not None
+            assert event.atom_type == in_flight.atom_type
+            assert event.container_index == in_flight.container_index
+            if isinstance(event, LoadComplete):
+                assert event.cycle == in_flight.expected_completion
+                completions += 1
+            in_flight = None
+    assert completions > 0 or params["num_acs"] == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=runs)
+def test_decision_upgrades_are_monotone(h264_library, h264_registry, params):
+    """Per SI, a decision's upgrade ladder only improves the latency,
+    and no step plans a regression past its starting point."""
+    events = _record_run(h264_library, h264_registry, params)
+    decisions = [e for e in events if isinstance(e, SchedulerDecision)]
+    assert decisions, "every hot-spot entry records a decision"
+    for decision in decisions:
+        best = {}
+        for step in decision.steps:
+            assert step.latency_after <= step.latency_before
+            assert step.num_loads >= 1
+            assert step.benefit_den >= 1
+            if step.si_name in best:
+                assert step.latency_after <= best[step.si_name]
+            best[step.si_name] = step.latency_after
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=runs)
+def test_events_are_time_ordered(h264_library, h264_registry, params):
+    events = _record_run(h264_library, h264_registry, params)
+    cycles = [event.cycle for event in events]
+    assert cycles == sorted(cycles)
+    assert all(cycle >= 0 for cycle in cycles)

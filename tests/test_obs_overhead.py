@@ -1,0 +1,65 @@
+"""Zero-overhead-by-default guard.
+
+Instrumentation must be free when nobody listens: a run with the
+explicit :class:`NullTracer` is bit-identical to a tracer-free run, a
+recorded run is bit-identical to both, and the null path costs no
+measurable wall time (all event construction sits behind
+``tracer.enabled`` checks).
+"""
+
+import time
+
+from repro import NULL_TRACER, NullTracer, RecordingTracer, generate_workload
+from repro.core.schedulers import get_scheduler
+from repro.sim.rispp import RisppSimulator
+
+
+def _run(h264_library, h264_registry, tracer=None):
+    sim = RisppSimulator(
+        h264_library, h264_registry, get_scheduler("HEF"), 8, tracer=tracer
+    )
+    workload = generate_workload(num_frames=1, seed=2008)
+    start = time.perf_counter()
+    result = sim.run(workload)
+    return result, time.perf_counter() - start
+
+
+def test_null_tracer_is_bit_identical(h264_library, h264_registry):
+    plain, _ = _run(h264_library, h264_registry)
+    null, _ = _run(h264_library, h264_registry, NullTracer())
+    recorded, _ = _run(h264_library, h264_registry, RecordingTracer())
+    assert null.to_json_dict() == plain.to_json_dict()
+    assert recorded.to_json_dict() == plain.to_json_dict()
+
+
+def test_null_tracer_is_the_default(h264_library, h264_registry):
+    sim = RisppSimulator(
+        h264_library, h264_registry, get_scheduler("HEF"), 8
+    )
+    assert sim.tracer is NULL_TRACER
+    assert not sim.tracer.enabled
+    assert sim.fabric.tracer is NULL_TRACER
+    assert sim.port.tracer is NULL_TRACER
+
+
+def test_null_tracer_wall_time_overhead_is_negligible(
+    h264_library, h264_registry
+):
+    """Best-of-five comparison: the NullTracer run must stay within 5%
+    of the tracer-free run (plus a small absolute slack against timer
+    noise on loaded CI machines)."""
+    plain = min(
+        _run(h264_library, h264_registry)[1] for _ in range(5)
+    )
+    null = min(
+        _run(h264_library, h264_registry, NullTracer())[1] for _ in range(5)
+    )
+    assert null <= plain * 1.05 + 0.005, (
+        f"NullTracer run took {null:.4f}s vs {plain:.4f}s tracer-free"
+    )
+
+
+def test_null_tracer_emit_is_a_no_op():
+    tracer = NullTracer()
+    assert tracer.enabled is False
+    tracer.emit(object())  # accepts anything, stores nothing
