@@ -1,5 +1,7 @@
 """``python -m repro`` — regenerate the paper's tables and figures."""
 
+from __future__ import annotations
+
 import sys
 
 from .cli import main

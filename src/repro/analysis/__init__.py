@@ -6,6 +6,8 @@ runs the simulations and returns structured results; ``tables`` and
 EXPERIMENTS.md records them against the paper's numbers).
 """
 
+from __future__ import annotations
+
 from .experiments import (
     ExperimentScale,
     Fig2Result,

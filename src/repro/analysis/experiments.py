@@ -14,8 +14,8 @@ speedup *shapes* stabilise after a handful of frames.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,7 +23,6 @@ from ..calibration import AC_COUNT_SWEEP, NUM_FRAMES
 from ..core.molecule import Molecule
 from ..core.schedulers import PAPER_SCHEDULERS, get_scheduler
 from ..core.si import MoleculeImpl, SILibrary, SpecialInstruction
-from ..core.schedule import Schedule
 from ..exec.cache import ResultCache
 from ..exec.runner import SweepReport, cache_from_env, default_jobs, run_sweep
 from ..exec.spec import SweepCell, SweepSpec, WorkloadSpec

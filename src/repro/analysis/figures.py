@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
-import numpy as np
 
 from .experiments import Fig2Result, Fig4Result, Fig8Result
 
@@ -88,16 +87,12 @@ def format_figure8(result: Fig8Result, bar_width: int = 24) -> str:
     ]
     for name, (cycles, lats) in result.latency_series.items():
         steps = ", ".join(
-            f"{c/1e3:,.0f}K:{l}" for c, l in zip(cycles, lats)
+            f"{c/1e3:,.0f}K:{lat}" for c, lat in zip(cycles, lats)
         )
         lines.append(f"  {name:<6s} {steps}")
     lines.append("")
     lines.append("Executions per 100K cycles:")
     names = list(result.executions)
-    peak = max(
-        (float(series.max()) for series in result.executions.values()),
-        default=1.0,
-    ) or 1.0
     header = f"{'t[K]':>7s}" + "".join(f"{n:>10s}" for n in names)
     lines.append(header)
     num_bins = len(next(iter(result.executions.values())))

@@ -14,6 +14,14 @@ Usage::
     python -m repro simulate          # one run, fault injection optional
     python -m repro sweep             # AC sweep, fault injection optional
 
+    python -m repro lint              # static-analysis gate (RL001-RL005)
+
+``lint`` is the repository's AST-based invariant analyzer
+(:mod:`repro.lint`): determinism, tracer guards, hygiene, event-schema
+drift and division-free HEF comparisons.  It takes its own flags
+(``--format json``, ``--select``, ``--write-fingerprint``, ...) — see
+``python -m repro lint --help`` — and exits nonzero on findings.
+
 The ``simulate`` and ``sweep`` commands accept ``--fault-rate``,
 ``--fault-seed`` and ``--max-retries`` to exercise the fabric's
 fault-injection and graceful-degradation path; their reports include the
@@ -434,6 +442,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The lint gate has its own flag set and exit-code contract;
+        # dispatch before the experiment parser sees the arguments.
+        from .lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     names: List[str] = []
     for name in args.experiments:

@@ -9,6 +9,8 @@ the online execution-frequency monitor and the Run-Time Manager that ties
 them together.
 """
 
+from __future__ import annotations
+
 from .molecule import AtomSpace, Molecule, sup, inf
 from .si import MoleculeImpl, SpecialInstruction, SILibrary
 from .candidates import expand_candidates, clean_candidates

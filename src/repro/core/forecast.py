@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Callable, Deque, Dict
+from typing import Any, Callable, Deque, Dict
 
 from ..errors import CalibrationError
 
@@ -38,7 +38,7 @@ __all__ = [
 class Predictor(ABC):
     """Forecasts one scalar signal (one SI in one hot spot)."""
 
-    def __init__(self, initial: float):
+    def __init__(self, initial: float) -> None:
         if initial < 0:
             raise CalibrationError(
                 f"initial estimate must be >= 0, got {initial}"
@@ -60,7 +60,7 @@ class Predictor(ABC):
 class EwmaPredictor(Predictor):
     """Exponential smoothing: ``est += alpha * (measured - est)``."""
 
-    def __init__(self, initial: float, alpha: float = 0.5):
+    def __init__(self, initial: float, alpha: float = 0.5) -> None:
         super().__init__(initial)
         if not 0.0 < alpha <= 1.0:
             raise CalibrationError(f"alpha must be in (0, 1], got {alpha}")
@@ -77,7 +77,7 @@ class EwmaPredictor(Predictor):
 class LastValuePredictor(Predictor):
     """Expect exactly what happened last time (EWMA with alpha = 1)."""
 
-    def __init__(self, initial: float):
+    def __init__(self, initial: float) -> None:
         super().__init__(initial)
         self._last = self._initial
 
@@ -91,7 +91,7 @@ class LastValuePredictor(Predictor):
 class SlidingWindowPredictor(Predictor):
     """Mean of the last ``window`` measurements."""
 
-    def __init__(self, initial: float, window: int = 4):
+    def __init__(self, initial: float, window: int = 4) -> None:
         super().__init__(initial)
         if window < 1:
             raise CalibrationError(f"window must be >= 1, got {window}")
@@ -116,7 +116,7 @@ class TrendPredictor(Predictor):
     """
 
     def __init__(self, initial: float, alpha: float = 0.5,
-                 beta: float = 0.3):
+                 beta: float = 0.3) -> None:
         super().__init__(initial)
         if not 0.0 < alpha <= 1.0 or not 0.0 < beta <= 1.0:
             raise CalibrationError("alpha and beta must be in (0, 1]")
@@ -150,7 +150,7 @@ _FACTORIES: Dict[str, PredictorFactory] = {
 }
 
 
-def predictor_factory(name: str, **kwargs) -> PredictorFactory:
+def predictor_factory(name: str, **kwargs: Any) -> PredictorFactory:
     """A factory for the named predictor kind, closing over ``kwargs``.
 
     >>> make = predictor_factory("ewma", alpha=0.25)

@@ -94,7 +94,7 @@ class PipelineLatencyModel:
         roles: Sequence[AtomRole],
         setup_cycles: int = 4,
         drain_cycles: int = 2,
-    ):
+    ) -> None:
         if not roles:
             raise InvalidMoleculeError("a latency model needs at least one role")
         seen = set()

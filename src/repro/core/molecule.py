@@ -50,7 +50,7 @@ class AtomSpace:
 
     __slots__ = ("_names", "_index")
 
-    def __init__(self, atom_names: Sequence[str]):
+    def __init__(self, atom_names: Sequence[str]) -> None:
         names = tuple(atom_names)
         if not names:
             raise InvalidMoleculeError("an atom space needs at least one atom type")
@@ -186,7 +186,7 @@ class Molecule:
 
     __slots__ = ("_space", "_counts", "_hash")
 
-    def __init__(self, space: AtomSpace, counts: Sequence[int]):
+    def __init__(self, space: AtomSpace, counts: Sequence[int]) -> None:
         counts = tuple(int(c) for c in counts)
         if len(counts) != space.size:
             raise InvalidMoleculeError(

@@ -20,8 +20,8 @@ error statistics so experiments can report prediction quality.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import CalibrationError
 from .forecast import EwmaPredictor, Predictor, PredictorFactory
@@ -81,7 +81,7 @@ class ExecutionMonitor:
         profile: Optional[Mapping[str, Mapping[str, float]]] = None,
         default_estimate: float = 1.0,
         predictor_factory: Optional["PredictorFactory"] = None,
-    ):
+    ) -> None:
         if not 0.0 < alpha <= 1.0:
             raise CalibrationError(f"alpha must be in (0, 1], got {alpha}")
         if default_estimate < 0.0:

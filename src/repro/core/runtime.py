@@ -76,7 +76,7 @@ class RuntimeManager:
         num_acs: int,
         monitor: Optional[ExecutionMonitor] = None,
         validate_schedules: bool = False,
-    ):
+    ) -> None:
         self.library = library
         self.scheduler = scheduler
         self.num_acs = int(num_acs)

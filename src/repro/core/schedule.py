@@ -22,8 +22,8 @@ on the atom sequence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import InvalidScheduleError
 from .molecule import AtomSpace, Molecule, sup
@@ -85,7 +85,7 @@ class Schedule:
         space: AtomSpace,
         loads: Sequence[AtomLoad] = (),
         steps: Sequence[UpgradeStep] = (),
-    ):
+    ) -> None:
         self._space = space
         self._loads: List[AtomLoad] = list(loads)
         self._steps: List[UpgradeStep] = list(steps)

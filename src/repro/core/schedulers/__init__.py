@@ -7,6 +7,8 @@ registered under their short name; use :func:`get_scheduler` to
 instantiate one by name.
 """
 
+from __future__ import annotations
+
 from .base import (
     AtomScheduler,
     SchedulerState,

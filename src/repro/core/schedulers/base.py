@@ -21,7 +21,7 @@ and the ``bestLatency`` array (line 28).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Optional, Tuple, Type
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Type
 
 from ...errors import InvalidScheduleError, UnknownSpecialInstructionError
 from ..candidates import best_latency_map, clean_candidates, expand_candidates
@@ -47,7 +47,7 @@ class SchedulerState:
         sis: Mapping[str, SpecialInstruction],
         available: Molecule,
         expected: Mapping[str, float],
-    ):
+    ) -> None:
         if not selection:
             raise InvalidScheduleError("cannot schedule an empty selection")
         for si_name in selection:
@@ -312,7 +312,7 @@ def register_scheduler(cls: Type[AtomScheduler]) -> Type[AtomScheduler]:
     return cls
 
 
-def get_scheduler(name: str, **kwargs) -> AtomScheduler:
+def get_scheduler(name: str, **kwargs: Any) -> AtomScheduler:
     """Instantiate a scheduler by its registry name (case-insensitive)."""
     try:
         cls = _REGISTRY[name.upper()]

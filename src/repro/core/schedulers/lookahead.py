@@ -25,7 +25,7 @@ sets.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Tuple
 
 from ..candidates import clean_candidates
 from ..molecule import Molecule
@@ -46,7 +46,7 @@ class _Node:
         best_latency: Dict[str, int],
         steps: Tuple[MoleculeImpl, ...],
         cost: float,
-    ):
+    ) -> None:
         self.available = available
         self.best_latency = best_latency
         self.steps = steps
@@ -67,7 +67,7 @@ class LookaheadScheduler(AtomScheduler):
 
     name = "LOOKAHEAD"
 
-    def __init__(self, beam_width: int = 8):
+    def __init__(self, beam_width: int = 8) -> None:
         if beam_width < 1:
             raise ValueError(f"beam width must be >= 1, got {beam_width}")
         self.beam_width = int(beam_width)

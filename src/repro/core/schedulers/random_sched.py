@@ -22,7 +22,7 @@ class RandomScheduler(AtomScheduler):
 
     name = "RANDOM"
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._rng = random.Random(self.seed)
 

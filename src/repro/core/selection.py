@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SelectionError
-from .molecule import Molecule, sup
+from .molecule import AtomSpace, Molecule, sup
 from .si import MoleculeImpl, SpecialInstruction
 
 __all__ = ["MoleculeSelection", "select_molecules", "select_molecules_optimal"]
@@ -80,7 +80,7 @@ def _meta_with(
     selection: Dict[str, MoleculeImpl],
     si_name: str,
     impl: MoleculeImpl,
-    space,
+    space: AtomSpace,
 ) -> Molecule:
     """``sup`` of the selection with ``si_name`` replaced by ``impl``."""
     atoms = [

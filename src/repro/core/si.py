@@ -16,8 +16,8 @@ molecule selection and atom scheduling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from ..errors import (
     InvalidMoleculeError,
@@ -106,7 +106,7 @@ class SpecialInstruction:
         space: AtomSpace,
         software_latency: int,
         molecules: Iterable[MoleculeImpl],
-    ):
+    ) -> None:
         if not name:
             raise InvalidMoleculeError("SI name must be non-empty")
         if software_latency <= 0:
@@ -276,7 +276,7 @@ class SILibrary:
     the library (or a per-hot-spot subset of its SIs) as input.
     """
 
-    def __init__(self, space: AtomSpace, sis: Iterable[SpecialInstruction]):
+    def __init__(self, space: AtomSpace, sis: Iterable[SpecialInstruction]) -> None:
         self._space = space
         self._sis: Dict[str, SpecialInstruction] = {}
         for si in sis:

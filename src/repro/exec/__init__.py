@@ -19,6 +19,8 @@ bit-identical to both.  The figure/table drivers in
 benchmark harness all execute through this engine.
 """
 
+from __future__ import annotations
+
 from .cache import CODE_VERSION_SALT, ResultCache, canonical_json, cell_key
 from .runner import (
     CellOutcome,

@@ -90,7 +90,7 @@ class ResultCache:
         self,
         root: Union[str, Path],
         salt: str = CODE_VERSION_SALT,
-    ):
+    ) -> None:
         self.root = Path(root)
         self.salt = str(salt)
         #: Read/write statistics since construction.

@@ -21,10 +21,11 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
-    Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -35,6 +36,10 @@ from typing import (
 from ..sim.results import SimulationResult
 from .cache import ResultCache
 from .spec import SweepCell, SweepSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.tracer import Tracer
 
 __all__ = [
     "CellOutcome",
@@ -63,8 +68,8 @@ def cache_from_env() -> Optional[ResultCache]:
 
 def execute_cell(
     cell: SweepCell,
-    tracer=None,
-    metrics=None,
+    tracer: Optional["Tracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> SimulationResult:
     """Run one cell's simulation from scratch (no cache, no pool).
 
@@ -155,7 +160,7 @@ class SweepReport:
     elapsed: float = 0.0
     jobs: int = 1
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[CellOutcome]:
         return iter(self.outcomes)
 
     def __len__(self) -> int:
@@ -193,7 +198,9 @@ class SweepReport:
             f"{self.elapsed:.2f}s wall ({self.jobs} jobs)"
         )
 
-    def metrics(self, registry=None):
+    def metrics(
+        self, registry: Optional["MetricsRegistry"] = None
+    ) -> "MetricsRegistry":
         """Sweep-level aggregates as a :class:`~repro.obs.metrics.MetricsRegistry`.
 
         Fills ``cells.total``, ``cache.hits`` / ``cache.misses``, the

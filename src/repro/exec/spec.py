@@ -16,9 +16,12 @@ else (no object ids, no insertion order, no hash randomization).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..workload.trace import Workload
 
 __all__ = ["WorkloadSpec", "SweepCell", "SweepSpec"]
 
@@ -50,7 +53,7 @@ class WorkloadSpec:
         if self.hot_spots is not None:
             object.__setattr__(self, "hot_spots", tuple(self.hot_spots))
 
-    def build(self):
+    def build(self) -> "Workload":
         """Generate (and filter) the workload this spec describes."""
         from ..workload.model import H264WorkloadModel
         from ..workload.trace import Workload

@@ -8,6 +8,8 @@ reconfiguration misbehaves (transient bitstream errors, permanent
 container wear-out).
 """
 
+from __future__ import annotations
+
 from .atom import AtomType, AtomRegistry
 from .container import AtomContainer, ContainerState
 from .eviction import (

@@ -14,7 +14,7 @@ application live in.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Tuple
 
 from ..calibration import (
     BITSTREAM_BYTES_AVG,

@@ -11,7 +11,7 @@ scheduler, which is itself a reproduction-relevant observation.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Sequence, Type
+from typing import Dict, Sequence, Type
 
 from ..errors import FabricError
 from .container import AtomContainer

@@ -16,14 +16,14 @@ selection bug, not an expected run-time condition.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..core.molecule import AtomSpace, Molecule
 from ..errors import CapacityError, ContainerFaultError, FabricError
 from ..obs.events import Eviction
 from ..obs.tracer import NULL_TRACER, Tracer
 from .atom import AtomRegistry
-from .container import AtomContainer, ContainerState
+from .container import AtomContainer
 from .eviction import EvictionPolicy, LRUEviction
 
 __all__ = ["Fabric"]

@@ -12,6 +12,8 @@ Two layers live here:
   SI-execution traces the run-time system consumes.
 """
 
+from __future__ import annotations
+
 from .silibrary import (
     ATOM_SADTREE,
     ATOM_SAV,

@@ -17,16 +17,15 @@ multiple reference frames, B frames, and sub-4x4 partitioning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..calibration import MACROBLOCK_SIZE
 from ..errors import TraceError
 from ..workload.trace import HotSpotTrace, Workload
 from .deblock import deblock_vertical_edge
-from .intra import predict_dc, predict_hdc, predict_vdc
+from .intra import predict_hdc, predict_vdc
 from .mc import compensate
 from .quant import dequantise4x4, quantise4x4
 from .sad import sad16x16

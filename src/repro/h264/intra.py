@@ -9,7 +9,7 @@ variant's gradient-corrected output.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

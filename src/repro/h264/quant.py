@@ -42,7 +42,7 @@ def quantise4x4(coefficients: np.ndarray, qp: int) -> np.ndarray:
 def dequantise4x4(levels: np.ndarray, qp: int) -> np.ndarray:
     """Reconstruct coefficients from quantised levels."""
     step = quant_step(qp)
-    l = np.asarray(levels, dtype=np.int64)
-    if l.shape != (4, 4):
-        raise TraceError(f"dequantise4x4 expects 4x4, got {l.shape}")
-    return np.rint(l * step).astype(np.int64)
+    lvl = np.asarray(levels, dtype=np.int64)
+    if lvl.shape != (4, 4):
+        raise TraceError(f"dequantise4x4 expects 4x4, got {lvl.shape}")
+    return np.rint(lvl * step).astype(np.int64)

@@ -50,7 +50,7 @@ matches the reported 874.03 us.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.molecule import AtomSpace
 from ..core.si import MoleculeImpl, SILibrary, SpecialInstruction

@@ -10,8 +10,8 @@ scene cut that upsets the monitor's learned expectations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List
 
 import numpy as np
 

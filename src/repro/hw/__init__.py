@@ -7,6 +7,8 @@ from a parameterised structural cost model calibrated against the paper's
 figures; see :mod:`repro.hw.area`.
 """
 
+from __future__ import annotations
+
 from .area import (
     HardwareCharacteristics,
     HEFSchedulerCostModel,

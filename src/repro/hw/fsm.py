@@ -34,13 +34,11 @@ timing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Optional
 
-from ..core.molecule import Molecule
-from ..core.schedule import Schedule
 from ..core.schedulers.base import SchedulerState
 from ..core.schedulers.hef import HEFScheduler
-from ..core.si import MoleculeImpl, SpecialInstruction
+from ..core.si import MoleculeImpl
 
 __all__ = ["FsmTiming", "HEFSchedulerFSM"]
 

@@ -8,6 +8,8 @@ base ISA when its atoms are not yet loaded, and the non-SI instruction
 stream between SI executions.  Both are modelled here.
 """
 
+from __future__ import annotations
+
 from .processor import BaseProcessor
 
 __all__ = ["BaseProcessor"]

@@ -1,0 +1,61 @@
+"""repro.lint — AST-based invariant analyzer for the simulation core.
+
+A rule-registry static-analysis pass (stdlib :mod:`ast` only, no runtime
+dependencies) that machine-checks the repository's cross-cutting
+contracts at commit time:
+
+========  ===================  ==========================================
+ID        name                 contract
+========  ===================  ==========================================
+RL001     determinism          no wall clock / unseeded entropy in
+                               simulation code
+RL002     tracer-guard         event emission dominated by
+                               ``if tracer.enabled``
+RL003     hygiene              no mutable default args, no frozen-
+                               dataclass mutation
+RL004     schema-drift         event dataclasses vs serializers, replay
+                               handlers and the committed schema
+                               fingerprint
+RL005     division-free-hef    scheduler benefit comparisons by
+                               cross-multiplication, never ``/``
+========  ===================  ==========================================
+
+Run it as ``python -m repro lint`` (see :mod:`repro.lint.cli`);
+allowlists live under ``[tool.repro-lint]`` in ``pyproject.toml``
+(:mod:`repro.lint.config`).
+"""
+
+from __future__ import annotations
+
+from .analyzer import analyze_source, iter_source_files, run_analysis
+from .config import LintConfig, LintConfigError, path_matches
+from .findings import Finding
+from .rules import RULES, Module, Rule, parse_module
+from .schema import (
+    EventClass,
+    EventSchema,
+    SchemaDriftRule,
+    parse_event_schema,
+    schema_fingerprint,
+    write_fingerprint,
+)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintConfigError",
+    "path_matches",
+    "RULES",
+    "Module",
+    "Rule",
+    "parse_module",
+    "analyze_source",
+    "run_analysis",
+    "iter_source_files",
+    "EventClass",
+    "EventSchema",
+    "SchemaDriftRule",
+    "parse_event_schema",
+    "schema_fingerprint",
+    "write_fingerprint",
+]

@@ -1,0 +1,98 @@
+"""Drive the rule registry over source trees and single modules.
+
+:func:`analyze_source` lints one module body under a caller-chosen
+relpath — which is also the test seam: fixtures masquerade as e.g.
+``repro/sim/fixture.py`` to land in a rule's scope.  :func:`run_analysis`
+walks a whole source root, applies every per-module rule to the files in
+its scope, then runs the project-level rules (RL004).  Findings come
+back sorted by ``(path, line, col, rule)`` so reports are stable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from .config import LintConfig
+from .findings import Finding
+from .rules import RULES, parse_module
+from .schema import ProjectRule
+
+__all__ = ["analyze_source", "run_analysis", "iter_source_files"]
+
+#: Pseudo-rule ID for files the analyzer cannot parse at all.
+PARSE_ERROR_ID = "RL000"
+
+
+def iter_source_files(src_root: Path) -> Iterator[Tuple[Path, str]]:
+    """Yield ``(path, posix_relpath)`` for every module under the root."""
+    for path in sorted(src_root.rglob("*.py")):
+        yield path, path.relative_to(src_root).as_posix()
+
+
+def _selected(select: Optional[Iterable[str]]) -> Set[str]:
+    if select is None:
+        return set(RULES)
+    return set(select)
+
+
+def analyze_source(
+    source: str,
+    relpath: str,
+    config: Optional[LintConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run the in-scope per-module rules over one module body."""
+    config = config if config is not None else LintConfig()
+    wanted = _selected(select)
+    try:
+        module = parse_module(source, relpath)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=PARSE_ERROR_ID,
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"cannot parse module: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule_id, rule in RULES.items():
+        if rule_id not in wanted or isinstance(rule, ProjectRule):
+            continue
+        if not config.enabled(rule_id):
+            continue
+        if not config.in_scope(rule_id, relpath):
+            continue
+        findings.extend(rule.check(module, config.rule(rule_id)))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def run_analysis(
+    src_root: Path,
+    config: Optional[LintConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint every module under ``src_root``, plus the project rules."""
+    config = config if config is not None else LintConfig()
+    wanted = _selected(select)
+    findings: List[Finding] = []
+    for path, relpath in iter_source_files(src_root):
+        findings.extend(
+            analyze_source(
+                path.read_text(encoding="utf-8"),
+                relpath,
+                config,
+                select=wanted,
+            )
+        )
+    for rule_id, rule in RULES.items():
+        if rule_id not in wanted or not isinstance(rule, ProjectRule):
+            continue
+        if not config.enabled(rule_id):
+            continue
+        findings.extend(
+            rule.check_project(src_root, config.rule(rule_id))
+        )
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,148 @@
+"""``python -m repro lint`` — the repository's static-analysis gate.
+
+Runs every registered rule (RL001-RL005) over the source tree and
+reports findings as ``path:line:col: RLxxx message`` text or as a JSON
+document (``--format json``).  Exit codes: 0 clean, 1 findings, 2 for a
+configuration or usage problem — so the command slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analyzer import run_analysis
+from .config import LintConfig, LintConfigError
+from .rules import RULES
+from .schema import write_fingerprint
+
+__all__ = ["main", "build_parser"]
+
+#: Version of the ``--format json`` report envelope.
+REPORT_VERSION = 1
+
+
+def _default_src_root() -> Path:
+    """The ``src`` directory this installation of repro lives in."""
+    return Path(__file__).resolve().parents[2]
+
+
+def _default_pyproject(src_root: Path) -> Optional[Path]:
+    candidate = src_root.parent / "pyproject.toml"
+    return candidate if candidate.is_file() else None
+
+
+def _rule_list(text: str) -> List[str]:
+    """argparse type: comma-separated known rule IDs."""
+    rules = [part.strip() for part in text.split(",") if part.strip()]
+    unknown = [rule for rule in rules if rule not in RULES]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown rule(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(RULES))}"
+        )
+    if not rules:
+        raise argparse.ArgumentTypeError("empty rule list")
+    return rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based invariant analyzer for the simulation core: "
+            "determinism (RL001), tracer guards (RL002), hygiene "
+            "(RL003), event-schema drift (RL004) and division-free HEF "
+            "comparisons (RL005)."
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--root",
+        default="",
+        metavar="DIR",
+        help="source root to analyze (default: this checkout's src/)",
+    )
+    parser.add_argument(
+        "--pyproject",
+        default="",
+        metavar="FILE",
+        help="pyproject.toml carrying [tool.repro-lint] overrides "
+        "(default: the one next to the source root)",
+    )
+    parser.add_argument(
+        "--select",
+        type=_rule_list,
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--write-fingerprint",
+        action="store_true",
+        help="re-record the committed event-schema fingerprint "
+        "(after a deliberate OBS_SCHEMA_VERSION bump) and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    src_root = Path(args.root) if args.root else _default_src_root()
+    if not src_root.is_dir():
+        print(f"error: no such source root: {src_root}", file=sys.stderr)
+        return 2
+    pyproject = (
+        Path(args.pyproject)
+        if args.pyproject
+        else _default_pyproject(src_root)
+    )
+    try:
+        config = LintConfig.load(pyproject)
+    except LintConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_fingerprint:
+        try:
+            target = write_fingerprint(src_root, config.rule("RL004"))
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote event-schema fingerprint: {target}")
+        return 0
+    findings = run_analysis(src_root, config, select=args.select)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "version": REPORT_VERSION,
+                    "root": str(src_root),
+                    "count": len(findings),
+                    "findings": [f.to_json_dict() for f in findings],
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format_text())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(
+            f"repro lint: {len(findings)} {noun} "
+            f"({len(args.select) if args.select else len(RULES)} rules, "
+            f"root {src_root})"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Lint configuration: built-in defaults overridden by ``pyproject.toml``.
+
+Every rule reads its options from ``[tool.repro-lint.<RULE-ID>]``.  The
+common keys are
+
+``enabled``
+    ``false`` switches the rule off entirely.
+``include``
+    Path globs (POSIX, relative to the source root, e.g.
+    ``repro/core/*``) selecting the modules the rule applies to.  A
+    ``*`` crosses directory separators, so ``repro/core/*`` covers the
+    whole subtree.
+``allow``
+    Path globs exempt from the rule — the *allowlist*.  An allowlisted
+    module is skipped even when ``include`` matches it.  This is the
+    sanctioned way to grant exceptions (e.g. the wall-clock sites
+    ``repro/exec/runner.py`` and ``repro/obs/metrics.py`` under RL001);
+    the entry is reviewable in the diff, unlike an inline pragma.
+
+Rule-specific keys are documented on the rules themselves
+(:mod:`repro.lint.rules`, :mod:`repro.lint.schema`).
+
+Parsing uses :mod:`tomllib` (stdlib since Python 3.11).  On older
+interpreters the built-in defaults apply unchanged — the defaults and
+the committed ``pyproject.toml`` section are kept in sync, so the gate
+behaves identically either way.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - 3.9/3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+from ..errors import RisppError
+
+__all__ = ["LintConfigError", "LintConfig", "path_matches"]
+
+
+class LintConfigError(RisppError):
+    """The ``[tool.repro-lint]`` configuration is malformed."""
+
+
+#: Built-in per-rule defaults; ``pyproject.toml`` overrides key-by-key.
+RULE_DEFAULTS: Dict[str, Dict[str, Any]] = {
+    "RL001": {
+        "enabled": True,
+        "include": ["repro/*"],
+        # The only sanctioned wall-clock sites: the sweep runner's
+        # per-cell timings and the (explicitly non-deterministic)
+        # metrics registry.
+        "allow": ["repro/exec/runner.py", "repro/obs/metrics.py"],
+    },
+    "RL002": {
+        "enabled": True,
+        "include": ["repro/sim/*", "repro/fabric/*", "repro/core/*"],
+        "allow": [],
+        # Event-factory methods: they *return* events and are only ever
+        # invoked under an ``if tracer.enabled`` guard at the call site.
+        "factories": ["_decision_event"],
+    },
+    "RL003": {
+        "enabled": True,
+        "include": ["repro/*"],
+        "allow": [],
+    },
+    "RL004": {
+        "enabled": True,
+        "include": [],
+        "allow": [],
+        "events": "repro/obs/events.py",
+        "export": "repro/obs/export.py",
+        "replay": "repro/obs/replay.py",
+        "fingerprint": "repro/obs/event_schema.json",
+    },
+    "RL005": {
+        "enabled": True,
+        "include": ["repro/core/schedulers/*"],
+        "allow": [],
+    },
+}
+
+
+def path_matches(relpath: str, patterns: Iterable[str]) -> bool:
+    """Whether a POSIX relpath matches any glob (``*`` crosses ``/``)."""
+    return any(fnmatch(relpath, pattern) for pattern in patterns)
+
+
+class LintConfig:
+    """Effective options of every rule after applying overrides."""
+
+    def __init__(
+        self, overrides: Optional[Mapping[str, Any]] = None
+    ) -> None:
+        self._rules: Dict[str, Dict[str, Any]] = {
+            rule_id: dict(options)
+            for rule_id, options in RULE_DEFAULTS.items()
+        }
+        if overrides:
+            self._apply(overrides)
+
+    def _apply(self, overrides: Mapping[str, Any]) -> None:
+        for rule_id, options in overrides.items():
+            if rule_id not in self._rules:
+                raise LintConfigError(
+                    f"[tool.repro-lint] configures unknown rule "
+                    f"{rule_id!r}; known: {sorted(self._rules)}"
+                )
+            if not isinstance(options, Mapping):
+                raise LintConfigError(
+                    f"[tool.repro-lint.{rule_id}] must be a table, got "
+                    f"{type(options).__name__}"
+                )
+            known = self._rules[rule_id]
+            for key, value in options.items():
+                if key not in known:
+                    raise LintConfigError(
+                        f"[tool.repro-lint.{rule_id}] has unknown key "
+                        f"{key!r}; known: {sorted(known)}"
+                    )
+                known[key] = value
+
+    @classmethod
+    def load(cls, pyproject: Optional[Path] = None) -> "LintConfig":
+        """Config from a ``pyproject.toml`` (defaults when unreadable).
+
+        A missing file or a missing ``[tool.repro-lint]`` table yields
+        the defaults; a *malformed* table raises
+        :class:`LintConfigError` (a broken gate must not silently pass).
+        """
+        if pyproject is None or tomllib is None:
+            return cls()
+        try:
+            data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+        except OSError:
+            return cls()
+        except tomllib.TOMLDecodeError as exc:
+            raise LintConfigError(
+                f"cannot parse {str(pyproject)!r}: {exc}"
+            ) from exc
+        section = data.get("tool", {}).get("repro-lint", {})
+        if not isinstance(section, Mapping):
+            raise LintConfigError("[tool.repro-lint] must be a table")
+        return cls(section)
+
+    def rule(self, rule_id: str) -> Dict[str, Any]:
+        """The effective options of ``rule_id``."""
+        return self._rules[rule_id]
+
+    def enabled(self, rule_id: str) -> bool:
+        return bool(self._rules[rule_id].get("enabled", True))
+
+    def in_scope(self, rule_id: str, relpath: str) -> bool:
+        """Whether a module is covered: included and not allowlisted."""
+        options = self._rules[rule_id]
+        return path_matches(
+            relpath, options.get("include", [])
+        ) and not path_matches(relpath, options.get("allow", []))

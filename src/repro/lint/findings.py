@@ -1,0 +1,44 @@
+"""Finding: one static-analysis violation, pinned to a file and line.
+
+A finding is what a rule emits and what the ``repro lint`` CLI renders —
+as ``path:line:col: RLxxx message`` in text mode or as one JSON object
+per finding in ``--format json`` mode.  Findings order stably by
+``(path, line, col, rule_id)`` so repeated runs over the same tree
+produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format_text(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

@@ -1,0 +1,399 @@
+"""RL004 — event-schema drift detection across the observability layer.
+
+The event log is a *versioned* on-disk format: readers hard-reject logs
+whose ``OBS_SCHEMA_VERSION`` they do not know.  That guarantee only
+holds if every schema-visible change actually bumps the version — which
+is exactly the kind of contract that silently rots.  RL004 therefore
+cross-checks, purely statically:
+
+1. **Serializer coverage** — every registered event dataclass in
+   ``events.py`` is referenced by name in ``export.py`` (the Chrome and
+   text renderers must know every kind; the JSON path is generic).
+2. **Replay coverage** — every registered event is either referenced in
+   ``replay.py`` or *explicitly* listed in its ``REPLAY_IGNORED_EVENTS``
+   declaration.  Ignoring an event is fine; ignoring it silently is not.
+   A stale ignore entry (event no longer exists) is also flagged.
+3. **Version discipline** — a SHA-256 fingerprint of the full event
+   schema (every dataclass, its kind tag, its fields and annotations) is
+   committed next to the source (``event_schema.json``).  If the schema
+   changes while ``OBS_SCHEMA_VERSION`` stays put, RL004 fails; after a
+   deliberate bump, ``python -m repro lint --write-fingerprint``
+   re-records the fingerprint.
+
+Everything is derived from the ASTs — the lint gate never imports the
+code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple
+
+from .findings import Finding
+from .rules import Rule, register_rule
+
+__all__ = [
+    "EventClass",
+    "EventSchema",
+    "parse_event_schema",
+    "schema_fingerprint",
+    "write_fingerprint",
+    "SchemaDriftRule",
+]
+
+#: Name of the explicit ignore declaration RL004 expects in replay.py.
+REPLAY_IGNORE_DECLARATION = "REPLAY_IGNORED_EVENTS"
+
+
+@dataclass(frozen=True)
+class EventClass:
+    """Shape of one dataclass in the events module."""
+
+    name: str
+    line: int
+    kind: Optional[str]
+    registered: bool
+    #: ``(field_name, annotation_source)`` in declaration order.
+    fields: Tuple[Tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """All event dataclasses of the events module, by name."""
+
+    classes: Tuple[EventClass, ...]
+
+    def registered(self) -> Tuple[EventClass, ...]:
+        return tuple(c for c in self.classes if c.registered)
+
+    def names(self) -> Set[str]:
+        return {c.name for c in self.classes}
+
+
+def parse_event_schema(source: str, relpath: str) -> EventSchema:
+    """Extract every dataclass (kind, fields) from ``events.py``."""
+    tree = ast.parse(source, filename=relpath)
+    classes: List[EventClass] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        decorators = [_decorator_name(d) for d in node.decorator_list]
+        if "dataclass" not in decorators:
+            continue
+        kind: Optional[str] = None
+        fields: List[Tuple[str, str]] = []
+        for statement in node.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and statement.targets[0].id == "kind"
+                and isinstance(statement.value, ast.Constant)
+                and isinstance(statement.value.value, str)
+            ):
+                kind = statement.value.value
+            elif isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                fields.append(
+                    (
+                        statement.target.id,
+                        ast.unparse(statement.annotation),
+                    )
+                )
+        classes.append(
+            EventClass(
+                name=node.name,
+                line=node.lineno,
+                kind=kind,
+                registered="_register" in decorators,
+                fields=tuple(fields),
+            )
+        )
+    return EventSchema(classes=tuple(classes))
+
+
+def _decorator_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def schema_fingerprint(schema: EventSchema) -> str:
+    """Stable SHA-256 over the full event-schema shape."""
+    payload = {
+        cls.name: {
+            "kind": cls.kind,
+            "registered": cls.registered,
+            "fields": [list(pair) for pair in cls.fields],
+        }
+        for cls in schema.classes
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return f"sha256:{digest}"
+
+
+def _referenced_names(source: str, relpath: str) -> Set[str]:
+    """Every bare name referenced in a module (loads, calls, aliases)."""
+    tree = ast.parse(source, filename=relpath)
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _replay_ignored(source: str, relpath: str) -> Optional[Set[str]]:
+    """The ``REPLAY_IGNORED_EVENTS`` string tuple, None if absent."""
+    tree = ast.parse(source, filename=relpath)
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == REPLAY_IGNORE_DECLARATION
+                and isinstance(value, (ast.Tuple, ast.List, ast.Set))
+            ):
+                return {
+                    element.value
+                    for element in value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                }
+    return None
+
+
+def _schema_version(source: str, relpath: str) -> Optional[int]:
+    """The ``OBS_SCHEMA_VERSION`` constant of ``export.py``."""
+    tree = ast.parse(source, filename=relpath)
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "OBS_SCHEMA_VERSION"
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, int)
+        ):
+            return node.value.value
+    return None
+
+
+def write_fingerprint(
+    src_root: Path, options: Mapping[str, Any]
+) -> Path:
+    """(Re-)record the committed schema fingerprint; returns its path."""
+    events_path = src_root / options["events"]
+    export_path = src_root / options["export"]
+    schema = parse_event_schema(
+        events_path.read_text(encoding="utf-8"), options["events"]
+    )
+    version = _schema_version(
+        export_path.read_text(encoding="utf-8"), options["export"]
+    )
+    target = src_root / options["fingerprint"]
+    target.write_text(
+        json.dumps(
+            {
+                "comment": (
+                    "Committed event-schema fingerprint, checked by "
+                    "'python -m repro lint' (RL004).  Regenerate with "
+                    "'python -m repro lint --write-fingerprint' after "
+                    "bumping OBS_SCHEMA_VERSION."
+                ),
+                "schema_version": version,
+                "fingerprint": schema_fingerprint(schema),
+            },
+            indent=1,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+class ProjectRule(Rule):
+    """A rule that reasons about the whole tree, not one module."""
+
+    def check_project(
+        self, src_root: Path, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self, relpath: str, line: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=relpath,
+            line=line,
+            col=0,
+            message=message,
+        )
+
+
+@register_rule
+class SchemaDriftRule(ProjectRule):
+    """Event schema vs serializers, replay handlers and the version."""
+
+    rule_id = "RL004"
+    title = "schema-drift"
+
+    def check(
+        self, module: Any, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        return iter(())  # project-level only
+
+    def check_project(
+        self, src_root: Path, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        sources: Dict[str, str] = {}
+        for key in ("events", "export", "replay"):
+            relpath = options[key]
+            path = src_root / relpath
+            try:
+                sources[key] = path.read_text(encoding="utf-8")
+            except OSError:
+                yield self.project_finding(
+                    relpath,
+                    1,
+                    f"cannot read the {key} module the event-schema "
+                    f"check needs",
+                )
+                return
+        events_rel = options["events"]
+        schema = parse_event_schema(sources["events"], events_rel)
+        yield from self._check_export(
+            schema, sources["export"], options
+        )
+        yield from self._check_replay(
+            schema, sources["replay"], options
+        )
+        yield from self._check_fingerprint(
+            schema, sources["export"], src_root, options
+        )
+
+    def _check_export(
+        self,
+        schema: EventSchema,
+        export_source: str,
+        options: Mapping[str, Any],
+    ) -> Iterator[Finding]:
+        referenced = _referenced_names(export_source, options["export"])
+        for cls in schema.registered():
+            if cls.name not in referenced:
+                yield self.project_finding(
+                    options["events"],
+                    cls.line,
+                    f"event {cls.name} (kind {cls.kind!r}) has no "
+                    f"serializer reference in {options['export']}; "
+                    f"teach the Chrome/text renderers about it",
+                )
+
+    def _check_replay(
+        self,
+        schema: EventSchema,
+        replay_source: str,
+        options: Mapping[str, Any],
+    ) -> Iterator[Finding]:
+        referenced = _referenced_names(replay_source, options["replay"])
+        ignored = _replay_ignored(replay_source, options["replay"])
+        if ignored is None:
+            yield self.project_finding(
+                options["replay"],
+                1,
+                f"missing {REPLAY_IGNORE_DECLARATION} declaration; "
+                f"replay must state which event kinds it deliberately "
+                f"ignores",
+            )
+            ignored = set()
+        for cls in schema.registered():
+            if cls.name not in referenced and cls.name not in ignored:
+                yield self.project_finding(
+                    options["events"],
+                    cls.line,
+                    f"event {cls.name} (kind {cls.kind!r}) is neither "
+                    f"handled in {options['replay']} nor listed in "
+                    f"{REPLAY_IGNORE_DECLARATION}",
+                )
+        for name in sorted(ignored - schema.names()):
+            yield self.project_finding(
+                options["replay"],
+                1,
+                f"{REPLAY_IGNORE_DECLARATION} lists {name!r}, which is "
+                f"not an event class in {options['events']} — stale "
+                f"entry?",
+            )
+
+    def _check_fingerprint(
+        self,
+        schema: EventSchema,
+        export_source: str,
+        src_root: Path,
+        options: Mapping[str, Any],
+    ) -> Iterator[Finding]:
+        fingerprint_rel = options["fingerprint"]
+        current = schema_fingerprint(schema)
+        version = _schema_version(export_source, options["export"])
+        if version is None:
+            yield self.project_finding(
+                options["export"],
+                1,
+                "cannot find the OBS_SCHEMA_VERSION constant the "
+                "fingerprint check pins against",
+            )
+            return
+        try:
+            recorded = json.loads(
+                (src_root / fingerprint_rel).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            yield self.project_finding(
+                fingerprint_rel,
+                1,
+                "missing or unreadable committed schema fingerprint; "
+                "run 'python -m repro lint --write-fingerprint'",
+            )
+            return
+        recorded_version = recorded.get("schema_version")
+        recorded_print = recorded.get("fingerprint")
+        if current == recorded_print and version == recorded_version:
+            return
+        if version == recorded_version:
+            yield self.project_finding(
+                options["events"],
+                1,
+                f"event schema changed but OBS_SCHEMA_VERSION is still "
+                f"{version}; bump the version (then run 'python -m "
+                f"repro lint --write-fingerprint') or revert the schema "
+                f"change",
+            )
+        else:
+            yield self.project_finding(
+                fingerprint_rel,
+                1,
+                f"committed fingerprint records schema version "
+                f"{recorded_version}, source declares {version}; run "
+                f"'python -m repro lint --write-fingerprint'",
+            )

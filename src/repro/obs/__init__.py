@@ -20,6 +20,8 @@ without one, the simulators behave (and perform) exactly as before —
 pinned by the overhead-guard tests.
 """
 
+from __future__ import annotations
+
 from .events import (
     ContainerDead,
     DecisionStep,

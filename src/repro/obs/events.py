@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Tuple, Type
+from typing import Any, Dict, Mapping, Tuple, Type
 
 from ..errors import ObservabilityError
 

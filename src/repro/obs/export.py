@@ -23,10 +23,11 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ObservabilityError
 from .events import (
+    ContainerDead,
     DegradedEnter,
     DegradedExit,
     Eviction,
@@ -34,6 +35,7 @@ from .events import (
     LoadAbandoned,
     LoadComplete,
     LoadFailed,
+    LoadRetry,
     LoadStart,
     RunEnd,
     RunStart,
@@ -278,6 +280,33 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, Any]:
                     },
                 }
             )
+        elif isinstance(event, LoadRetry):
+            emit(
+                {
+                    "name": f"retry {event.atom_type}",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": _SCHED_TID,
+                    "ts": stamp(_SCHED_TID, event.cycle),
+                    "args": {
+                        "attempt": event.attempt,
+                        "backoff": event.backoff,
+                    },
+                }
+            )
+        elif isinstance(event, ContainerDead):
+            emit(
+                {
+                    "name": f"AC{event.container_index} dead",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": _SCHED_TID,
+                    "ts": stamp(_SCHED_TID, event.cycle),
+                    "args": {"container": event.container_index},
+                }
+            )
         elif isinstance(event, SIUpgrade):
             emit(
                 {
@@ -429,9 +458,19 @@ def to_summary_text(events: Sequence[TraceEvent]) -> str:
                 + f"FAIL {event.atom_type} @ AC{event.container_index} "
                 f"({event.fault})"
             )
+        elif isinstance(event, LoadRetry):
+            lines.append(
+                prefix
+                + f"retry {event.atom_type} (attempt {event.attempt}, "
+                f"backoff {event.backoff})"
+            )
         elif isinstance(event, LoadAbandoned):
             lines.append(
                 prefix + f"abandoned {event.atom_type} ({event.reason})"
+            )
+        elif isinstance(event, ContainerDead):
+            lines.append(
+                prefix + f"AC{event.container_index} permanently dead"
             )
         elif isinstance(event, Eviction):
             lines.append(

@@ -11,12 +11,17 @@ wall time — from a result plus a recorded event stream.
 
 Unlike trace events (:mod:`repro.obs.events`), metrics may contain
 wall-clock measurements; they are diagnostics, not part of the
-deterministic event-log format.
+deterministic event-log format.  This module is one of the two
+allowlisted wall-clock sites of the determinism lint rule (RL001):
+instrumented code never reads the clock itself, it asks the registry for
+a :meth:`MetricsRegistry.timer` context.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+import time
+from types import TracebackType
+from typing import Any, Dict, Iterable, List, Optional, Type, TypeVar
 
 from ..errors import ObservabilityError
 from .events import (
@@ -28,13 +33,22 @@ from .events import (
     TraceEvent,
 )
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "run_metrics"]
+_MetricT = TypeVar("_MetricT")
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramTimer",
+    "MetricsRegistry",
+    "run_metrics",
+]
 
 
 class Counter:
     """A monotonically increasing count."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
 
@@ -52,7 +66,7 @@ class Counter:
 class Gauge:
     """A value that can move both ways; the last ``set`` wins."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0.0
 
@@ -66,7 +80,7 @@ class Gauge:
 class Histogram:
     """A distribution of observations with running aggregates."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -107,6 +121,31 @@ class Histogram:
         }
 
 
+class HistogramTimer:
+    """Context manager feeding one wall-clock span into a histogram.
+
+    The *only* sanctioned way for instrumented code to measure wall
+    time: the clock read stays inside this (RL001-allowlisted) module,
+    so simulation code never imports :mod:`time` itself.
+    """
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "HistogramTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self._histogram.observe(time.perf_counter() - self._started)
+
+
 class MetricsRegistry:
     """Named metrics with get-or-create accessors.
 
@@ -118,7 +157,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[str, Any] = {}
 
-    def _get_or_create(self, name: str, cls):
+    def _get_or_create(self, name: str, cls: Type[_MetricT]) -> _MetricT:
         metric = self._metrics.get(name)
         if metric is None:
             metric = cls(name)
@@ -139,6 +178,10 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get_or_create(name, Histogram)
 
+    def timer(self, name: str) -> HistogramTimer:
+        """A ``with``-context timing one span into histogram ``name``."""
+        return HistogramTimer(self.histogram(name))
+
     def names(self) -> List[str]:
         return sorted(self._metrics)
 
@@ -148,7 +191,7 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def get(self, name: str):
+    def get(self, name: str) -> Any:
         """The metric registered under ``name`` (KeyError when absent)."""
         return self._metrics[name]
 

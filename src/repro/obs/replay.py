@@ -18,18 +18,47 @@ scheduler x AC-count grid.  Keep this module free of any import from
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
 
 from ..errors import ObservabilityError
 from .events import HotSpotSwitch, SIUpgrade, TraceEvent
 
-__all__ = ["LatencyTimeline", "replay_total_cycles"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..workload.trace import Workload
+
+__all__ = [
+    "REPLAY_IGNORED_EVENTS",
+    "LatencyTimeline",
+    "replay_total_cycles",
+]
+
+#: Event classes the replay deliberately does NOT consume.  Cycle
+#: accounting needs only the hot-spot switch timeline and the SIUpgrade
+#: latency steps; everything below is either redundant with those
+#: (loads/evictions manifest as latency changes) or pure bookkeeping.
+#: The schema-drift lint rule (RL004) cross-checks this tuple against
+#: ``events.py``: a new event class must be handled here or added here
+#: *explicitly* — silent omission fails ``python -m repro lint``.
+REPLAY_IGNORED_EVENTS: Tuple[str, ...] = (
+    "RunStart",
+    "RunEnd",
+    "SchedulerDecision",
+    "LoadStart",
+    "LoadComplete",
+    "LoadFailed",
+    "LoadRetry",
+    "LoadAbandoned",
+    "Eviction",
+    "ContainerDead",
+    "DegradedEnter",
+    "DegradedExit",
+)
 
 
 class LatencyTimeline:
     """Per-SI effective latencies over time, built from SIUpgrade events."""
 
-    def __init__(self, events: Iterable[TraceEvent]):
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
         self._cycles: Dict[str, List[int]] = {}
         self._values: Dict[str, List[int]] = {}
         for event in events:
@@ -66,7 +95,7 @@ class LatencyTimeline:
 
 
 def replay_total_cycles(
-    events: Sequence[TraceEvent], workload
+    events: Sequence[TraceEvent], workload: Workload
 ) -> int:
     """Reconstruct a run's total cycle count from its event log.
 

@@ -16,7 +16,7 @@ list; exporters (:mod:`repro.obs.export`), metrics derivation
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple, Type
+from typing import Iterator, List, Type
 
 from .events import TraceEvent
 
@@ -70,7 +70,7 @@ class RecordingTracer(Tracer):
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
 
     def of_kind(

@@ -16,6 +16,8 @@ same reconfiguration port), so their totals are directly comparable —
 which is exactly how the paper produced Figure 7 and Table 2.
 """
 
+from __future__ import annotations
+
 from .results import LatencyEvent, Segment, SimulationResult
 from .engine import SystemSimulator
 from .rispp import RisppSimulator

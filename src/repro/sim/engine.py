@@ -23,13 +23,12 @@ seconds while remaining exact for the modelled semantics.
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.molecule import Molecule, sup
+from ..core.molecule import Molecule
 from ..core.si import MoleculeImpl, SILibrary
 from ..errors import SimulationError
 from ..fabric.atom import AtomRegistry
@@ -252,11 +251,10 @@ class SystemSimulator(ABC):
             self.port.advance_to(now)
             available = self.fabric.available()
             if self.metrics is not None:
-                t0 = time.perf_counter()
-                atom_sequence, retained, context = self._plan(trace, available)
-                self.metrics.histogram("scheduler.decision_seconds").observe(
-                    time.perf_counter() - t0
-                )
+                with self.metrics.timer("scheduler.decision_seconds"):
+                    atom_sequence, retained, context = self._plan(
+                        trace, available
+                    )
             else:
                 atom_sequence, retained, context = self._plan(trace, available)
             if tracer.enabled:
@@ -408,7 +406,7 @@ class SystemSimulator(ABC):
                         hot_spot=trace.hot_spot,
                         si_names=trace.si_names,
                         executions=tuple(int(e) for e in executed),
-                        latencies=tuple(int(l) for l in latvec),
+                        latencies=tuple(int(lat) for lat in latvec),
                         degraded=degraded,
                     )
                 )

@@ -9,7 +9,7 @@ as content-addressed cache artifacts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -59,7 +59,7 @@ class Segment:
             "hot_spot": self.hot_spot,
             "si_names": list(self.si_names),
             "executions": [int(e) for e in self.executions],
-            "latencies": [int(l) for l in self.latencies],
+            "latencies": [int(lat) for lat in self.latencies],
             "degraded": bool(self.degraded),
         }
 
@@ -72,7 +72,7 @@ class Segment:
             hot_spot=str(data["hot_spot"]),
             si_names=tuple(data["si_names"]),
             executions=tuple(int(e) for e in data["executions"]),
-            latencies=tuple(int(l) for l in data["latencies"]),
+            latencies=tuple(int(lat) for lat in data["latencies"]),
             degraded=bool(data.get("degraded", False)),
         )
 

@@ -10,7 +10,7 @@ central architectural feature.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..core.molecule import Molecule
 from ..core.monitor import ExecutionMonitor

@@ -10,8 +10,8 @@ Requires a run with ``record_segments=True``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 from ..calibration import RECONFIG_CYCLES_PER_ATOM
 from ..core.si import SILibrary

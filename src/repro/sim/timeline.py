@@ -10,7 +10,7 @@ the recorded :class:`~repro.sim.results.LatencyEvent` stream.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -12,6 +12,8 @@ counts.  Two generators exist:
   cross-validation tests).
 """
 
+from __future__ import annotations
+
 from .trace import HotSpotTrace, Workload
 from .model import H264WorkloadModel, generate_workload
 from .io import save_workload, load_workload

@@ -26,8 +26,8 @@ intra prediction in EE; and strong-edge deblocking in LF.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 import numpy as np
 

@@ -1,0 +1,29 @@
+"""RL001 fixture — wall clock and entropy in 'simulation' code.
+
+Deliberately bad: every line tagged ``# expect: RL001`` must be flagged
+when this file masquerades as an in-scope module (see
+``tests/test_lint_rules.py``).  Excluded from ruff/pytest collection.
+"""
+
+import os
+import random
+import time  # expect: RL001
+
+from random import Random
+from random import randint  # expect: RL001
+
+
+def jitter(seed):
+    rng = random.Random()  # expect: RL001
+    good = random.Random(seed)
+    noise = random.random()  # expect: RL001
+    entropy = os.urandom(4)  # expect: RL001
+    return rng, good, noise, entropy, randint(0, 1)
+
+
+def fresh():
+    return Random()  # expect: RL001
+
+
+def seeded(seed):
+    return Random(seed), time.monotonic

@@ -1,0 +1,31 @@
+"""RL002 fixture — unguarded tracer emits and event constructions.
+
+Lines tagged ``# expect: RL002`` (one tag per expected finding) must be
+flagged when the file masquerades as e.g. ``repro/sim/fixture.py``.
+The guarded emits, the negated-guard ``else`` branch, and the
+``_decision_event`` factory must all stay silent.
+"""
+
+import repro.obs.events as events
+from repro.obs.events import LoadStart
+
+
+def _decision_event(cycle):
+    event = LoadStart(cycle=cycle)
+    return event
+
+
+class Engine:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def step(self, cycle):
+        self.tracer.emit(LoadStart(cycle=cycle))  # expect: RL002 RL002
+        stray = events.LoadComplete(cycle=cycle)  # expect: RL002
+        if self.tracer.enabled:
+            self.tracer.emit(LoadStart(cycle=cycle))
+        if not self.tracer.enabled:
+            pass
+        else:
+            self.tracer.emit(LoadStart(cycle=cycle))
+        return _decision_event(cycle), stray

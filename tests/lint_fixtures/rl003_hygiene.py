@@ -1,0 +1,31 @@
+"""RL003 fixture — mutable defaults and frozen-dataclass mutation.
+
+Lines tagged ``# expect: RL003`` must be flagged; the ``__post_init__``
+``object.__setattr__`` and the None-default idiom must stay silent.
+"""
+
+from dataclasses import dataclass
+
+
+def collect(items=[]):  # expect: RL003
+    return items
+
+
+def gather(extra=dict()):  # expect: RL003
+    return extra
+
+
+def safe(items=None):
+    return items if items is not None else []
+
+
+@dataclass(frozen=True)
+class Box:
+    value: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", abs(self.value))
+
+    def grow(self):
+        self.value = self.value + 1  # expect: RL003
+        object.__setattr__(self, "value", 0)  # expect: RL003

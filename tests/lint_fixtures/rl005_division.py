@@ -1,0 +1,19 @@
+"""RL005 fixture — float division in scheduler benefit logic.
+
+Lines tagged ``# expect: RL005`` must be flagged when the file
+masquerades as a module under ``repro/core/schedulers/``; the
+cross-multiplied comparison must stay silent.
+"""
+
+
+def benefit_ratio(gain, cost):
+    return gain / cost  # expect: RL005
+
+
+def normalise(total, count):
+    total /= count  # expect: RL005
+    return total
+
+
+def compare_cross_multiplied(gain_a, cost_a, gain_b, cost_b):
+    return gain_a * cost_b > gain_b * cost_a

@@ -175,6 +175,6 @@ class TestAsciiPlot:
         from repro.analysis import ascii_plot_fig7
 
         text = ascii_plot_fig7(tiny_sweep, height=10)
-        rows = [l for l in text.splitlines() if l.lstrip().startswith("|")
-                or "M |" in l]
+        rows = [row for row in text.splitlines()
+                if row.lstrip().startswith("|") or "M |" in row]
         assert len(rows) == 10

@@ -120,7 +120,8 @@ class TestFaultInjectionFlags:
         out = capsys.readouterr().out
         assert "failed" in out and "degraded" in out
         # One row per AC count of --ac-list.
-        rows = [l for l in out.splitlines() if l.strip().startswith(("4", "8"))]
+        rows = [row for row in out.splitlines()
+                if row.strip().startswith(("4", "8"))]
         assert len(rows) == 2
 
 

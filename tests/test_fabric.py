@@ -6,7 +6,6 @@ from repro import (
     AtomRegistry,
     AtomType,
     CapacityError,
-    ContainerState,
     Fabric,
     FabricError,
     InvalidMoleculeError,

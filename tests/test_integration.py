@@ -1,6 +1,5 @@
 """End-to-end integration tests across all subsystems."""
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -1,0 +1,116 @@
+"""The ``python -m repro lint`` command-line surface.
+
+Covers the exit-code contract (0 clean / 1 findings / 2 usage error),
+both report formats, rule selection, the dispatch from the main repro
+CLI, and — the PR's headline regression test — that the *real* source
+tree is clean under every rule.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import REPORT_VERSION, main as lint_main
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def make_bad_tree(tmp_path):
+    """A source root with one RL001 violation under ``repro/``."""
+    root = tmp_path / "badsrc"
+    (root / "repro" / "sim").mkdir(parents=True)
+    (root / "repro" / "sim" / "engine.py").write_text(
+        "import time\n\n\ndef now():\n    return time.time()\n"
+    )
+    return root
+
+
+def test_real_source_tree_is_clean(capsys):
+    assert lint_main([]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+    assert "5 rules" in out
+
+
+def test_repro_cli_dispatches_lint_subcommand(capsys):
+    assert repro_main(["lint", "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == REPORT_VERSION
+    assert report["count"] == 0
+    assert report["findings"] == []
+
+
+def test_findings_mean_exit_one_text(tmp_path, capsys):
+    root = make_bad_tree(tmp_path)
+    assert lint_main(["--root", str(root), "--select", "RL001"]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out
+    assert "repro/sim/engine.py:1" in out
+
+
+def test_findings_mean_exit_one_json(tmp_path, capsys):
+    root = make_bad_tree(tmp_path)
+    code = lint_main(
+        ["--root", str(root), "--select", "RL001", "--format", "json"]
+    )
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["count"] == 1
+    (finding,) = report["findings"]
+    assert finding["rule"] == "RL001"
+    assert finding["path"] == "repro/sim/engine.py"
+    assert finding["line"] == 1
+
+
+def test_select_can_mask_the_violation(tmp_path):
+    root = make_bad_tree(tmp_path)
+    assert lint_main(["--root", str(root), "--select", "RL005"]) == 0
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    try:
+        code = lint_main(["--select", "RL999"])
+    except SystemExit as exc:  # argparse type errors exit(2)
+        code = exc.code
+    assert code == 2
+
+
+def test_missing_root_is_usage_error(tmp_path, capsys):
+    assert lint_main(["--root", str(tmp_path / "nowhere")]) == 2
+    assert "no such source root" in capsys.readouterr().err
+
+
+def test_malformed_pyproject_is_usage_error(tmp_path, capsys):
+    pytest.importorskip("tomllib")
+    bad = tmp_path / "pyproject.toml"
+    bad.write_text("[tool.repro-lint.RL999]\nenabled = false\n")
+    code = lint_main(["--pyproject", str(bad)])
+    assert code == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_pyproject_can_disable_a_rule(tmp_path):
+    pytest.importorskip("tomllib")
+    root = make_bad_tree(tmp_path)
+    cfg = tmp_path / "pyproject.toml"
+    cfg.write_text("[tool.repro-lint.RL001]\nenabled = false\n")
+    args = ["--root", str(root), "--pyproject", str(cfg), "--select", "RL001"]
+    assert lint_main(args) == 0
+
+
+def test_write_fingerprint_round_trips(tmp_path, capsys):
+    import shutil
+
+    root = tmp_path / "src"
+    obs = root / "repro" / "obs"
+    obs.mkdir(parents=True)
+    for name in ("events.py", "export.py", "replay.py"):
+        shutil.copy(REPO_SRC / "repro" / "obs" / name, obs / name)
+    assert lint_main(["--root", str(root), "--write-fingerprint"]) == 0
+    assert "wrote event-schema fingerprint" in capsys.readouterr().out
+    committed = REPO_SRC / "repro" / "obs" / "event_schema.json"
+    assert (obs / "event_schema.json").read_text() == committed.read_text()

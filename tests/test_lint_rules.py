@@ -1,0 +1,143 @@
+"""Per-module lint rules (RL001/RL002/RL003/RL005) against bad fixtures.
+
+Each fixture in ``tests/lint_fixtures/`` tags its deliberately bad
+lines with ``# expect: <RULE> [<RULE>...]`` trailing comments; the tests
+run :func:`repro.lint.analyze_source` with the fixture *masquerading*
+under an in-scope relpath and require the findings to match the tags
+exactly — same rule IDs, same lines, nothing extra.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.lint import LintConfig, analyze_source
+from repro.lint.analyzer import PARSE_ERROR_ID
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+_EXPECT = re.compile(r"#\s*expect:\s*([A-Z0-9 ]+?)\s*$")
+
+
+def expected_findings(source):
+    expected = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _EXPECT.search(line)
+        if match:
+            for rule_id in match.group(1).split():
+                expected.append((lineno, rule_id))
+    return sorted(expected)
+
+
+def run_fixture(name, relpath, **kwargs):
+    source = (FIXTURES / name).read_text()
+    return source, analyze_source(source, relpath, **kwargs)
+
+
+def assert_matches_tags(source, findings):
+    got = sorted((f.line, f.rule_id) for f in findings)
+    want = expected_findings(source)
+    assert want, "fixture has no '# expect:' tags — broken test setup"
+    assert got == want
+
+
+class TestRL001Determinism:
+    def test_catches_clock_and_entropy(self):
+        source, findings = run_fixture(
+            "rl001_determinism.py", "repro/sim/fixture.py"
+        )
+        assert_matches_tags(source, findings)
+
+    def test_allowlisted_module_is_exempt(self):
+        _, findings = run_fixture(
+            "rl001_determinism.py", "repro/obs/metrics.py"
+        )
+        assert [f for f in findings if f.rule_id == "RL001"] == []
+
+    def test_out_of_scope_path_is_exempt(self):
+        _, findings = run_fixture("rl001_determinism.py", "tools/gen.py")
+        assert findings == []
+
+    def test_seeded_random_is_clean(self):
+        findings = analyze_source(
+            "import random\n"
+            "def roll(seed):\n"
+            "    return random.Random(seed).randrange(6)\n",
+            "repro/sim/clean.py",
+        )
+        assert findings == []
+
+
+class TestRL002TracerGuard:
+    def test_catches_unguarded_instrumentation(self):
+        source, findings = run_fixture(
+            "rl002_tracer.py", "repro/sim/fixture.py"
+        )
+        assert_matches_tags(source, findings)
+
+    def test_factory_exemption_follows_config(self):
+        source = (
+            "from repro.obs.events import LoadStart\n"
+            "def _decision_event(cycle):\n"
+            "    event = LoadStart(cycle=cycle)\n"
+            "    return event\n"
+        )
+        assert analyze_source(source, "repro/sim/mod.py") == []
+        config = LintConfig({"RL002": {"factories": []}})
+        findings = analyze_source(source, "repro/sim/mod.py", config)
+        assert [(f.rule_id, f.line) for f in findings] == [("RL002", 3)]
+
+    def test_returned_construction_is_callers_problem(self):
+        findings = analyze_source(
+            "from repro.obs.events import LoadStart\n"
+            "def make(cycle):\n"
+            "    return LoadStart(cycle=cycle)\n",
+            "repro/sim/mod.py",
+        )
+        assert findings == []
+
+
+class TestRL003Hygiene:
+    def test_catches_mutable_defaults_and_frozen_mutation(self):
+        source, findings = run_fixture(
+            "rl003_hygiene.py", "repro/core/fixture.py"
+        )
+        assert_matches_tags(source, findings)
+
+    def test_post_init_setattr_is_allowed(self):
+        findings = analyze_source(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Box:\n"
+            "    value: int\n"
+            "    def __post_init__(self):\n"
+            "        object.__setattr__(self, 'value', 1)\n",
+            "repro/core/mod.py",
+        )
+        assert findings == []
+
+
+class TestRL005DivisionFree:
+    def test_catches_division_in_scheduler_code(self):
+        source, findings = run_fixture(
+            "rl005_division.py", "repro/core/schedulers/fixture.py"
+        )
+        assert_matches_tags(source, findings)
+
+    def test_division_outside_schedulers_is_fine(self):
+        _, findings = run_fixture("rl005_division.py", "repro/hw/fsm.py")
+        assert findings == []
+
+
+def test_select_filters_rules():
+    _, findings = run_fixture(
+        "rl001_determinism.py", "repro/sim/fixture.py", select=["RL005"]
+    )
+    assert findings == []
+
+
+def test_unparsable_module_reports_rl000():
+    findings = analyze_source("def broken(:\n", "repro/sim/bad.py")
+    assert len(findings) == 1
+    assert findings[0].rule_id == PARSE_ERROR_ID
+    assert "cannot parse" in findings[0].message

@@ -1,0 +1,139 @@
+"""RL004 schema-drift rule: seeded violations on a copy of the real tree.
+
+The tests copy the real ``repro/obs`` observability triple (events,
+export, replay) plus the committed fingerprint into a temp source root,
+confirm RL004 is clean there, then seed each violation class the rule
+exists to catch: an unreferenced new event, a schema change without an
+``OBS_SCHEMA_VERSION`` bump, a stale replay-ignore entry, and a missing
+fingerprint file.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.lint.analyzer import run_analysis
+from repro.lint.schema import write_fingerprint
+from repro.lint.config import LintConfig
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+PHANTOM_EVENT = '''
+
+@_register
+@dataclass(frozen=True)
+class PhantomEvent(TraceEvent):
+    """A brand-new event nothing downstream knows about yet."""
+
+    kind = "phantom"
+    cycle: int
+'''
+
+
+@pytest.fixture
+def obs_tree(tmp_path):
+    """A minimal source root holding a copy of the real obs modules."""
+    root = tmp_path / "src"
+    obs = root / "repro" / "obs"
+    obs.mkdir(parents=True)
+    for name in ("events.py", "export.py", "replay.py",
+                 "event_schema.json"):
+        shutil.copy(REPO_SRC / "repro" / "obs" / name, obs / name)
+    return root
+
+
+def rl004(root):
+    return run_analysis(root, select=["RL004"])
+
+
+def test_copied_real_tree_is_clean(obs_tree):
+    assert rl004(obs_tree) == []
+
+
+def test_new_event_must_be_wired_everywhere(obs_tree):
+    events = obs_tree / "repro" / "obs" / "events.py"
+    events.write_text(events.read_text() + PHANTOM_EVENT)
+    findings = rl004(obs_tree)
+    assert findings, "an unwired event class must fail the gate"
+    assert {f.rule_id for f in findings} == {"RL004"}
+    messages = " ".join(f.message for f in findings)
+    # Unreferenced in export.py, unhandled in replay.py, and the
+    # committed fingerprint no longer matches the source schema.
+    assert "no serializer reference" in messages
+    assert "neither handled" in messages
+    assert "PhantomEvent" in messages
+    assert "schema changed but OBS_SCHEMA_VERSION" in messages
+
+
+def test_field_change_requires_version_bump(obs_tree):
+    events = obs_tree / "repro" / "obs" / "events.py"
+    events.write_text(
+        events.read_text().replace(
+            'kind = "run_start"',
+            'kind = "run_start"\n    phase_of_moon: int = 0',
+            1,
+        )
+    )
+    findings = rl004(obs_tree)
+    assert [f.rule_id for f in findings] == ["RL004"]
+    assert "OBS_SCHEMA_VERSION" in findings[0].message
+
+
+def test_version_bump_plus_refingerprint_heals_field_change(obs_tree):
+    events = obs_tree / "repro" / "obs" / "events.py"
+    export = obs_tree / "repro" / "obs" / "export.py"
+    events.write_text(
+        events.read_text().replace(
+            'kind = "run_start"',
+            'kind = "run_start"\n    phase_of_moon: int = 0',
+            1,
+        )
+    )
+    export.write_text(
+        export.read_text().replace(
+            "OBS_SCHEMA_VERSION = 1", "OBS_SCHEMA_VERSION = 2", 1
+        )
+    )
+    # Version bumped but fingerprint not yet re-recorded: still fails,
+    # pointing at the stale committed fingerprint.
+    findings = rl004(obs_tree)
+    assert [f.rule_id for f in findings] == ["RL004"]
+    assert "records schema version" in findings[0].message
+    write_fingerprint(obs_tree, LintConfig().rule("RL004"))
+    assert rl004(obs_tree) == []
+
+
+def test_stale_replay_ignore_entry_is_flagged(obs_tree):
+    replay = obs_tree / "repro" / "obs" / "replay.py"
+    replay.write_text(
+        replay.read_text().replace(
+            '    "RunStart",',
+            '    "RunStart",\n    "LongGoneEvent",',
+            1,
+        )
+    )
+    findings = rl004(obs_tree)
+    assert [f.rule_id for f in findings] == ["RL004"]
+    assert "LongGoneEvent" in findings[0].message
+    assert "stale" in findings[0].message
+
+
+def test_missing_fingerprint_file_is_flagged(obs_tree):
+    (obs_tree / "repro" / "obs" / "event_schema.json").unlink()
+    findings = rl004(obs_tree)
+    assert [f.rule_id for f in findings] == ["RL004"]
+    assert "--write-fingerprint" in findings[0].message
+
+
+def test_write_fingerprint_output_shape(obs_tree):
+    target = write_fingerprint(obs_tree, LintConfig().rule("RL004"))
+    recorded = json.loads(target.read_text())
+    assert recorded["schema_version"] == 1
+    assert recorded["fingerprint"].startswith("sha256:")
+    # Must be byte-identical to the committed one (same inputs).
+    committed = (REPO_SRC / "repro" / "obs" / "event_schema.json")
+    assert target.read_text() == committed.read_text()

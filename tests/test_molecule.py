@@ -6,7 +6,6 @@ from repro import (
     AtomSpace,
     AtomSpaceMismatchError,
     InvalidMoleculeError,
-    Molecule,
     UnknownAtomTypeError,
     inf,
     sup,

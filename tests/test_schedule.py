@@ -53,7 +53,7 @@ class TestScheduleConstruction:
         schedule = Schedule(space)
         schedule.append_completion(space.molecule({"C": 2}))
         assert len(schedule) == 2
-        assert all(l.si_name is None for l in schedule.loads)
+        assert all(load.si_name is None for load in schedule.loads)
 
     def test_atom_sequence(self, space, impl):
         schedule = Schedule(space)

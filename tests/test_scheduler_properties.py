@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro import (
     AtomSpace,
     MoleculeImpl,
-    SILibrary,
     SpecialInstruction,
     get_scheduler,
     validate_schedule,

@@ -9,7 +9,7 @@ from repro import (
     SpecialInstruction,
     UnknownSpecialInstructionError,
 )
-from tests.conftest import make_second_si, make_toy_si
+from tests.conftest import make_toy_si
 
 
 class TestMoleculeImpl:

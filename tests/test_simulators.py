@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import (
-    ASFScheduler,
     BaseProcessor,
     HEFScheduler,
     HotSpotTrace,
@@ -190,8 +189,6 @@ class TestCycleAccountingExactness:
         load_cycles = toy_registry.reconfig_cycles("A")
         slow_iteration = 2 * 1010 + 5
         fast_iteration = 2 * 400 + 5
-        slow_iterations = -(-load_cycles // slow_iteration)  # ceil
-        expected = 0
         done = 0
         now = 0
         while done < 100:

@@ -5,14 +5,12 @@ import pytest
 
 from repro import (
     HEFScheduler,
-    HotSpotTrace,
     MolenSimulator,
     RisppSimulator,
     SimulationError,
     TraceError,
     Workload,
     analyse_run,
-    generate_workload,
     load_workload,
     save_workload,
     simulate_software,

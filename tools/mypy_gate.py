@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""CI gate around mypy: strict islands block, the rest is baselined.
+
+Runs ``mypy`` over ``src/repro`` with the repo's ``pyproject.toml`` and
+splits the reported errors in two:
+
+* **Island errors** — in ``repro/core``, ``repro/obs``, ``repro/exec``
+  or ``repro/lint`` (the strictly-typed packages).  Any island error
+  fails the gate immediately.
+* **Baseline errors** — everywhere else.  These fail only when they are
+  *new* relative to the committed ``tools/mypy_baseline.txt``; known
+  debt is tolerated but may not grow.  Entries are matched without line
+  numbers so unrelated edits don't invalidate the baseline.
+
+Usage::
+
+    python tools/mypy_gate.py                  # gate (CI)
+    python tools/mypy_gate.py --update-baseline  # re-record known debt
+
+Exit codes: 0 gate passed, 1 new errors, 2 mypy could not run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE = REPO_ROOT / "tools" / "mypy_baseline.txt"
+ISLANDS = ("repro/core/", "repro/obs/", "repro/exec/", "repro/lint/")
+
+# "src/repro/sim/engine.py:12: error: message  [code]"
+_ERROR_RE = re.compile(
+    r"^(?P<path>[^:]+\.py):(?P<line>\d+)(?::\d+)?: error: (?P<message>.*)$"
+)
+
+
+def run_mypy() -> Tuple[List[str], int]:
+    """mypy's stdout lines and return code (2 = crashed/missing)."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "mypy",
+        "--config-file",
+        str(REPO_ROOT / "pyproject.toml"),
+        "src/repro",
+    ]
+    try:
+        proc = subprocess.run(
+            cmd,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except FileNotFoundError:
+        return [], 2
+    if proc.returncode not in (0, 1) or "No module named mypy" in proc.stderr:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        return [], 2
+    return proc.stdout.splitlines(), proc.returncode
+
+
+def error_key(path: str, message: str) -> str:
+    """Baseline key: path + message, line number dropped."""
+    normalized = path.replace("\\", "/")
+    return f"{normalized}: {message.strip()}"
+
+
+def split_errors(lines: List[str]) -> Tuple[List[str], List[str], Set[str]]:
+    """(island error lines, other error lines, other error keys)."""
+    island: List[str] = []
+    other: List[str] = []
+    other_keys: Set[str] = set()
+    for line in lines:
+        match = _ERROR_RE.match(line.strip())
+        if not match:
+            continue
+        path = match.group("path").replace("\\", "/")
+        if any(marker in path for marker in ISLANDS):
+            island.append(line)
+        else:
+            other.append(line)
+            other_keys.add(error_key(path, match.group("message")))
+    return island, other, other_keys
+
+
+def load_baseline() -> Set[str]:
+    if not BASELINE.exists():
+        return set()
+    keys = set()
+    for raw in BASELINE.read_text().splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            keys.add(line)
+    return keys
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite tools/mypy_baseline.txt from the current mypy run",
+    )
+    args = parser.parse_args(argv)
+
+    lines, code = run_mypy()
+    if code == 2:
+        print("mypy_gate: mypy is not runnable here", file=sys.stderr)
+        return 2
+
+    island, other, other_keys = split_errors(lines)
+
+    if args.update_baseline:
+        body = "".join(sorted(key + "\n" for key in other_keys))
+        BASELINE.write_text(
+            "# mypy known debt outside the strict islands.\n"
+            "# Regenerate with: python tools/mypy_gate.py --update-baseline\n"
+            + body
+        )
+        print(f"mypy_gate: baseline updated ({len(other_keys)} entries)")
+        if island:
+            print("mypy_gate: island errors are never baselined:")
+            print("\n".join(island))
+            return 1
+        return 0
+
+    baseline = load_baseline()
+    new_other = [
+        line
+        for line in other
+        if (m := _ERROR_RE.match(line.strip()))
+        and error_key(m.group("path"), m.group("message")) not in baseline
+    ]
+
+    failed = False
+    if island:
+        failed = True
+        print(f"mypy_gate: {len(island)} error(s) in strict islands:")
+        print("\n".join(island))
+    if new_other:
+        failed = True
+        print(f"mypy_gate: {len(new_other)} new error(s) outside islands:")
+        print("\n".join(new_other))
+        print(
+            "mypy_gate: fix them, or (for pre-existing debt) run "
+            "`python tools/mypy_gate.py --update-baseline`"
+        )
+    if not failed:
+        stale = len(baseline) - len(other_keys & baseline)
+        note = f" ({stale} stale baseline entries)" if stale else ""
+        print(f"mypy_gate: clean{note}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
