@@ -9,7 +9,11 @@ The sweep executes through the parallel sweep engine
 (:mod:`repro.exec`): set ``REPRO_JOBS=N`` to fan the cells out over N
 worker processes and ``REPRO_CACHE_DIR=...`` to reuse cell results
 across benchmark sessions (parallel and cached runs are bit-identical
-to serial fresh ones).
+to serial fresh ones).  Set ``REPRO_TIMEOUT=SECONDS`` (and optionally
+``REPRO_MAX_ATTEMPTS=N``) to route the sweep through the fault-tolerant
+supervisor (:mod:`repro.exec.supervise`) so a hung cell is killed,
+retried and, if it keeps failing, quarantined instead of stalling the
+whole benchmark session.
 """
 
 import pytest

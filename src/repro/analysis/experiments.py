@@ -26,6 +26,7 @@ from ..core.si import MoleculeImpl, SILibrary, SpecialInstruction
 from ..exec.cache import ResultCache
 from ..exec.runner import SweepReport, cache_from_env, default_jobs, run_sweep
 from ..exec.spec import SweepCell, SweepSpec, WorkloadSpec
+from ..exec.supervise import SupervisorPolicy, policy_from_env
 from ..fabric.atom import AtomRegistry
 from ..sim.results import SimulationResult
 from ..sim.timeline import bin_executions, latency_steps
@@ -78,12 +79,16 @@ def default_scale() -> ExperimentScale:
 
 def _engine_args(
     jobs: Optional[int], cache: Optional[ResultCache]
-) -> Tuple[int, Optional[ResultCache]]:
+) -> Tuple[int, Optional[ResultCache], Optional[SupervisorPolicy]]:
     """Resolve runner arguments, falling back to the environment
-    (``REPRO_JOBS`` / ``REPRO_CACHE_DIR``)."""
+    (``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_TIMEOUT`` /
+    ``REPRO_MAX_ATTEMPTS``).  A policy from the environment routes the
+    figure sweeps through the fault-tolerant supervisor, so a single
+    hung cell cannot stall a whole reproduction run."""
     return (
         default_jobs() if jobs is None else max(1, int(jobs)),
         cache if cache is not None else cache_from_env(),
+        policy_from_env(),
     )
 
 
@@ -140,8 +145,8 @@ def run_figure2(
             workload=me_only, record_segments=True,
         ),
     ]
-    jobs, cache = _engine_args(jobs, cache)
-    report = run_sweep(cells, jobs=jobs, cache=cache)
+    jobs, cache, policy = _engine_args(jobs, cache)
+    report = run_sweep(cells, jobs=jobs, cache=cache, policy=policy)
     with_result, without_result = report.results
 
     end = max(with_result.total_cycles, without_result.total_cycles)
@@ -313,8 +318,10 @@ def run_figure7(
             )
             print(f"  {outcome.label}: "
                   f"{outcome.result.total_mcycles:,.1f} Mcycles ({origin})")
-    jobs, cache = _engine_args(jobs, cache)
-    report = run_sweep(spec, jobs=jobs, cache=cache, progress=callback)
+    jobs, cache, policy = _engine_args(jobs, cache)
+    report = run_sweep(
+        spec, jobs=jobs, cache=cache, progress=callback, policy=policy
+    )
     mcycles: Dict[str, List[float]] = {name: [] for name in schedulers}
     if include_molen:
         mcycles["Molen"] = []
@@ -379,8 +386,8 @@ def run_figure8(
         workload=WorkloadSpec(frames=scale.frames, seed=scale.seed),
         record_segments=True,
     )
-    jobs, cache = _engine_args(jobs, cache)
-    report = run_sweep([cell], jobs=jobs, cache=cache)
+    jobs, cache, policy = _engine_args(jobs, cache)
+    report = run_sweep([cell], jobs=jobs, cache=cache, policy=policy)
     result = report.results[0]
     spans = [
         s

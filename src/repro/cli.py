@@ -14,7 +14,7 @@ Usage::
     python -m repro simulate          # one run, fault injection optional
     python -m repro sweep             # AC sweep, fault injection optional
 
-    python -m repro lint              # static-analysis gate (RL001-RL005)
+    python -m repro lint              # static-analysis gate (RL001-RL006)
 
 ``lint`` is the repository's AST-based invariant analyzer
 (:mod:`repro.lint`): determinism, tracer guards, hygiene, event-schema
@@ -34,14 +34,28 @@ content-addressed result cache (repeated or resumed invocations skip
 completed cells), and ``--no-cache`` forces fresh simulation.  Parallel
 results are bit-identical to serial ones.
 
+``sweep`` additionally supports *supervised* execution
+(:mod:`repro.exec.supervise`): ``--timeout SECONDS`` kills and retries
+cells that hang, ``--max-attempts N`` bounds the retries before a cell
+is quarantined, ``--journal PATH`` appends a JSONL journal of cell
+outcomes, ``--resume JOURNAL`` replays a killed/interrupted sweep
+bit-identically and re-runs only what is missing, and ``--chaos SPEC``
+injects worker failures for testing (``<label-glob>:<mode>[:<attempts>]``
+with modes ``hang``/``crash``/``raise``).  Supervised exit codes: ``0``
+clean, ``1`` error, ``3`` completed with quarantined cells, ``4``
+interrupted (SIGINT/SIGTERM) after draining in-flight cells.
+
 The environment variables ``REPRO_FRAMES`` (workload frames; default 40,
-paper 140), ``REPRO_JOBS`` (default worker count) and ``REPRO_CACHE_DIR``
-(default cache location) configure the same knobs.
+paper 140), ``REPRO_JOBS`` (default worker count), ``REPRO_CACHE_DIR``
+(default cache location), ``REPRO_TIMEOUT`` / ``REPRO_MAX_ATTEMPTS``
+(supervision for any sweep-shaped command, including the figure
+drivers) and ``REPRO_CHAOS`` (chaos spec) configure the same knobs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -65,13 +79,17 @@ from .analysis.experiments import default_scale
 from .core.schedulers import available_schedulers, get_scheduler
 from .exec import (
     ResultCache,
+    SupervisorPolicy,
     SweepSpec,
     WorkloadSpec,
     cache_from_env,
+    chaos_from_env,
     default_jobs,
+    parse_chaos_spec,
+    policy_from_env,
     run_sweep,
 )
-from .errors import ObservabilityError
+from .errors import ObservabilityError, SweepError
 from .fabric.faults import BernoulliLoadFaults, FaultModel, RetryPolicy
 from .h264.silibrary import build_atom_registry, build_si_library
 from .obs import TRACE_FORMATS, RecordingTracer, export_events
@@ -91,6 +109,17 @@ def _probability(text: str) -> float:
         raise argparse.ArgumentTypeError(
             f"must be within [0, 1], got {text}"
         )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a float > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
     return value
 
 
@@ -138,6 +167,34 @@ def _engine_setup(args: argparse.Namespace):
     else:
         cache = cache_from_env()
     return jobs, cache
+
+
+def _supervision_setup(args: argparse.Namespace):
+    """(policy, journal_path, resume_from, chaos) from flags/env.
+
+    All four are ``None`` when nothing asks for supervision — the sweep
+    then runs on the plain pool exactly as before.
+    """
+    chaos = parse_chaos_spec(args.chaos) if args.chaos else chaos_from_env()
+    flagged = bool(
+        args.timeout or args.max_attempts or args.journal or args.resume
+    )
+    policy: Optional[SupervisorPolicy] = None
+    if args.timeout or args.max_attempts:
+        policy = SupervisorPolicy(
+            timeout=args.timeout if args.timeout else None,
+            max_attempts=args.max_attempts if args.max_attempts else 3,
+        )
+    elif not flagged:
+        policy = policy_from_env()
+    if policy is None and not flagged and not chaos:
+        return None, None, None, None
+    return (
+        policy,
+        args.journal or None,
+        args.resume or None,
+        chaos if chaos else None,
+    )
 
 
 def _fault_setup(args: argparse.Namespace):
@@ -217,7 +274,17 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         max_retries=args.max_retries,
     )
     jobs, cache = _engine_setup(args)
+    policy, journal_path, resume_from, chaos = _supervision_setup(args)
+    supervised = any(
+        v is not None for v in (policy, journal_path, resume_from, chaos)
+    )
     trace_lines: List[str] = []
+    if args.trace_out and supervised:
+        raise SweepError(
+            "--trace-out cannot be combined with supervision flags: "
+            "supervised cells run in worker processes, where in-process "
+            "tracers cannot follow"
+        )
     if args.trace_out:
         # Per-cell traces force a serial in-process run (tracers cannot
         # cross process boundaries, and a cache hit would skip events).
@@ -238,6 +305,16 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             cache=cache,
             tracer_factory=_tracer_factory,
             on_trace=_on_trace,
+        )
+    elif supervised:
+        report = run_sweep(
+            spec,
+            jobs=jobs,
+            cache=cache,
+            policy=policy,
+            journal_path=journal_path,
+            resume_from=resume_from,
+            chaos=chaos,
         )
     else:
         report = run_sweep(spec, jobs=jobs, cache=cache)
@@ -261,6 +338,29 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             f"{'cache' if outcome.cache_hit else 'run':>6s}"
         )
     lines.extend(trace_lines)
+    for quarantined in report.quarantined:
+        lines.append(
+            f"QUARANTINED {quarantined.label}: {quarantined.failure} "
+            f"after {quarantined.attempts} attempt(s) — "
+            f"{quarantined.message}"
+        )
+    if report.interrupted:
+        lines.append(
+            "INTERRUPTED: sweep drained after SIGINT/SIGTERM; "
+            "re-run with --resume to finish the remaining cells"
+        )
+    if journal_path and (report.quarantined or report.interrupted):
+        failures_path = Path(str(journal_path) + ".failures.json")
+        failures_path.write_text(
+            json.dumps(report.failure_report(), indent=1, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        lines.append(f"  failure report -> {failures_path}")
+    if report.quarantined:
+        args._exit_code = 3
+    elif report.interrupted:
+        args._exit_code = 4
     lines.append(report.summary())
     return "\n".join(lines)
 
@@ -420,6 +520,45 @@ def build_parser() -> argparse.ArgumentParser:
         "text timeline (default json)",
     )
     parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=0.0,
+        metavar="SECONDS",
+        help="supervised sweep: per-cell wall-clock budget; a cell past "
+        "its deadline is killed and retried (default: REPRO_TIMEOUT "
+        "or none)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=_non_negative_int,
+        default=0,
+        metavar="N",
+        help="supervised sweep: attempts per cell before quarantine "
+        "(default: REPRO_MAX_ATTEMPTS or 3)",
+    )
+    parser.add_argument(
+        "--journal",
+        default="",
+        metavar="PATH",
+        help="supervised sweep: append a JSONL journal of cell outcomes "
+        "(feeds --resume; failures also land in PATH.failures.json)",
+    )
+    parser.add_argument(
+        "--resume",
+        default="",
+        metavar="JOURNAL",
+        help="supervised sweep: replay completed cells from a previous "
+        "journal bit-identically and run only what is missing",
+    )
+    parser.add_argument(
+        "--chaos",
+        default="",
+        metavar="SPEC",
+        help="supervised sweep: inject worker failures for testing — "
+        "comma-separated '<label-glob>:<mode>[:<attempts>]' with modes "
+        "hang/crash/raise (default: REPRO_CHAOS)",
+    )
+    parser.add_argument(
         "--fault-rate",
         type=_probability,
         default=0.0,
@@ -465,11 +604,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         command = _COMMANDS.get(name) or _EXTRA_COMMANDS[name]
         try:
             print(command(args))
-        except ObservabilityError as exc:
+        except (ObservabilityError, SweepError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         print()
-    return 0
+    # Supervised sweeps flag degraded-but-successful completion through
+    # the namespace: 3 = quarantined cells present, 4 = interrupted.
+    return getattr(args, "_exit_code", 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,8 @@ __all__ = [
     "TraceError",
     "CalibrationError",
     "ObservabilityError",
+    "SweepError",
+    "JournalError",
 ]
 
 
@@ -121,4 +123,24 @@ class ObservabilityError(RisppError, ValueError):
     schema version, unwritable trace outputs, Chrome-trace validation
     failures and inconsistent replay inputs.  Never raised by a run that
     merely *records* — emission is infallible by design.
+    """
+
+
+class SweepError(RisppError):
+    """The sweep execution layer was misconfigured or misused.
+
+    Covers invalid supervisor policies (negative timeouts, zero attempt
+    budgets), malformed chaos specifications, and sweep driver misuse.
+    Individual *cell* failures never raise this — the supervisor's whole
+    point is to quarantine them without aborting the grid.
+    """
+
+
+class JournalError(SweepError):
+    """A sweep journal could not be trusted.
+
+    Raised when a ``--resume`` journal is unreadable, structurally
+    corrupt beyond its final (possibly truncated) line, or was written
+    under a different code-version salt or journal format — replaying
+    its payloads would not be bit-identical to a fresh run.
     """

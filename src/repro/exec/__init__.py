@@ -11,17 +11,24 @@ larger) run through three pieces:
 * :class:`~repro.exec.cache.ResultCache` — a content-addressed on-disk
   cache (cell config + code-version salt, hashed to a JSON artifact of
   the :class:`~repro.sim.results.SimulationResult`) that makes repeated
-  or resumed sweeps skip completed cells.
+  or resumed sweeps skip completed cells,
+* :func:`~repro.exec.supervise.run_supervised` — the fault-tolerant
+  supervision layer (per-cell timeouts, seeded-backoff retries,
+  quarantine, JSONL journaling with ``--resume``, graceful SIGINT/
+  SIGTERM shutdown) with chaos injection (:mod:`repro.exec.chaos`) for
+  testing it.
 
-Parallel runs are bit-identical to serial runs; cache replays are
-bit-identical to both.  The figure/table drivers in
-:mod:`repro.analysis.experiments`, the ``sweep`` CLI command and the
-benchmark harness all execute through this engine.
+Parallel runs are bit-identical to serial runs; cache replays, journal
+resumes and supervised runs are bit-identical to both.  The figure/table
+drivers in :mod:`repro.analysis.experiments`, the ``sweep`` CLI command
+and the benchmark harness all execute through this engine.
 """
 
 from __future__ import annotations
 
 from .cache import CODE_VERSION_SALT, ResultCache, canonical_json, cell_key
+from .chaos import ChaosEntry, ChaosSpec, chaos_from_env, parse_chaos_spec
+from .journal import QuarantinedCell, SweepJournal, read_journal
 from .runner import (
     CellOutcome,
     SweepReport,
@@ -29,8 +36,18 @@ from .runner import (
     default_jobs,
     execute_cell,
     run_sweep,
+    timed_execute,
 )
 from .spec import SweepCell, SweepSpec, WorkloadSpec
+from .supervise import (
+    CellFailure,
+    CellTimeout,
+    PoisonedCell,
+    SupervisorPolicy,
+    WorkerCrash,
+    policy_from_env,
+    run_supervised,
+)
 
 __all__ = [
     "WorkloadSpec",
@@ -43,7 +60,25 @@ __all__ = [
     "CellOutcome",
     "SweepReport",
     "execute_cell",
+    "timed_execute",
     "run_sweep",
     "default_jobs",
     "cache_from_env",
+    # supervision
+    "SupervisorPolicy",
+    "CellFailure",
+    "CellTimeout",
+    "WorkerCrash",
+    "PoisonedCell",
+    "policy_from_env",
+    "run_supervised",
+    # journal
+    "SweepJournal",
+    "QuarantinedCell",
+    "read_journal",
+    # chaos
+    "ChaosEntry",
+    "ChaosSpec",
+    "parse_chaos_spec",
+    "chaos_from_env",
 ]

@@ -28,6 +28,7 @@ so workers, resumed sessions and different machines agree on them.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -131,6 +132,22 @@ class ResultCache:
         self.hits += 1
         return result
 
+    def contains(self, cell: SweepCell) -> bool:
+        """Whether a *valid* artifact for ``cell`` is on disk.
+
+        Unlike :meth:`get` this probe does not touch the hit/miss
+        statistics — supervisors use it to plan work without skewing
+        the cache metrics of the actual run.
+        """
+        path = self.path_for(cell)
+        try:
+            artifact = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return False
+        return self._artifact_matches(artifact, cell) and isinstance(
+            artifact.get("result"), dict
+        )
+
     def _artifact_matches(self, artifact: Any, cell: SweepCell) -> bool:
         """Paranoia check: the artifact describes exactly this cell."""
         if not isinstance(artifact, dict):
@@ -163,10 +180,10 @@ class ResultCache:
                 handle.write(text)
             os.replace(tmp_name, path)
         except BaseException:
-            try:
+            # Best-effort cleanup of the temp file; the original error is
+            # what matters and must propagate.
+            with contextlib.suppress(OSError):
                 os.unlink(tmp_name)
-            except OSError:
-                pass
             raise
         self.stores += 1
         return path

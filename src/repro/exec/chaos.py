@@ -1,0 +1,163 @@
+"""Deterministic chaos injection for sweep workers.
+
+The supervisor's chaos harness makes worker-level disasters *scriptable*:
+a :class:`ChaosSpec` names sweep cells by label glob and assigns each a
+failure mode that is acted out **inside the worker process**, before the
+cell's simulation starts:
+
+* ``hang``  — the worker sleeps far past any sane timeout, exercising
+  the per-cell deadline + kill path (:class:`CellTimeout`).
+* ``crash`` — the worker dies instantly via ``os._exit`` without any
+  Python-level cleanup, exercising dead-worker detection
+  (:class:`WorkerCrash`).
+* ``raise`` — the worker raises a deterministic exception, exercising
+  the poison-cell path (:class:`PoisonedCell`).
+
+Each entry can bound *how many attempts* it sabotages (``attempts``):
+``cellX:crash:2`` crashes attempts 1 and 2 and lets attempt 3 succeed —
+the transient-failure-then-recovery scenario.  Without a bound the entry
+sabotages every attempt, which the supervisor must answer with
+quarantine.
+
+Specs are plain picklable dataclasses so they travel to worker
+processes, and the string syntax (``<label-glob>:<mode>[:<attempts>]``,
+comma-separated) is shared by the ``repro sweep --chaos`` flag and the
+``REPRO_CHAOS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import SweepError
+from .spec import SweepCell
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "CHAOS_MODES",
+    "ChaosEntry",
+    "ChaosSpec",
+    "ChaosInjectedError",
+    "parse_chaos_spec",
+    "chaos_from_env",
+]
+
+#: Environment variable consulted by :func:`chaos_from_env`.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: The recognised failure modes, in documentation order.
+CHAOS_MODES = ("hang", "crash", "raise")
+
+#: How long a ``hang`` worker sleeps — far beyond any realistic
+#: per-cell timeout, so the supervisor's deadline always fires first.
+_HANG_SECONDS = 3600.0
+
+
+class ChaosInjectedError(RuntimeError):
+    """The deterministic exception thrown by ``raise``-mode chaos."""
+
+
+@dataclass(frozen=True)
+class ChaosEntry:
+    """One sabotage rule: which cells, which failure, how many attempts."""
+
+    #: :func:`fnmatch.fnmatch` pattern matched against the cell label
+    #: (e.g. ``"HEF@4AC/*"`` or ``"*"``).
+    pattern: str
+    #: One of :data:`CHAOS_MODES`.
+    mode: str
+    #: Sabotage attempts 1..attempts only; ``None`` = every attempt.
+    attempts: Optional[int] = None
+
+    def matches(self, cell: SweepCell, attempt: int) -> bool:
+        if not fnmatch.fnmatch(cell.label, self.pattern):
+            return False
+        return self.attempts is None or attempt <= self.attempts
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A set of chaos rules applied inside every worker process."""
+
+    entries: Tuple[ChaosEntry, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def entry_for(self, cell: SweepCell, attempt: int) -> Optional[ChaosEntry]:
+        """The first entry sabotaging this (cell, attempt), if any."""
+        for entry in self.entries:
+            if entry.matches(cell, attempt):
+                return entry
+        return None
+
+    def apply(self, cell: SweepCell, attempt: int) -> None:
+        """Act out the matching failure mode; returns iff none matches.
+
+        Runs inside the worker process, before the cell simulates.
+        """
+        entry = self.entry_for(cell, attempt)
+        if entry is None:
+            return
+        if entry.mode == "hang":
+            time.sleep(_HANG_SECONDS)
+        elif entry.mode == "crash":
+            # Die without cleanup, exactly like a segfault would: no
+            # exception travels back over the result pipe.
+            os._exit(70)
+        elif entry.mode == "raise":
+            raise ChaosInjectedError(
+                f"chaos: injected failure for cell {cell.label!r} "
+                f"(attempt {attempt})"
+            )
+
+
+def parse_chaos_spec(text: str) -> ChaosSpec:
+    """Parse ``<label-glob>:<mode>[:<attempts>]`` comma-separated rules.
+
+    Examples: ``"*:raise"``, ``"HEF@4AC/*:crash:2,Molen@*:hang"``.
+
+    Raises :class:`~repro.errors.SweepError` on malformed input.
+    """
+    entries: List[ChaosEntry] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.rsplit(":", 2)
+        attempts: Optional[int] = None
+        if len(parts) == 3 and parts[2].isdigit():
+            pattern, mode, attempts_text = parts
+            attempts = int(attempts_text)
+            if attempts < 1:
+                raise SweepError(
+                    f"chaos attempts bound must be >= 1 in {chunk!r}"
+                )
+        elif len(parts) >= 2:
+            pattern, mode = chunk.rsplit(":", 1)
+        else:
+            raise SweepError(
+                f"chaos rule {chunk!r} is not "
+                f"'<label-glob>:<mode>[:<attempts>]'"
+            )
+        if mode not in CHAOS_MODES:
+            raise SweepError(
+                f"unknown chaos mode {mode!r} in {chunk!r}; "
+                f"expected one of {', '.join(CHAOS_MODES)}"
+            )
+        if not pattern:
+            raise SweepError(f"empty label pattern in chaos rule {chunk!r}")
+        entries.append(ChaosEntry(pattern=pattern, mode=mode, attempts=attempts))
+    return ChaosSpec(entries=tuple(entries))
+
+
+def chaos_from_env() -> ChaosSpec:
+    """The chaos spec configured via :data:`CHAOS_ENV_VAR`, if any."""
+    value = os.environ.get(CHAOS_ENV_VAR, "")
+    if not value.strip():
+        return ChaosSpec()
+    return parse_chaos_spec(value)

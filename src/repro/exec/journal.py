@@ -1,0 +1,287 @@
+"""Append-only JSONL journal of sweep-cell outcomes.
+
+The fault-tolerant supervisor (:mod:`repro.exec.supervise`) records every
+cell outcome — completion, retry, quarantine, interrupt — as one JSON
+line appended (and flushed) to a journal file.  Because lines are
+self-contained and written atomically *per cell outcome*, a sweep killed
+at any point leaves a journal whose intact prefix fully describes what
+finished: ``repro sweep --resume <journal>`` replays completed cells
+from it bit-identically and re-runs only pending or quarantined ones.
+
+Integrity story
+---------------
+* Every journal starts with a **header** line carrying the
+  code-version salt (the same salt the result cache keys on).  A journal
+  written by a different code version is rejected outright — replaying
+  stale payloads would silently mix simulation semantics.
+* Cell lines carry the cell's content-addressed **key** plus its full
+  configuration; resume matches entries by key, so a journal from a
+  *different grid* simply contributes nothing.
+* A **truncated final line** (the crash case: the process died
+  mid-write) is tolerated and ignored; garbage anywhere else raises
+  :class:`JournalError` — a corrupt journal must not masquerade as a
+  clean partial run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Union
+
+from ..errors import JournalError
+from .cache import CODE_VERSION_SALT, canonical_json, cell_key
+from .spec import SweepCell
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "QuarantinedCell",
+    "SweepJournal",
+    "JournalState",
+    "read_journal",
+]
+
+#: Version of the journal line format; bump on incompatible changes.
+JOURNAL_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class QuarantinedCell:
+    """A cell the supervisor gave up on after exhausting its attempts."""
+
+    cell: SweepCell
+    key: str
+    #: Failure taxonomy tag: ``timeout``, ``crash`` or ``poison``.
+    failure: str
+    message: str
+    attempts: int
+
+    @property
+    def label(self) -> str:
+        return self.cell.label
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "key": self.key,
+            "failure": self.failure,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+class SweepJournal:
+    """Writer side: append one JSON line per supervisor outcome.
+
+    Lines are flushed immediately after each ``record_*`` call, so the
+    journal's intact prefix always reflects every *finished* cell even
+    if the supervisor process is killed without warning.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], salt: str = CODE_VERSION_SALT
+    ) -> None:
+        self.path = Path(path)
+        self.salt = str(salt)
+        self._handle: Optional[IO[str]] = None
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                self._handle.write(
+                    canonical_json(
+                        {
+                            "kind": "header",
+                            "format": JOURNAL_FORMAT,
+                            "salt": self.salt,
+                        }
+                    )
+                    + "\n"
+                )
+        self._handle.write(canonical_json(record) + "\n")
+        self._handle.flush()
+
+    def record_completed(
+        self,
+        cell: SweepCell,
+        payload: Dict[str, Any],
+        attempts: int,
+        wall_time: float,
+    ) -> None:
+        """One cell finished; ``payload`` is its full result JSON."""
+        self._write(
+            {
+                "kind": "cell",
+                "status": "ok",
+                "key": cell_key(cell, self.salt),
+                "label": cell.label,
+                "cell": cell.to_config(),
+                "attempts": int(attempts),
+                "wall_time": float(wall_time),
+                "result": payload,
+            }
+        )
+
+    def record_retry(
+        self,
+        cell: SweepCell,
+        attempt: int,
+        failure: str,
+        message: str,
+        delay: float,
+    ) -> None:
+        """An attempt failed and the cell will be retried after ``delay``."""
+        self._write(
+            {
+                "kind": "retry",
+                "key": cell_key(cell, self.salt),
+                "label": cell.label,
+                "attempt": int(attempt),
+                "failure": failure,
+                "message": message,
+                "delay": float(delay),
+            }
+        )
+
+    def record_quarantined(self, quarantined: QuarantinedCell) -> None:
+        """A cell exhausted its attempt budget and is out of the grid."""
+        self._write(
+            {
+                "kind": "cell",
+                "status": "quarantined",
+                "key": quarantined.key,
+                "label": quarantined.label,
+                "cell": quarantined.cell.to_config(),
+                "attempts": quarantined.attempts,
+                "failure": quarantined.failure,
+                "message": quarantined.message,
+            }
+        )
+
+    def record_interrupted(self, pending: int) -> None:
+        """The sweep drained after SIGINT/SIGTERM with cells pending."""
+        self._write({"kind": "interrupted", "pending": int(pending)})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """Reader side: everything a journal's intact prefix asserts."""
+
+    #: Cell key -> result payload of every completed cell.
+    completed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Cell key -> attempts recorded for the completed cell.
+    attempts: Dict[str, int] = field(default_factory=dict)
+    #: Keys of quarantined cells (to be re-run on resume).
+    quarantined: Dict[str, str] = field(default_factory=dict)
+    #: Retry lines seen (observability only; resume ignores them).
+    retries: int = 0
+    #: Whether the journal records a drained interrupt.
+    interrupted: bool = False
+    #: Whether a truncated trailing line was dropped (crash evidence).
+    truncated_tail: bool = False
+
+    def payload_for(self, cell: SweepCell, salt: str) -> Optional[Dict[str, Any]]:
+        """The recorded result of ``cell``, or None if it must (re-)run."""
+        return self.completed.get(cell_key(cell, salt))
+
+
+def read_journal(
+    path: Union[str, Path], salt: str = CODE_VERSION_SALT
+) -> JournalState:
+    """Parse a journal, tolerating only a truncated final line.
+
+    Raises
+    ------
+    JournalError
+        When the file is unreadable, does not start with a journal
+        header, was written under a different code-version salt or
+        journal format, or contains garbage before its final line.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise JournalError(
+            f"cannot read sweep journal {str(path)!r}: {exc}"
+        ) from exc
+    state = JournalState()
+    lines = text.splitlines()
+    if not lines:
+        return state
+    records: List[Dict[str, Any]] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            if number == len(lines):
+                # The crash case: the writer died mid-line.  Everything
+                # before this line is intact and trustworthy.
+                state.truncated_tail = True
+                break
+            raise JournalError(
+                f"sweep journal {str(path)!r} line {number} is not "
+                f"valid JSON: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise JournalError(
+                f"sweep journal {str(path)!r} line {number} is not a "
+                f"JSON object"
+            )
+        records.append(record)
+    if not records:
+        return state
+    header = records[0]
+    if header.get("kind") != "header":
+        raise JournalError(
+            f"sweep journal {str(path)!r} does not start with a header "
+            f"line; not a journal (or written by an incompatible version)"
+        )
+    if header.get("format") != JOURNAL_FORMAT:
+        raise JournalError(
+            f"sweep journal {str(path)!r} has format "
+            f"{header.get('format')!r}; this reader understands "
+            f"{JOURNAL_FORMAT} only"
+        )
+    if header.get("salt") != salt:
+        raise JournalError(
+            f"sweep journal {str(path)!r} was written under code-version "
+            f"salt {header.get('salt')!r} but the current salt is "
+            f"{salt!r}; its payloads cannot be replayed bit-identically "
+            f"— re-run the sweep fresh"
+        )
+    for record in records[1:]:
+        kind = record.get("kind")
+        if kind == "cell":
+            key = record.get("key")
+            if not isinstance(key, str):
+                continue
+            if record.get("status") == "ok" and isinstance(
+                record.get("result"), dict
+            ):
+                state.completed[key] = record["result"]
+                state.attempts[key] = int(record.get("attempts", 1))
+                state.quarantined.pop(key, None)
+            elif record.get("status") == "quarantined":
+                state.quarantined[key] = str(record.get("failure", ""))
+        elif kind == "retry":
+            state.retries += 1
+        elif kind == "interrupted":
+            state.interrupted = True
+    return state

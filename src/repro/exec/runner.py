@@ -19,7 +19,8 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -40,11 +41,15 @@ from .spec import SweepCell, SweepSpec
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.metrics import MetricsRegistry
     from ..obs.tracer import Tracer
+    from .chaos import ChaosSpec
+    from .journal import QuarantinedCell
+    from .supervise import SupervisorPolicy
 
 __all__ = [
     "CellOutcome",
     "SweepReport",
     "execute_cell",
+    "timed_execute",
     "run_sweep",
     "default_jobs",
     "cache_from_env",
@@ -135,6 +140,12 @@ def _timed_execute(cell: SweepCell) -> Tuple[Dict[str, Any], float]:
     return payload, time.perf_counter() - start
 
 
+#: Public alias: the supervisor's worker processes run cells through the
+#: exact same entry point as the plain pool, so supervised and bare runs
+#: cannot drift apart.
+timed_execute = _timed_execute
+
+
 @dataclass(frozen=True)
 class CellOutcome:
     """One executed (or cache-served) cell of a sweep."""
@@ -159,6 +170,15 @@ class SweepReport:
     #: Wall-clock seconds of the whole invocation (dispatch included).
     elapsed: float = 0.0
     jobs: int = 1
+    #: Cells the supervisor gave up on (empty for unsupervised runs —
+    #: there, any failure propagates as an exception instead).
+    quarantined: List["QuarantinedCell"] = field(default_factory=list)
+    #: Whether the run drained after SIGINT/SIGTERM with cells pending.
+    interrupted: bool = False
+    #: Completed cells replayed from a ``--resume`` journal.
+    resume_hits: int = 0
+    #: Failed attempts that were re-queued by the supervisor.
+    retries: int = 0
 
     def __iter__(self) -> Iterator[CellOutcome]:
         return iter(self.outcomes)
@@ -191,12 +211,36 @@ class SweepReport:
 
     def summary(self) -> str:
         """One-line accounting: cells, hits, wall time, parallel time."""
-        return (
+        text = (
             f"{len(self.outcomes)} cells ({self.cache_hits} cache hits, "
             f"{self.cache_misses} simulated), "
             f"{self.total_wall_time:.2f}s cell time in "
             f"{self.elapsed:.2f}s wall ({self.jobs} jobs)"
         )
+        if self.resume_hits:
+            text += f", {self.resume_hits} resumed"
+        if self.retries:
+            text += f", {self.retries} retries"
+        if self.quarantined:
+            text += f", {len(self.quarantined)} quarantined"
+        if self.interrupted:
+            text += ", INTERRUPTED"
+        return text
+
+    def failure_report(self) -> Dict[str, Any]:
+        """Structured account of everything that did not go cleanly.
+
+        This is what ``repro sweep`` writes next to the journal when a
+        supervised run ends with quarantined cells or an interrupt, so
+        operators (and CI) can triage without scraping stdout.
+        """
+        return {
+            "interrupted": self.interrupted,
+            "completed": len(self.outcomes),
+            "retries": self.retries,
+            "resume_hits": self.resume_hits,
+            "quarantined": [q.to_json_dict() for q in self.quarantined],
+        }
 
     def metrics(
         self, registry: Optional["MetricsRegistry"] = None
@@ -219,6 +263,14 @@ class SweepReport:
         hist = registry.histogram("cell.wall_seconds")
         for outcome in self.outcomes:
             hist.observe(outcome.wall_time)
+        if self.quarantined or self.retries or self.resume_hits:
+            registry.counter("supervisor.report.retries").inc(self.retries)
+            registry.counter("supervisor.report.resume_hits").inc(
+                self.resume_hits
+            )
+            registry.counter("supervisor.report.quarantined").inc(
+                len(self.quarantined)
+            )
         return registry
 
 
@@ -235,6 +287,12 @@ def run_sweep(
     progress: Optional[Callable[[CellOutcome], None]] = None,
     tracer_factory: Optional[Callable[[SweepCell], Any]] = None,
     on_trace: Optional[Callable[[SweepCell, Any], None]] = None,
+    policy: Optional["SupervisorPolicy"] = None,
+    journal_path: Optional[Union[str, Path]] = None,
+    resume_from: Optional[Union[str, Path]] = None,
+    chaos: Optional["ChaosSpec"] = None,
+    tracer: Optional["Tracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> SweepReport:
     """Execute a sweep: every cell of ``spec``, cache-first, in parallel.
 
@@ -259,11 +317,46 @@ def run_sweep(
     on_trace:
         Callback invoked after each traced cell with ``(cell, tracer)``;
         typically exports the recorded events.
+    policy / journal_path / resume_from / chaos / tracer / metrics:
+        Supervision parameters; when any of them is given the sweep is
+        delegated to :func:`repro.exec.supervise.run_supervised`, which
+        adds per-cell timeouts, retries, quarantine, journaling and
+        graceful shutdown on top of the same determinism contract.
+        Mutually exclusive with ``tracer_factory`` (supervised cells run
+        in worker processes, where tracers cannot follow).
 
     The returned report lists outcomes in *cell enumeration order*
     regardless of completion order, so downstream table/figure code can
     zip them against the spec.
     """
+    supervised = (
+        policy is not None
+        or journal_path is not None
+        or resume_from is not None
+        or chaos is not None
+    )
+    if supervised:
+        from ..errors import SweepError
+        from .supervise import run_supervised
+
+        if tracer_factory is not None:
+            raise SweepError(
+                "tracer_factory cannot be combined with supervision: "
+                "supervised cells run in worker processes, where "
+                "in-process tracers cannot follow"
+            )
+        return run_supervised(
+            spec,
+            jobs=jobs,
+            cache=cache,
+            policy=policy,
+            journal_path=journal_path,
+            resume_from=resume_from,
+            chaos=chaos,
+            progress=progress,
+            tracer=tracer,
+            metrics=metrics,
+        )
     cells = list(spec.cells() if isinstance(spec, SweepSpec) else spec)
     jobs = max(1, int(jobs))
     started = time.perf_counter()

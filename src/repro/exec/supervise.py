@@ -1,0 +1,724 @@
+"""Fault-tolerant supervision of sweep execution.
+
+:func:`run_supervised` is the resilient sibling of
+:func:`repro.exec.runner.run_sweep`: instead of handing cells to a bare
+process pool (where one hung or segfaulting worker loses the whole
+grid), it runs **one worker process per in-flight cell** and supervises
+each through a result pipe.  That buys exactly the four guarantees the
+plain pool cannot give:
+
+1. **Per-cell wall-clock timeouts.**  A cell that exceeds its deadline
+   is killed (``terminate`` then ``kill``) and its slot respawned —
+   futures cannot do this, because a pool worker stuck in C code never
+   honours cancellation.
+2. **Retries with seeded backoff.**  Transient failures re-enter the
+   queue after an exponential-backoff delay with seeded jitter, computed
+   through :func:`repro.fabric.faults.backoff_delay` — the same helper
+   the fabric's :class:`~repro.fabric.faults.RetryPolicy` uses for
+   bitstream rewrites, so one tested formula serves both layers.
+3. **Quarantine, not abort.**  A cell that exhausts its attempt budget
+   is recorded as a :class:`QuarantinedCell` with a failure taxonomy tag
+   (``timeout`` / ``crash`` / ``poison``) and the rest of the grid keeps
+   going.
+4. **Journal + graceful shutdown.**  Every outcome is appended to a
+   JSONL journal (:mod:`repro.exec.journal`); SIGINT/SIGTERM stop
+   dispatch, drain in-flight cells, and leave a journal from which
+   ``repro sweep --resume`` replays completed cells bit-identically.
+
+The determinism contract is untouched: cells are pure functions of their
+configuration, so replayed, retried, resumed and fresh results are all
+byte-identical (``tests/test_exec_resume.py`` pins this down).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from types import FrameType
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from ..errors import SweepError
+from ..fabric.faults import backoff_delay
+from ..sim.results import SimulationResult
+from .cache import CODE_VERSION_SALT, ResultCache, cell_key
+from .chaos import ChaosSpec
+from .journal import QuarantinedCell, SweepJournal, read_journal
+from .spec import SweepCell, SweepSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.tracer import Tracer
+    from .runner import CellOutcome, SweepReport
+
+__all__ = [
+    "CellFailure",
+    "CellTimeout",
+    "WorkerCrash",
+    "PoisonedCell",
+    "SupervisorPolicy",
+    "policy_from_env",
+    "run_supervised",
+]
+
+
+# -- failure taxonomy ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One failed attempt at one cell, classified."""
+
+    #: Class-level taxonomy tag; concrete subclasses override it.
+    kind = ""
+
+    message: str
+
+
+@dataclass(frozen=True)
+class CellTimeout(CellFailure):
+    """The cell exceeded its wall-clock deadline and the worker was
+    killed.  The canonical hang: an infinite loop, a deadlock, a stuck
+    syscall — nothing a future's ``cancel()`` could have reached."""
+
+    kind = "timeout"
+
+
+@dataclass(frozen=True)
+class WorkerCrash(CellFailure):
+    """The worker process died without delivering a result (segfault,
+    ``os._exit``, OOM kill): the result pipe hit EOF with no message."""
+
+    kind = "crash"
+
+
+@dataclass(frozen=True)
+class PoisonedCell(CellFailure):
+    """The cell's own code raised: a deterministic Python exception
+    travelled back over the result pipe.  Retrying usually cannot help
+    (the cell is a pure function of its config), but the attempt budget
+    still applies — chaos-injected exceptions may be bounded."""
+
+    kind = "poison"
+
+
+# -- policy --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Knobs of the supervision layer.
+
+    Parameters
+    ----------
+    timeout:
+        Per-cell wall-clock budget in seconds; ``None`` disables the
+        deadline (hangs then only die at operator interrupt).
+    max_attempts:
+        Total tries per cell (first run included); >= 1.
+    backoff_seconds / backoff_factor / jitter / retry_seed:
+        The retry delay schedule, evaluated through
+        :func:`repro.fabric.faults.backoff_delay` with a private RNG
+        seeded by ``retry_seed`` — two supervised runs of the same grid
+        replay the identical jitter sequence.
+    """
+
+    timeout: Optional[float] = None
+    max_attempts: int = 3
+    backoff_seconds: float = 0.1
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    retry_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise SweepError(
+                f"timeout must be positive (or None), got {self.timeout!r}"
+            )
+        if self.max_attempts < 1:
+            raise SweepError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        if self.backoff_seconds < 0:
+            raise SweepError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds!r}"
+            )
+        if self.backoff_factor < 1.0:
+            raise SweepError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SweepError(
+                f"jitter must be within [0, 1], got {self.jitter!r}"
+            )
+
+    def retry_delay(self, failures: int, rng: random.Random) -> float:
+        """Seconds to wait before the retry after failure ``failures``."""
+        return backoff_delay(
+            self.backoff_seconds,
+            self.backoff_factor,
+            failures,
+            jitter=self.jitter,
+            rng=rng,
+        )
+
+
+def policy_from_env() -> Optional[SupervisorPolicy]:
+    """A :class:`SupervisorPolicy` from ``REPRO_TIMEOUT`` (seconds) and
+    ``REPRO_MAX_ATTEMPTS``, or ``None`` when neither is set.
+
+    This is how the figure/table entry points in
+    :mod:`repro.analysis.experiments` (and the benchmarks driving them)
+    opt into supervision without new function plumbing at every call
+    site.
+    """
+    timeout_text = os.environ.get("REPRO_TIMEOUT", "").strip()
+    attempts_text = os.environ.get("REPRO_MAX_ATTEMPTS", "").strip()
+    if not timeout_text and not attempts_text:
+        return None
+    timeout: Optional[float] = None
+    if timeout_text:
+        try:
+            timeout = float(timeout_text)
+        except ValueError as exc:
+            raise SweepError(
+                f"REPRO_TIMEOUT must be a number of seconds, "
+                f"got {timeout_text!r}"
+            ) from exc
+    max_attempts = 3
+    if attempts_text:
+        try:
+            max_attempts = int(attempts_text)
+        except ValueError as exc:
+            raise SweepError(
+                f"REPRO_MAX_ATTEMPTS must be an integer, "
+                f"got {attempts_text!r}"
+            ) from exc
+    return SupervisorPolicy(timeout=timeout, max_attempts=max_attempts)
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _worker_main(
+    conn: multiprocessing.connection.Connection,
+    cell: SweepCell,
+    attempt: int,
+    chaos: Optional[ChaosSpec],
+) -> None:
+    """Entry point of one supervised worker process.
+
+    Sends exactly one message back: ``("ok", payload, seconds)`` or
+    ``("error", exception_type_name, message)``.  A hang sends nothing
+    (the supervisor's deadline fires); a crash closes the pipe without a
+    message (the supervisor reads EOF).
+    """
+    from .runner import _timed_execute
+
+    # The supervisor owns interrupt handling; workers must not race it
+    # to the console or die mid-cache-write on a Ctrl-C aimed at the
+    # parent.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        if chaos is not None:
+            chaos.apply(cell, attempt)
+        payload, seconds = _timed_execute(cell)
+        conn.send(("ok", payload, seconds))
+    except BaseException as exc:
+        conn.send(("error", type(exc).__name__, str(exc)))
+    finally:
+        conn.close()
+
+
+# -- supervisor ----------------------------------------------------------------
+
+
+@dataclass
+class _InFlight:
+    """One live worker process and its bookkeeping."""
+
+    index: int
+    cell: SweepCell
+    attempt: int
+    process: multiprocessing.Process
+    conn: multiprocessing.connection.Connection
+    deadline: Optional[float]
+    started: float
+
+
+@dataclass
+class _QueueItem:
+    """One cell waiting to run (or re-run after backoff)."""
+
+    index: int
+    cell: SweepCell
+    attempt: int = 1
+    not_before: float = 0.0
+    last_failure: Optional[CellFailure] = None
+
+
+class _Supervisor:
+    """The event loop behind :func:`run_supervised`."""
+
+    def __init__(
+        self,
+        cells: Sequence[SweepCell],
+        jobs: int,
+        cache: Optional[ResultCache],
+        policy: SupervisorPolicy,
+        journal: Optional[SweepJournal],
+        chaos: Optional[ChaosSpec],
+        progress: Optional[Callable[["CellOutcome"], None]],
+        tracer: Optional["Tracer"],
+        metrics: Optional["MetricsRegistry"],
+        salt: str = CODE_VERSION_SALT,
+    ) -> None:
+        self.cells = list(cells)
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.policy = policy
+        self.journal = journal
+        self.chaos = chaos
+        self.progress = progress
+        self.tracer = tracer
+        self.metrics = metrics
+        self.salt = salt
+        self.rng = random.Random(policy.retry_seed)
+        self.outcomes: List[Optional["CellOutcome"]] = [None] * len(cells)
+        self.quarantined: List[QuarantinedCell] = []
+        self.queue: List[_QueueItem] = []
+        self.in_flight: List[_InFlight] = []
+        self.retries = 0
+        self.resume_hits = 0
+        self.interrupts = 0
+
+    # -- observability helpers -------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _emit(self, event: Any) -> None:
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(event)
+
+    # -- outcome plumbing -------------------------------------------------
+
+    def _complete(
+        self,
+        index: int,
+        cell: SweepCell,
+        payload: Dict[str, Any],
+        seconds: float,
+        cache_hit: bool,
+        attempts: int,
+        journal_it: bool = True,
+    ) -> None:
+        from .runner import CellOutcome
+
+        if self.cache is not None and not cache_hit:
+            self.cache.put(cell, payload)
+        if self.journal is not None and journal_it:
+            self.journal.record_completed(cell, payload, attempts, seconds)
+        outcome = CellOutcome(
+            cell=cell,
+            result=SimulationResult.from_json_dict(payload),
+            wall_time=seconds,
+            cache_hit=cache_hit,
+        )
+        self.outcomes[index] = outcome
+        if self.progress is not None:
+            self.progress(outcome)
+
+    def _fail(self, item: _QueueItem, failure: CellFailure) -> None:
+        """One attempt failed: schedule a retry or quarantine the cell."""
+        from ..obs.events import CellQuarantined, CellRetry
+
+        if item.attempt < self.policy.max_attempts and self.interrupts == 0:
+            delay = self.policy.retry_delay(item.attempt, self.rng)
+            self.retries += 1
+            self._count("supervisor.retries")
+            self._count(f"supervisor.failures.{failure.kind}")
+            self._emit(
+                CellRetry(
+                    cycle=0,
+                    label=item.cell.label,
+                    attempt=item.attempt,
+                    failure=failure.kind,
+                    backoff_ms=int(delay * 1000),
+                )
+            )
+            if self.journal is not None:
+                self.journal.record_retry(
+                    item.cell,
+                    item.attempt,
+                    failure.kind,
+                    failure.message,
+                    delay,
+                )
+            self.queue.append(
+                _QueueItem(
+                    index=item.index,
+                    cell=item.cell,
+                    attempt=item.attempt + 1,
+                    not_before=time.monotonic() + delay,
+                    last_failure=failure,
+                )
+            )
+            return
+        quarantined = QuarantinedCell(
+            cell=item.cell,
+            key=cell_key(item.cell, self.salt),
+            failure=failure.kind,
+            message=failure.message,
+            attempts=item.attempt,
+        )
+        self.quarantined.append(quarantined)
+        self._count("supervisor.quarantined")
+        self._count(f"supervisor.failures.{failure.kind}")
+        self._emit(
+            CellQuarantined(
+                cycle=0,
+                label=item.cell.label,
+                attempts=item.attempt,
+                failure=failure.kind,
+            )
+        )
+        if self.journal is not None:
+            self.journal.record_quarantined(quarantined)
+
+    # -- process management ------------------------------------------------
+
+    def _dispatch(self, item: _QueueItem) -> None:
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+        process = multiprocessing.Process(
+            target=_worker_main,
+            args=(child_conn, item.cell, item.attempt, self.chaos),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        self.in_flight.append(
+            _InFlight(
+                index=item.index,
+                cell=item.cell,
+                attempt=item.attempt,
+                process=process,
+                conn=parent_conn,
+                deadline=(
+                    now + self.policy.timeout
+                    if self.policy.timeout is not None
+                    else None
+                ),
+                started=now,
+            )
+        )
+
+    def _kill(self, flight: _InFlight) -> None:
+        """Forcefully stop one worker (timeout or hard interrupt)."""
+        if flight.process.is_alive():
+            flight.process.terminate()
+            flight.process.join(timeout=1.0)
+            if flight.process.is_alive():
+                flight.process.kill()
+                flight.process.join(timeout=1.0)
+        flight.conn.close()
+
+    def _reap(self, flight: _InFlight) -> None:
+        """Collect the result (or classify the failure) of one worker."""
+        failure: Optional[CellFailure]
+        try:
+            message = flight.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        flight.process.join(timeout=5.0)
+        if flight.process.is_alive():  # pragma: no cover - defensive
+            flight.process.kill()
+            flight.process.join(timeout=1.0)
+        flight.conn.close()
+        item = _QueueItem(
+            index=flight.index, cell=flight.cell, attempt=flight.attempt
+        )
+        if message is None:
+            exit_code = flight.process.exitcode
+            failure = WorkerCrash(
+                message=(
+                    f"worker for cell {flight.cell.label!r} died without a "
+                    f"result (exit code {exit_code})"
+                )
+            )
+            self._fail(item, failure)
+            return
+        status = message[0]
+        if status == "ok":
+            _, payload, seconds = message
+            self._complete(
+                index=flight.index,
+                cell=flight.cell,
+                payload=payload,
+                seconds=seconds,
+                cache_hit=False,
+                attempts=flight.attempt,
+            )
+            return
+        _, exc_type, exc_message = message
+        failure = PoisonedCell(message=f"{exc_type}: {exc_message}")
+        self._fail(item, failure)
+
+    def _expire(self, flight: _InFlight) -> None:
+        """A worker blew its deadline: kill it and classify as timeout."""
+        self._kill(flight)
+        budget = self.policy.timeout if self.policy.timeout is not None else 0.0
+        self._fail(
+            _QueueItem(
+                index=flight.index, cell=flight.cell, attempt=flight.attempt
+            ),
+            CellTimeout(
+                message=(
+                    f"cell {flight.cell.label!r} exceeded its "
+                    f"{budget:g}s wall-clock budget"
+                )
+            ),
+        )
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> None:
+        while self.queue or self.in_flight:
+            now = time.monotonic()
+            if self.interrupts >= 2:
+                # Second signal: the operator wants out *now*.  Kill the
+                # in-flight workers; their cells stay pending in the
+                # journal and re-run on --resume.
+                for flight in self.in_flight:
+                    self._kill(flight)
+                self.in_flight.clear()
+                self.queue.clear()
+                break
+            if self.interrupts == 0:
+                ready = [q for q in self.queue if q.not_before <= now]
+                ready.sort(key=lambda q: (q.not_before, q.index))
+                while ready and len(self.in_flight) < self.jobs:
+                    item = ready.pop(0)
+                    self.queue.remove(item)
+                    self._dispatch(item)
+            elif not self.in_flight:
+                # Interrupted and nothing left to drain.
+                break
+            wait_timeout = self._next_wait(now)
+            if self.in_flight:
+                ready_conns = multiprocessing.connection.wait(
+                    [f.conn for f in self.in_flight], timeout=wait_timeout
+                )
+                for conn in ready_conns:
+                    flight = next(
+                        f for f in self.in_flight if f.conn is conn
+                    )
+                    self.in_flight.remove(flight)
+                    self._reap(flight)
+                now = time.monotonic()
+                expired = [
+                    f
+                    for f in self.in_flight
+                    if f.deadline is not None and f.deadline <= now
+                ]
+                for flight in expired:
+                    self.in_flight.remove(flight)
+                    self._expire(flight)
+            elif wait_timeout is not None and wait_timeout > 0:
+                time.sleep(wait_timeout)
+
+    def _next_wait(self, now: float) -> Optional[float]:
+        """Seconds until the next deadline or retry becomes actionable."""
+        horizons: List[float] = []
+        for flight in self.in_flight:
+            if flight.deadline is not None:
+                horizons.append(flight.deadline)
+        if self.interrupts == 0 and len(self.in_flight) < self.jobs:
+            for item in self.queue:
+                horizons.append(item.not_before)
+        if not horizons:
+            return None
+        return max(0.0, min(horizons) - now) + 0.001
+
+    @property
+    def pending(self) -> int:
+        """Cells neither completed nor quarantined (interrupt leftovers)."""
+        done = sum(1 for o in self.outcomes if o is not None)
+        return len(self.cells) - done - len(self.quarantined)
+
+
+def run_supervised(
+    spec: Union[SweepSpec, Sequence[SweepCell]],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    policy: Optional[SupervisorPolicy] = None,
+    journal_path: Optional[Union[str, Path]] = None,
+    resume_from: Optional[Union[str, Path]] = None,
+    chaos: Optional[ChaosSpec] = None,
+    progress: Optional[Callable[["CellOutcome"], None]] = None,
+    tracer: Optional["Tracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+) -> "SweepReport":
+    """Execute a sweep under full supervision.
+
+    Semantics match :func:`repro.exec.runner.run_sweep` (cache-first,
+    outcomes in cell enumeration order, bit-identical results), plus the
+    resilience features described in the module docstring.  Completed
+    cells land in ``outcomes``; cells that exhausted their attempt
+    budget land in ``report.quarantined``; on a drained interrupt
+    ``report.interrupted`` is ``True`` and unfinished cells are simply
+    absent (the journal knows they are pending).
+
+    Parameters beyond ``run_sweep``'s
+    ------------------------------------
+    policy:
+        Timeouts/retries/backoff; defaults to :class:`SupervisorPolicy`.
+    journal_path:
+        Where to append the outcome journal; ``None`` disables
+        journaling (resume then relies on the cache alone).
+    resume_from:
+        A journal from a previous (killed or interrupted) run; its
+        completed payloads are replayed bit-identically and only
+        pending/quarantined cells re-run.
+    chaos:
+        Fault injection acted out inside the workers (tests/CI only).
+    tracer / metrics:
+        Supervisor-level observability: retry, quarantine and resume
+        events plus ``supervisor.*`` counters.
+    """
+    from ..obs.events import CellResumed
+    from .runner import SweepReport
+
+    policy = policy if policy is not None else SupervisorPolicy()
+    cells = list(spec.cells() if isinstance(spec, SweepSpec) else spec)
+    started = time.perf_counter()
+
+    salt = cache.salt if cache is not None else CODE_VERSION_SALT
+    journal: Optional[SweepJournal] = None
+    if journal_path is not None:
+        journal = SweepJournal(journal_path, salt=salt)
+    resume_state = None
+    if resume_from is not None:
+        resume_state = read_journal(resume_from, salt=salt)
+    # When appending to the very journal we are resuming from, its
+    # completed lines are already there — do not duplicate them.
+    rejournal_replays = journal is not None and (
+        resume_from is None
+        or Path(journal_path or "").resolve() != Path(resume_from).resolve()
+    )
+
+    supervisor = _Supervisor(
+        cells=cells,
+        jobs=jobs,
+        cache=cache,
+        policy=policy,
+        journal=journal,
+        chaos=chaos,
+        progress=progress,
+        tracer=tracer,
+        metrics=metrics,
+        salt=salt,
+    )
+
+    # Serve every cell we can without spawning anything: journal replay
+    # first (a resumed run must not depend on cache configuration), then
+    # the result cache.  The rest is queued for supervised execution.
+    for index, cell in enumerate(cells):
+        if resume_state is not None:
+            payload = resume_state.payload_for(cell, salt)
+            if payload is not None:
+                supervisor.resume_hits += 1
+                supervisor._count("supervisor.resume_hits")
+                supervisor._emit(
+                    CellResumed(cycle=0, label=cell.label, source="journal")
+                )
+                supervisor._complete(
+                    index=index,
+                    cell=cell,
+                    payload=payload,
+                    seconds=0.0,
+                    cache_hit=True,
+                    attempts=resume_state.attempts.get(
+                        cell_key(cell, salt), 1
+                    ),
+                    journal_it=rejournal_replays,
+                )
+                continue
+        if cache is not None:
+            t0 = time.perf_counter()
+            payload = cache.get(cell)
+            if payload is not None:
+                supervisor._complete(
+                    index=index,
+                    cell=cell,
+                    payload=payload,
+                    seconds=time.perf_counter() - t0,
+                    cache_hit=True,
+                    attempts=1,
+                )
+                continue
+        supervisor.queue.append(_QueueItem(index=index, cell=cell))
+
+    previous_handlers = _install_signal_handlers(supervisor)
+    try:
+        supervisor.run()
+    finally:
+        _restore_signal_handlers(previous_handlers)
+        if journal is not None:
+            if supervisor.interrupts > 0:
+                journal.record_interrupted(supervisor.pending)
+            journal.close()
+
+    done = [o for o in supervisor.outcomes if o is not None]
+    return SweepReport(
+        outcomes=done,
+        elapsed=time.perf_counter() - started,
+        jobs=max(1, int(jobs)),
+        quarantined=list(supervisor.quarantined),
+        interrupted=supervisor.interrupts > 0,
+        resume_hits=supervisor.resume_hits,
+        retries=supervisor.retries,
+    )
+
+
+_HandlerMap = Dict[int, Any]
+
+
+def _install_signal_handlers(supervisor: _Supervisor) -> _HandlerMap:
+    """Route SIGINT/SIGTERM to graceful drain (main thread only)."""
+    import threading
+
+    previous: _HandlerMap = {}
+    if threading.current_thread() is not threading.main_thread():
+        return previous
+
+    def _handler(signum: int, frame: Optional[FrameType]) -> None:
+        supervisor.interrupts += 1
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            continue
+    return previous
+
+
+def _restore_signal_handlers(previous: _HandlerMap) -> None:
+    for signum, handler in previous.items():
+        signal.signal(signum, handler)

@@ -40,7 +40,35 @@ __all__ = [
     "BernoulliLoadFaults",
     "ContainerWearFaults",
     "RetryPolicy",
+    "backoff_delay",
 ]
+
+
+def backoff_delay(
+    base: float,
+    factor: float,
+    failures: int,
+    jitter: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Exponential backoff with optional seeded jitter.
+
+    The delay before the retry after failure number ``failures``
+    (1-based) is ``base * factor**(failures - 1)``, stretched by up to
+    ``jitter`` (a fraction in ``[0, 1]``) drawn from ``rng``.  The RNG
+    is the *caller's* — always an explicitly seeded
+    :class:`random.Random`, never module-level entropy — so a retried
+    run replays the identical delay schedule.  Both the fabric's
+    :class:`RetryPolicy` (delays in reconfiguration cycles) and the
+    sweep supervisor (:mod:`repro.exec.supervise`, delays in seconds)
+    compute their backoff through this one helper.
+    """
+    if failures <= 0:
+        return 0.0
+    delay = base * factor ** (failures - 1)
+    if jitter > 0.0 and rng is not None:
+        delay += delay * jitter * rng.random()
+    return delay
 
 
 class LoadFault(enum.Enum):
@@ -203,6 +231,15 @@ class RetryPolicy:
         Multiplicative growth of the delay per further retry (>= 1).
     on_exhausted:
         ``"software"`` (degrade gracefully) or ``"raise"`` (fail fast).
+    jitter:
+        Fraction in ``[0, 1]`` by which each backoff delay may be
+        stretched (0 = the exact exponential schedule).  Jitter is drawn
+        from a *private* RNG seeded by ``seed`` — never from the shared
+        module-level generator — so retried fault runs stay
+        bit-reproducible (RL001).
+    seed:
+        Seed of the jitter RNG; :meth:`reset` replays the identical
+        jitter schedule for a fresh run.
     """
 
     def __init__(
@@ -211,6 +248,8 @@ class RetryPolicy:
         backoff_cycles: int = 0,
         backoff_factor: float = 2.0,
         on_exhausted: str = "software",
+        jitter: float = 0.0,
+        seed: int = 0,
     ):
         if max_retries < 0:
             raise FabricError(
@@ -229,10 +268,17 @@ class RetryPolicy:
                 f"on_exhausted must be 'software' or 'raise', "
                 f"got {on_exhausted!r}"
             )
+        if not 0.0 <= jitter <= 1.0:
+            raise FabricError(
+                f"jitter must be within [0, 1], got {jitter!r}"
+            )
         self.max_retries = int(max_retries)
         self.backoff_cycles = int(backoff_cycles)
         self.backoff_factor = float(backoff_factor)
         self.on_exhausted = on_exhausted
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
 
     def allows_retry(self, failures: int) -> bool:
         """May a load that failed ``failures`` times be re-attempted?"""
@@ -241,16 +287,25 @@ class RetryPolicy:
     def delay(self, failures: int) -> int:
         """Backoff (in cycles) before the retry after failure number
         ``failures`` (1-based)."""
-        if failures <= 0:
-            return 0
         return int(
-            self.backoff_cycles * self.backoff_factor ** (failures - 1)
+            backoff_delay(
+                self.backoff_cycles,
+                self.backoff_factor,
+                failures,
+                jitter=self.jitter,
+                rng=self._rng,
+            )
         )
+
+    def reset(self) -> None:
+        """Restore the initial jitter schedule (start of a fresh run)."""
+        self._rng = random.Random(self.seed)
 
     def __repr__(self) -> str:
         return (
             f"RetryPolicy(max_retries={self.max_retries}, "
             f"backoff_cycles={self.backoff_cycles}, "
             f"backoff_factor={self.backoff_factor}, "
-            f"on_exhausted={self.on_exhausted!r})"
+            f"on_exhausted={self.on_exhausted!r}, "
+            f"jitter={self.jitter}, seed={self.seed})"
         )

@@ -1,6 +1,6 @@
 """``python -m repro lint`` — the repository's static-analysis gate.
 
-Runs every registered rule (RL001-RL005) over the source tree and
+Runs every registered rule (RL001-RL006) over the source tree and
 reports findings as ``path:line:col: RLxxx message`` text or as a JSON
 document (``--format json``).  Exit codes: 0 clean, 1 findings, 2 for a
 configuration or usage problem — so the command slots directly into CI.
@@ -55,8 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based invariant analyzer for the simulation core: "
             "determinism (RL001), tracer guards (RL002), hygiene "
-            "(RL003), event-schema drift (RL004) and division-free HEF "
-            "comparisons (RL005)."
+            "(RL003), event-schema drift (RL004), division-free HEF "
+            "comparisons (RL005) and swallowed exceptions (RL006)."
         ),
     )
     parser.add_argument(

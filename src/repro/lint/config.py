@@ -52,9 +52,15 @@ RULE_DEFAULTS: Dict[str, Dict[str, Any]] = {
         "enabled": True,
         "include": ["repro/*"],
         # The only sanctioned wall-clock sites: the sweep runner's
-        # per-cell timings and the (explicitly non-deterministic)
-        # metrics registry.
-        "allow": ["repro/exec/runner.py", "repro/obs/metrics.py"],
+        # per-cell timings, the supervision layer (deadlines and backoff
+        # are wall-clock by nature), the chaos harness (hang injection),
+        # and the (explicitly non-deterministic) metrics registry.
+        "allow": [
+            "repro/exec/runner.py",
+            "repro/exec/supervise.py",
+            "repro/exec/chaos.py",
+            "repro/obs/metrics.py",
+        ],
     },
     "RL002": {
         "enabled": True,
@@ -81,6 +87,11 @@ RULE_DEFAULTS: Dict[str, Dict[str, Any]] = {
     "RL005": {
         "enabled": True,
         "include": ["repro/core/schedulers/*"],
+        "allow": [],
+    },
+    "RL006": {
+        "enabled": True,
+        "include": ["repro/*"],
         "allow": [],
     },
 }

@@ -1,4 +1,4 @@
-"""The per-module lint rules: RL001, RL002, RL003 and RL005.
+"""The per-module lint rules: RL001, RL002, RL003, RL005 and RL006.
 
 Each rule is a small AST pass registered under its ID.  Rules receive a
 parsed :class:`Module` plus their effective options
@@ -26,6 +26,12 @@ The rule set encodes this repository's hard contracts:
 * **RL005 — division-free HEF.**  The paper's hardware comparator has no
   divider (Section 5): scheduler benefit comparisons are decided by
   cross-multiplication, so ``/`` must not appear in scheduler code.
+* **RL006 — no swallowed exceptions.**  Bare ``except:`` catches
+  ``KeyboardInterrupt``/``SystemExit`` and hides everything; an
+  ``except`` whose body is only ``pass``/``...`` silently discards the
+  failure.  A robustness layer built on failure *classification*
+  (timeouts vs crashes vs poison cells) cannot afford either — suppress
+  narrowly and visibly with ``contextlib.suppress`` instead.
 """
 
 from __future__ import annotations
@@ -553,3 +559,64 @@ class DivisionFreeRule(Rule):
                 node.op, ast.Div
             ):
                 yield self.finding(module, node, self._MESSAGE)
+
+
+# -- RL006: no swallowed exceptions --------------------------------------------
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    """Bare ``except:`` and silently swallowed exceptions are banned."""
+
+    rule_id = "RL006"
+    title = "no-swallowed-exceptions"
+
+    def check(
+        self, module: Module, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' catches KeyboardInterrupt and "
+                    "SystemExit too; name the exception types "
+                    "(use 'except BaseException:' explicitly if the "
+                    "catch-all is genuinely intended)",
+                )
+                continue
+            if self._body_is_silent(node.body):
+                caught = _dotted_exception(node.type)
+                yield self.finding(
+                    module,
+                    node,
+                    f"'except {caught}: pass' silently swallows the "
+                    f"failure; handle it, re-raise, or make the "
+                    f"suppression explicit with contextlib.suppress",
+                )
+
+    @staticmethod
+    def _body_is_silent(body: List[ast.stmt]) -> bool:
+        """Whether the handler does nothing observable at all."""
+        for statement in body:
+            if isinstance(statement, ast.Pass):
+                continue
+            if isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Constant
+            ):
+                # A lone docstring/`...` is as silent as `pass`.
+                continue
+            return False
+        return True
+
+
+def _dotted_exception(node: ast.expr) -> str:
+    """Render the caught exception expression for the RL006 message."""
+    if isinstance(node, ast.Tuple):
+        return (
+            "(" + ", ".join(_dotted_exception(e) for e in node.elts) + ")"
+        )
+    rendered = _dotted(node)
+    return rendered if rendered else "..."

@@ -23,6 +23,9 @@ pinned by the overhead-guard tests.
 from __future__ import annotations
 
 from .events import (
+    CellQuarantined,
+    CellResumed,
+    CellRetry,
     ContainerDead,
     DecisionStep,
     DegradedEnter,
@@ -77,6 +80,9 @@ __all__ = [
     "SIUpgrade",
     "DegradedEnter",
     "DegradedExit",
+    "CellRetry",
+    "CellQuarantined",
+    "CellResumed",
     "event_from_json_dict",
     "event_kinds",
     # tracer

@@ -40,6 +40,9 @@ __all__ = [
     "SIUpgrade",
     "DegradedEnter",
     "DegradedExit",
+    "CellRetry",
+    "CellQuarantined",
+    "CellResumed",
     "event_from_json_dict",
     "event_kinds",
 ]
@@ -360,3 +363,55 @@ class DegradedExit(TraceEvent):
     """Execution left degraded mode."""
 
     kind = "degraded_exit"
+
+
+# -- sweep supervisor ----------------------------------------------------------
+#
+# Supervisor events describe the *execution harness*, not the simulated
+# machine: their ``cycle`` is always 0 (there is no simulated clock at
+# the grid level) and the differential replay ignores them.  They exist
+# so chaos runs are observable through the same event log, exporters and
+# metrics as everything else.
+
+
+@_register
+@dataclass(frozen=True)
+class CellRetry(TraceEvent):
+    """A sweep cell's attempt failed and the cell was re-queued.
+
+    ``failure`` is the supervisor taxonomy tag (``timeout`` / ``crash``
+    / ``poison``); ``backoff_ms`` is the seeded-jitter delay before the
+    next attempt, in milliseconds (an integer, keeping events
+    wall-clock-free *as data* even though the delay itself is a
+    wall-clock plan).
+    """
+
+    kind = "cell_retry"
+
+    label: str
+    attempt: int
+    failure: str
+    backoff_ms: int
+
+
+@_register
+@dataclass(frozen=True)
+class CellQuarantined(TraceEvent):
+    """A sweep cell exhausted its attempt budget and left the grid."""
+
+    kind = "cell_quarantined"
+
+    label: str
+    attempts: int
+    failure: str
+
+
+@_register
+@dataclass(frozen=True)
+class CellResumed(TraceEvent):
+    """A completed cell was replayed from a resume journal."""
+
+    kind = "cell_resumed"
+
+    label: str
+    source: str

@@ -27,6 +27,9 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ObservabilityError
 from .events import (
+    CellQuarantined,
+    CellResumed,
+    CellRetry,
     ContainerDead,
     DegradedEnter,
     DegradedExit,
@@ -65,7 +68,9 @@ OBS_SCHEMA = "repro.obs/event-log"
 #: Version of the event-log schema.  Bump this (and extend the golden
 #: test) whenever an event gains/loses fields or a kind is renamed —
 #: readers reject logs whose version they do not know.
-OBS_SCHEMA_VERSION = 1
+#: v2: sweep-supervisor events (cell_retry / cell_quarantined /
+#: cell_resumed).
+OBS_SCHEMA_VERSION = 2
 
 #: The formats :func:`export_events` (and the CLI) understand.
 TRACE_FORMATS = ("json", "chrome", "summary")
@@ -318,6 +323,37 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, Any]:
                     "args": {"cycles": event.latency},
                 }
             )
+        elif isinstance(event, (CellRetry, CellQuarantined, CellResumed)):
+            # Supervisor events carry no simulated clock (cycle 0); show
+            # them as instants on the scheduler track so a chaos run's
+            # harness activity is visible next to the run it wraps.
+            if isinstance(event, CellRetry):
+                name = f"cell retry {event.label}"
+                args: Dict[str, Any] = {
+                    "attempt": event.attempt,
+                    "failure": event.failure,
+                    "backoff_ms": event.backoff_ms,
+                }
+            elif isinstance(event, CellQuarantined):
+                name = f"cell quarantined {event.label}"
+                args = {
+                    "attempts": event.attempts,
+                    "failure": event.failure,
+                }
+            else:
+                name = f"cell resumed {event.label}"
+                args = {"source": event.source}
+            emit(
+                {
+                    "name": name,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": _SCHED_TID,
+                    "ts": stamp(_SCHED_TID, event.cycle),
+                    "args": args,
+                }
+            )
 
     # Close loads the run truncated (port still busy at the last trace's
     # end) so every B has its E.
@@ -488,6 +524,22 @@ def to_summary_text(events: Sequence[TraceEvent]) -> str:
             lines.append(prefix + "degraded mode entered")
         elif isinstance(event, DegradedExit):
             lines.append(prefix + "degraded mode left")
+        elif isinstance(event, CellRetry):
+            lines.append(
+                prefix
+                + f"cell {event.label} retry (attempt {event.attempt}, "
+                f"{event.failure}, backoff {event.backoff_ms} ms)"
+            )
+        elif isinstance(event, CellQuarantined):
+            lines.append(
+                prefix
+                + f"cell {event.label} QUARANTINED after "
+                f"{event.attempts} attempts ({event.failure})"
+            )
+        elif isinstance(event, CellResumed):
+            lines.append(
+                prefix + f"cell {event.label} resumed from {event.source}"
+            )
         elif isinstance(event, RunEnd):
             lines.append(prefix + f"run end: {event.total_cycles:,} cycles")
     lines.append(

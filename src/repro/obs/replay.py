@@ -52,6 +52,11 @@ REPLAY_IGNORED_EVENTS: Tuple[str, ...] = (
     "ContainerDead",
     "DegradedEnter",
     "DegradedExit",
+    # Sweep-supervisor events: grid-level harness bookkeeping with no
+    # simulated clock at all — irrelevant to cycle accounting.
+    "CellRetry",
+    "CellQuarantined",
+    "CellResumed",
 )
 
 

@@ -198,6 +198,7 @@ class SystemSimulator(ABC):
         """
         self.fabric.reset()
         self.fault_model.reset()
+        self.retry_policy.reset()
         self.port = ReconfigPort(
             self.fabric,
             fault_model=self.fault_model,

@@ -1,0 +1,62 @@
+"""RL006 fixture — bare excepts and silently swallowed exceptions.
+
+Lines tagged ``# expect: RL006`` must be flagged when the file
+masquerades as a module under ``repro/``; handlers that log, re-raise,
+recover, or use ``contextlib.suppress`` must stay silent.
+"""
+
+import contextlib
+
+
+def bare_except(risky):
+    try:
+        return risky()
+    except:  # expect: RL006
+        return None
+
+
+def swallowed_pass(risky):
+    try:
+        return risky()
+    except ValueError:  # expect: RL006
+        pass
+
+
+def swallowed_ellipsis(risky):
+    try:
+        return risky()
+    except (OSError, KeyError):  # expect: RL006
+        ...
+
+
+def swallowed_docstring_only(risky):
+    try:
+        return risky()
+    except RuntimeError:  # expect: RL006
+        """Nothing to see here."""
+
+
+def handled_with_fallback(risky):
+    try:
+        return risky()
+    except ValueError:
+        return 0
+
+
+def reraised(risky):
+    try:
+        return risky()
+    except OSError as exc:
+        raise RuntimeError("wrapped") from exc
+
+
+def explicit_suppress(cleanup):
+    with contextlib.suppress(OSError):
+        cleanup()
+
+
+def explicit_base_exception(risky):
+    try:
+        return risky()
+    except BaseException:
+        raise

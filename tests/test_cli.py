@@ -210,3 +210,66 @@ class TestTraceFlags:
              "--trace-out", str(bad)]
         ) == 1
         assert "cannot write trace" in capsys.readouterr().err
+
+
+class TestSupervisedSweep:
+    def test_supervision_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["sweep", "--timeout", "2.5", "--max-attempts", "4",
+             "--journal", "j.jsonl", "--resume", "old.jsonl",
+             "--chaos", "*:raise:1"]
+        )
+        assert args.timeout == 2.5
+        assert args.max_attempts == 4
+        assert args.journal == "j.jsonl"
+        assert args.resume == "old.jsonl"
+        assert args.chaos == "*:raise:1"
+
+    def test_quarantine_exits_3_and_writes_failure_report(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        journal = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", "--frames", "1", "--ac-list", "4,5",
+             "--max-attempts", "1", "--chaos", "HEF@4AC*:raise",
+             "--journal", str(journal)]
+        ) == 3
+        out = capsys.readouterr().out
+        assert "QUARANTINED HEF@4AC/1f: poison" in out
+        report = json.loads(
+            (tmp_path / "sweep.jsonl.failures.json").read_text()
+        )
+        assert report["quarantined"][0]["failure"] == "poison"
+        assert report["completed"] == 1
+
+    def test_resume_completes_cleanly_with_exit_0(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", "--frames", "1", "--ac-list", "4,5",
+             "--max-attempts", "1", "--chaos", "HEF@4AC*:raise",
+             "--journal", str(journal)]
+        ) == 3
+        capsys.readouterr()
+        assert main(
+            ["sweep", "--frames", "1", "--ac-list", "4,5",
+             "--resume", str(journal), "--journal", str(journal)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 resumed" in out
+        assert "QUARANTINED" not in out
+
+    def test_trace_out_with_supervision_rejected(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "--frames", "1", "--ac-list", "4",
+             "--timeout", "5", "--trace-out", str(tmp_path / "t.json")]
+        ) == 1
+        assert "--trace-out" in capsys.readouterr().err
+
+    def test_malformed_chaos_spec_exits_1(self, capsys):
+        assert main(
+            ["sweep", "--frames", "1", "--ac-list", "4",
+             "--chaos", "bogus"]
+        ) == 1
+        assert "chaos rule" in capsys.readouterr().err

@@ -1,0 +1,164 @@
+"""The sweep journal's append/read round-trip and integrity checks.
+
+The journal is the crash-recovery backbone: its intact prefix must
+always describe exactly what finished, a truncated final line (the
+killed-mid-write case) must be tolerated, and anything else that smells
+wrong — garbage lines, a missing header, a foreign code-version salt —
+must be rejected loudly rather than replayed as if it were trustworthy.
+"""
+
+import pytest
+
+from repro.errors import JournalError
+from repro.exec import (
+    QuarantinedCell,
+    SweepCell,
+    SweepJournal,
+    WorkloadSpec,
+    cell_key,
+    read_journal,
+)
+from repro.exec.journal import JOURNAL_FORMAT
+
+
+def make_cell(num_acs=4):
+    return SweepCell(
+        system="RISPP",
+        scheduler="HEF",
+        num_acs=num_acs,
+        workload=WorkloadSpec(frames=1, seed=2008),
+    )
+
+
+PAYLOAD = {"total_cycles": 123, "fake": True}
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    cell, other = make_cell(4), make_cell(5)
+    with SweepJournal(path, salt="s1") as journal:
+        journal.record_completed(cell, PAYLOAD, attempts=2, wall_time=0.5)
+        journal.record_retry(other, 1, "timeout", "too slow", 0.1)
+        journal.record_quarantined(
+            QuarantinedCell(
+                cell=other,
+                key=cell_key(other, "s1"),
+                failure="timeout",
+                message="too slow",
+                attempts=3,
+            )
+        )
+        journal.record_interrupted(pending=1)
+    state = read_journal(path, salt="s1")
+    assert state.payload_for(cell, "s1") == PAYLOAD
+    assert state.attempts[cell_key(cell, "s1")] == 2
+    assert state.quarantined == {cell_key(other, "s1"): "timeout"}
+    assert state.retries == 1
+    assert state.interrupted
+    assert not state.truncated_tail
+
+
+def test_completion_supersedes_quarantine(tmp_path):
+    """A resume that finishes a quarantined cell rewrites its fate."""
+    path = tmp_path / "sweep.jsonl"
+    cell = make_cell()
+    with SweepJournal(path, salt="s1") as journal:
+        journal.record_quarantined(
+            QuarantinedCell(
+                cell=cell,
+                key=cell_key(cell, "s1"),
+                failure="crash",
+                message="boom",
+                attempts=3,
+            )
+        )
+        journal.record_completed(cell, PAYLOAD, attempts=1, wall_time=0.1)
+    state = read_journal(path, salt="s1")
+    assert state.payload_for(cell, "s1") == PAYLOAD
+    assert state.quarantined == {}
+
+
+def test_truncated_final_line_is_tolerated(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    cell = make_cell()
+    with SweepJournal(path, salt="s1") as journal:
+        journal.record_completed(cell, PAYLOAD, attempts=1, wall_time=0.1)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "cell", "status": "ok", "trunc')
+    state = read_journal(path, salt="s1")
+    assert state.truncated_tail
+    assert state.payload_for(cell, "s1") == PAYLOAD
+
+
+def test_mid_file_garbage_raises(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    cell = make_cell()
+    with SweepJournal(path, salt="s1") as journal:
+        journal.record_completed(cell, PAYLOAD, attempts=1, wall_time=0.1)
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    lines.insert(1, "not json at all {")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    with pytest.raises(JournalError, match="line 2"):
+        read_journal(path, salt="s1")
+
+
+def test_salt_mismatch_raises(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path, salt="old-code-version") as journal:
+        journal.record_completed(make_cell(), PAYLOAD, 1, 0.1)
+    with pytest.raises(JournalError, match="salt"):
+        read_journal(path, salt="new-code-version")
+
+
+def test_missing_header_raises(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    path.write_text('{"kind": "cell", "status": "ok"}\n', encoding="utf-8")
+    with pytest.raises(JournalError, match="header"):
+        read_journal(path, salt="s1")
+
+
+def test_wrong_format_raises(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    path.write_text(
+        f'{{"kind": "header", "format": {JOURNAL_FORMAT + 1}, '
+        f'"salt": "s1"}}\n',
+        encoding="utf-8",
+    )
+    with pytest.raises(JournalError, match="format"):
+        read_journal(path, salt="s1")
+
+
+def test_unreadable_file_raises(tmp_path):
+    with pytest.raises(JournalError, match="cannot read"):
+        read_journal(tmp_path / "nope.jsonl", salt="s1")
+
+
+def test_empty_file_is_an_empty_state(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    path.write_text("", encoding="utf-8")
+    state = read_journal(path, salt="s1")
+    assert state.completed == {}
+    assert not state.interrupted
+
+
+def test_appending_does_not_duplicate_header(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path, salt="s1") as journal:
+        journal.record_completed(make_cell(4), PAYLOAD, 1, 0.1)
+    with SweepJournal(path, salt="s1") as journal:
+        journal.record_completed(make_cell(5), PAYLOAD, 1, 0.1)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    headers = [line for line in lines if '"kind":"header"' in line]
+    assert len(headers) == 1
+    state = read_journal(path, salt="s1")
+    assert len(state.completed) == 2
+
+
+def test_foreign_grid_contributes_nothing(tmp_path):
+    """Keys are content-addressed: a journal from another grid is inert."""
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path, salt="s1") as journal:
+        journal.record_completed(make_cell(17), PAYLOAD, 1, 0.1)
+    state = read_journal(path, salt="s1")
+    assert state.payload_for(make_cell(4), "s1") is None

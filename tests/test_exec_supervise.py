@@ -1,0 +1,215 @@
+"""The fault-tolerant sweep supervisor under injected chaos.
+
+Every worker-level disaster the supervisor promises to survive is acted
+out via the chaos harness (:mod:`repro.exec.chaos`): hard hangs are
+killed at the per-cell deadline, dead workers are detected at pipe EOF,
+deterministic exceptions are classified as poison — and in every case a
+bounded number of retries either recovers the cell (bit-identically to
+an unsupervised run) or quarantines it without aborting the rest of the
+grid.
+"""
+
+import pytest
+
+from repro.errors import SweepError
+from repro.exec import (
+    ChaosEntry,
+    ChaosSpec,
+    SupervisorPolicy,
+    SweepSpec,
+    WorkloadSpec,
+    canonical_json,
+    parse_chaos_spec,
+    policy_from_env,
+    run_supervised,
+    run_sweep,
+)
+from repro.obs import MetricsRegistry, RecordingTracer
+from repro.obs.events import CellQuarantined, CellRetry
+
+
+def payload_bytes(outcome):
+    return canonical_json(outcome.result.to_json_dict()).encode("ascii")
+
+
+def small_spec(ac_counts=(2, 3, 4)):
+    return SweepSpec(
+        schedulers=("HEF",),
+        ac_counts=ac_counts,
+        workload=WorkloadSpec(frames=1, seed=2008),
+    )
+
+
+#: Fast retries for tests: no real backoff sleeping.
+FAST = dict(backoff_seconds=0.01, backoff_factor=1.0, jitter=0.0)
+
+
+class TestChaosModes:
+    def test_hang_is_killed_and_quarantined_grid_survives(self):
+        report = run_supervised(
+            small_spec(),
+            policy=SupervisorPolicy(timeout=1.0, max_attempts=2, **FAST),
+            chaos=parse_chaos_spec("HEF@3AC*:hang"),
+        )
+        assert [q.label for q in report.quarantined] == ["HEF@3AC/1f"]
+        assert report.quarantined[0].failure == "timeout"
+        assert report.quarantined[0].attempts == 2
+        # The other two cells completed despite the hang.
+        assert [o.cell.label for o in report] == [
+            "HEF@2AC/1f",
+            "HEF@4AC/1f",
+        ]
+        assert not report.interrupted
+
+    def test_crash_is_detected_and_quarantined(self):
+        report = run_supervised(
+            small_spec(ac_counts=(2, 3)),
+            policy=SupervisorPolicy(max_attempts=2, **FAST),
+            chaos=parse_chaos_spec("HEF@2AC*:crash"),
+        )
+        (quarantined,) = report.quarantined
+        assert quarantined.failure == "crash"
+        assert "exit code 70" in quarantined.message
+        assert [o.cell.label for o in report] == ["HEF@3AC/1f"]
+
+    def test_poison_is_classified_and_quarantined(self):
+        report = run_supervised(
+            small_spec(ac_counts=(2, 3)),
+            policy=SupervisorPolicy(max_attempts=2, **FAST),
+            chaos=parse_chaos_spec("HEF@2AC*:raise"),
+        )
+        (quarantined,) = report.quarantined
+        assert quarantined.failure == "poison"
+        assert "ChaosInjectedError" in quarantined.message
+
+    def test_transient_failure_recovers_bit_identically(self):
+        """A cell that crashes twice then succeeds matches a clean run."""
+        spec = small_spec(ac_counts=(2,))
+        clean = run_sweep(spec, jobs=1)
+        report = run_supervised(
+            spec,
+            policy=SupervisorPolicy(max_attempts=3, **FAST),
+            chaos=parse_chaos_spec("*:crash:2"),
+        )
+        assert report.quarantined == []
+        assert report.retries == 2
+        assert payload_bytes(report.outcomes[0]) == payload_bytes(
+            clean.outcomes[0]
+        )
+
+    def test_supervised_clean_run_matches_plain_run(self):
+        spec = small_spec()
+        plain = run_sweep(spec, jobs=1)
+        supervised = run_supervised(spec, jobs=2, policy=SupervisorPolicy())
+        assert [payload_bytes(o) for o in supervised] == [
+            payload_bytes(o) for o in plain
+        ]
+
+
+class TestObservability:
+    def test_retry_and_quarantine_events_and_counters(self):
+        tracer = RecordingTracer()
+        metrics = MetricsRegistry()
+        report = run_supervised(
+            small_spec(ac_counts=(2, 3)),
+            policy=SupervisorPolicy(max_attempts=2, **FAST),
+            chaos=parse_chaos_spec("HEF@2AC*:raise"),
+            tracer=tracer,
+            metrics=metrics,
+        )
+        (retry,) = tracer.of_type(CellRetry)
+        assert retry.label == "HEF@2AC/1f"
+        assert retry.failure == "poison"
+        (quarantine,) = tracer.of_type(CellQuarantined)
+        assert quarantine.attempts == 2
+        assert metrics.counter("supervisor.retries").value == 1
+        assert metrics.counter("supervisor.quarantined").value == 1
+        assert metrics.counter("supervisor.failures.poison").value == 2
+        aggregates = report.metrics()
+        assert aggregates.counter("supervisor.report.quarantined").value == 1
+        assert aggregates.counter("supervisor.report.retries").value == 1
+
+    def test_report_summary_mentions_failures(self):
+        report = run_supervised(
+            small_spec(ac_counts=(2,)),
+            policy=SupervisorPolicy(max_attempts=1, **FAST),
+            chaos=parse_chaos_spec("*:raise"),
+        )
+        summary = report.summary()
+        assert "1 quarantined" in summary
+        failures = report.failure_report()
+        assert failures["completed"] == 0
+        assert failures["quarantined"][0]["failure"] == "poison"
+
+
+class TestPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(timeout=0.0),
+            dict(timeout=-1.0),
+            dict(max_attempts=0),
+            dict(backoff_seconds=-0.1),
+            dict(backoff_factor=0.5),
+            dict(jitter=1.5),
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(SweepError):
+            SupervisorPolicy(**kwargs)
+
+    def test_retry_delays_are_seeded(self):
+        import random
+
+        policy = SupervisorPolicy(
+            backoff_seconds=0.5, backoff_factor=2.0, jitter=0.5,
+            retry_seed=42,
+        )
+        a = [policy.retry_delay(n, random.Random(42)) for n in (1, 2, 3)]
+        b = [policy.retry_delay(n, random.Random(42)) for n in (1, 2, 3)]
+        assert a == b
+
+    def test_policy_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TIMEOUT", raising=False)
+        monkeypatch.delenv("REPRO_MAX_ATTEMPTS", raising=False)
+        assert policy_from_env() is None
+        monkeypatch.setenv("REPRO_TIMEOUT", "2.5")
+        monkeypatch.setenv("REPRO_MAX_ATTEMPTS", "5")
+        policy = policy_from_env()
+        assert policy == SupervisorPolicy(timeout=2.5, max_attempts=5)
+        monkeypatch.setenv("REPRO_TIMEOUT", "soon")
+        with pytest.raises(SweepError):
+            policy_from_env()
+
+
+class TestChaosParsing:
+    def test_parse_full_syntax(self):
+        spec = parse_chaos_spec("HEF@4AC/*:crash:2, Molen@*:hang")
+        assert spec.entries == (
+            ChaosEntry(pattern="HEF@4AC/*", mode="crash", attempts=2),
+            ChaosEntry(pattern="Molen@*", mode="hang", attempts=None),
+        )
+
+    def test_attempt_bound_limits_matches(self):
+        from repro.exec import SweepCell
+
+        entry = ChaosEntry(pattern="*", mode="raise", attempts=2)
+        cell = SweepCell(
+            system="Software", num_acs=0,
+            workload=WorkloadSpec(frames=1, seed=1),
+        )
+        assert entry.matches(cell, 1)
+        assert entry.matches(cell, 2)
+        assert not entry.matches(cell, 3)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["bogus", "x:explode", ":hang", "a:crash:0"],
+    )
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(SweepError):
+            parse_chaos_spec(text)
+
+    def test_empty_spec_is_falsy(self):
+        assert not ChaosSpec()
+        assert not parse_chaos_spec("  ,  ")

@@ -7,6 +7,7 @@ execution completes via the base-ISA trap path, cycle accounting stays
 exact and monotone, and the simulator never raises.
 """
 
+import random
 from typing import List, Optional
 
 import pytest
@@ -31,7 +32,7 @@ from repro import (
     TransientLoadError,
     get_scheduler,
 )
-from repro.fabric.faults import FaultModel
+from repro.fabric.faults import FaultModel, backoff_delay
 
 
 class ScriptedFaults(FaultModel):
@@ -132,6 +133,52 @@ class TestFaultModels:
         assert [policy.delay(k) for k in (1, 2, 3)] == [100, 200, 400]
         assert policy.allows_retry(3)
         assert not policy.allows_retry(4)
+
+    def test_retry_jitter_validated(self):
+        with pytest.raises(FabricError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(FabricError):
+            RetryPolicy(jitter=1.5)
+
+    def test_retry_jitter_is_seeded_and_replayable(self):
+        """Jitter comes from a private seeded RNG: two policies with the
+        same seed produce the identical delay schedule, and reset()
+        replays it — no module-level entropy anywhere (RL001)."""
+        make = lambda: RetryPolicy(  # noqa: E731
+            max_retries=3, backoff_cycles=100, backoff_factor=2.0,
+            jitter=0.5, seed=42,
+        )
+        a, b = make(), make()
+        delays_a = [a.delay(k) for k in (1, 2, 3)]
+        delays_b = [b.delay(k) for k in (1, 2, 3)]
+        assert delays_a == delays_b
+        # Jitter stretches each delay by at most its fraction.
+        for k, delay in zip((1, 2, 3), delays_a):
+            base = 100 * 2.0 ** (k - 1)
+            assert base <= delay <= base * 1.5
+        # The schedule actually jitters (vacuity guard)...
+        assert delays_a != [100, 200, 400]
+        # ...and reset() rewinds the jitter RNG exactly.
+        a.reset()
+        assert [a.delay(k) for k in (1, 2, 3)] == delays_a
+
+    def test_retry_jitter_leaves_global_rng_untouched(self):
+        random.seed(123)
+        before = random.getstate()
+        policy = RetryPolicy(backoff_cycles=100, jitter=0.9, seed=7)
+        policy.delay(1)
+        policy.delay(2)
+        assert random.getstate() == before
+
+    def test_backoff_delay_helper(self):
+        assert backoff_delay(100.0, 2.0, 0) == 0.0
+        assert backoff_delay(100.0, 2.0, 3) == 400.0
+        rng = random.Random(5)
+        jittered = backoff_delay(100.0, 2.0, 1, jitter=0.5, rng=rng)
+        assert 100.0 <= jittered <= 150.0
+        assert backoff_delay(
+            100.0, 2.0, 1, jitter=0.5, rng=random.Random(5)
+        ) == jittered
 
 
 # ---------------------------------------------------------------------------

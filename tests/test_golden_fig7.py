@@ -3,7 +3,8 @@
 Two layers of pinning:
 
 * **Artifact scalars** — key numbers derived from the committed
-  ``full_sweep_results.json`` (the 140-frame paper-scale sweep):
+  ``artifacts/full_sweep_results.json`` (the 140-frame paper-scale
+  sweep):
   per-scheduler speedups and the HEF > SJF > ASF > FSFR quality
   ordering.  These fail if the artifact is edited or regenerated
   inconsistently.
@@ -14,7 +15,8 @@ Two layers of pinning:
 
 When a *deliberate* behaviour change moves the live goldens: re-generate
 them (the test failure prints the new values), update ``_GOLDEN_CYCLES``
-below, regenerate ``full_sweep_results.json`` at paper scale, and bump
+below, regenerate ``artifacts/full_sweep_results.json`` at paper scale,
+and bump
 the cache salt (``repro.exec.cache.CODE_VERSION_SALT``).
 """
 
@@ -26,7 +28,11 @@ import pytest
 
 from repro.exec import SweepSpec, WorkloadSpec, run_sweep
 
-ARTIFACT = Path(__file__).resolve().parent.parent / "full_sweep_results.json"
+ARTIFACT = (
+    Path(__file__).resolve().parent.parent
+    / "artifacts"
+    / "full_sweep_results.json"
+)
 
 
 def _diff(expected, actual, tolerance=0.0):
@@ -76,7 +82,7 @@ class TestArtifactScalars:
         }
         lines = _diff(expected, actual, tolerance=5e-4)
         assert not lines, (
-            "full_sweep_results.json speedup scalars moved:\n"
+            "artifacts/full_sweep_results.json speedup scalars moved:\n"
             + "\n".join(lines)
         )
 

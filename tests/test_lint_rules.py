@@ -1,4 +1,5 @@
-"""Per-module lint rules (RL001/RL002/RL003/RL005) against bad fixtures.
+"""Per-module lint rules (RL001/RL002/RL003/RL005/RL006) against bad
+fixtures.
 
 Each fixture in ``tests/lint_fixtures/`` tags its deliberately bad
 lines with ``# expect: <RULE> [<RULE>...]`` trailing comments; the tests
@@ -127,6 +128,47 @@ class TestRL005DivisionFree:
     def test_division_outside_schedulers_is_fine(self):
         _, findings = run_fixture("rl005_division.py", "repro/hw/fsm.py")
         assert findings == []
+
+
+class TestRL006SwallowedExceptions:
+    def test_catches_bare_and_silent_handlers(self):
+        source, findings = run_fixture(
+            "rl006_swallow.py", "repro/exec/fixture.py"
+        )
+        assert_matches_tags(source, findings)
+
+    def test_out_of_scope_path_is_exempt(self):
+        _, findings = run_fixture("rl006_swallow.py", "tools/gen.py")
+        assert findings == []
+
+    def test_handler_with_recovery_is_clean(self):
+        findings = analyze_source(
+            "def load(path):\n"
+            "    try:\n"
+            "        return open(path).read()\n"
+            "    except OSError as exc:\n"
+            "        raise RuntimeError(str(exc)) from exc\n",
+            "repro/exec/clean.py",
+        )
+        assert findings == []
+
+    def test_real_tree_is_rl006_clean(self):
+        # The one historical offender (ResultCache.put's temp-file
+        # cleanup) was rewritten with contextlib.suppress; the whole
+        # src tree must stay clean from here on.
+        from pathlib import Path
+
+        import repro
+
+        src = Path(repro.__file__).resolve().parent
+        for path in sorted(src.rglob("*.py")):
+            relpath = "repro/" + path.relative_to(src).as_posix()
+            findings = analyze_source(
+                path.read_text(encoding="utf-8"),
+                relpath,
+                select=["RL006"],
+            )
+            assert findings == [], f"RL006 findings in {relpath}"
 
 
 def test_select_filters_rules():

@@ -93,9 +93,14 @@ def test_version_bump_plus_refingerprint_heals_field_change(obs_tree):
             1,
         )
     )
+    import re
+
     export.write_text(
-        export.read_text().replace(
-            "OBS_SCHEMA_VERSION = 1", "OBS_SCHEMA_VERSION = 2", 1
+        re.sub(
+            r"OBS_SCHEMA_VERSION = (\d+)",
+            lambda m: f"OBS_SCHEMA_VERSION = {int(m.group(1)) + 1}",
+            export.read_text(),
+            count=1,
         )
     )
     # Version bumped but fingerprint not yet re-recorded: still fails,
@@ -132,7 +137,7 @@ def test_missing_fingerprint_file_is_flagged(obs_tree):
 def test_write_fingerprint_output_shape(obs_tree):
     target = write_fingerprint(obs_tree, LintConfig().rule("RL004"))
     recorded = json.loads(target.read_text())
-    assert recorded["schema_version"] == 1
+    assert recorded["schema_version"] == 2
     assert recorded["fingerprint"].startswith("sha256:")
     # Must be byte-identical to the committed one (same inputs).
     committed = (REPO_SRC / "repro" / "obs" / "event_schema.json")
