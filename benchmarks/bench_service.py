@@ -1,0 +1,185 @@
+"""Committed perf trajectory for the multi-tenant fabric service.
+
+Runs a fixed, fully deterministic overload scenario through
+:func:`repro.service.run_service` and records, per PR:
+
+* ``requests_per_sec`` — wall-clock throughput of the arbiter event
+  loop (the only non-deterministic field; informational on shared
+  machines, comparable on a pinned one),
+* ``p50_latency`` / ``p99_latency`` — *virtual* ticks from arrival to
+  completion (bit-stable: any change means the arbiter's scheduling
+  behaviour changed, not the machine),
+* ``shed_rate`` and the shed taxonomy,
+* ``service_digest`` — the run's identity; a digest change without an
+  intentional semantic change is a regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # print
+    PYTHONPATH=src python benchmarks/bench_service.py --write    # append
+    PYTHONPATH=src python benchmarks/bench_service.py --check    # gate
+
+``--write`` appends one entry (keyed by ``--label``, default the short
+git hash) to ``BENCH_service.json`` at the repo root; the file is a
+history, newest last.  ``--check`` re-runs the scenario and fails if
+the virtual metrics drifted from the newest committed entry — wall
+throughput is never gated.
+
+The file deliberately does not match pytest's ``test_*`` pattern: it is
+a recording harness, not part of the benchmark smoke suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_service.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import (  # noqa: E402
+    ServiceConfig,
+    make_tenant_fleet,
+    run_service,
+)
+
+#: The recorded scenario: an oversubscribed 8-tenant fleet with a fault
+#: storm landing while the answer cache is still cold.  Change these
+#: only together with a fresh ``--write`` entry explaining why.
+SCENARIO: Dict[str, Any] = {
+    "tenants": 8,
+    "duration": 20_000,
+    "num_acs": 6,
+    "seed": 2008,
+    "mean_gap": 90,
+    "deadline_slack": 500,
+    "fault_ticks": [1000, 1020, 1040],
+}
+
+#: Virtual (machine-independent) fields gated by ``--check``.
+GATED_FIELDS = (
+    "submitted",
+    "completed",
+    "degraded",
+    "shed_rate",
+    "shed",
+    "p50_latency",
+    "p99_latency",
+    "service_digest",
+)
+
+
+def run_scenario() -> Dict[str, Any]:
+    fleet = make_tenant_fleet(
+        int(SCENARIO["tenants"]),
+        seed=int(SCENARIO["seed"]),
+        mean_gap=int(SCENARIO["mean_gap"]),
+        deadline_slack=int(SCENARIO["deadline_slack"]),
+    )
+    config = ServiceConfig(
+        num_acs=int(SCENARIO["num_acs"]),
+        duration=int(SCENARIO["duration"]),
+        seed=int(SCENARIO["seed"]),
+        fault_ticks=tuple(SCENARIO["fault_ticks"]),
+    )
+    start = time.perf_counter()
+    report = run_service(fleet, config=config, cache=None)
+    wall = time.perf_counter() - start
+    payload = report.to_json_dict()
+    return {
+        "scenario": dict(SCENARIO),
+        "wall_seconds": round(wall, 3),
+        "requests_per_sec": round(payload["submitted"] / wall, 1),
+        "submitted": payload["submitted"],
+        "completed": payload["completed"],
+        "degraded": payload["degraded"],
+        "cache_hits": payload["cache_hits"],
+        "shed_rate": round(
+            sum(payload["shed"].values()) / payload["submitted"], 4
+        ),
+        "shed": payload["shed"],
+        "p50_latency": payload["p50_latency"],
+        "p99_latency": payload["p99_latency"],
+        "breaker_trips": payload["breaker_trips"],
+        "service_digest": payload["service_digest"],
+    }
+
+
+def git_label() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "worktree"
+
+
+def load_history() -> List[Dict[str, Any]]:
+    if not BENCH_PATH.exists():
+        return []
+    return list(json.loads(BENCH_PATH.read_text(encoding="utf-8")))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="append this run to BENCH_service.json",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if virtual metrics drifted from the newest entry",
+    )
+    parser.add_argument(
+        "--label", default=None, help="entry label (default: git hash)"
+    )
+    args = parser.parse_args(argv)
+
+    entry = run_scenario()
+    entry["label"] = args.label or git_label()
+    print(json.dumps(entry, indent=2, sort_keys=True))
+
+    if args.check:
+        history = load_history()
+        if not history:
+            print("no committed history to check against", file=sys.stderr)
+            return 1
+        baseline = history[-1]
+        drift = {
+            field: (baseline.get(field), entry[field])
+            for field in GATED_FIELDS
+            if baseline.get(field) != entry[field]
+        }
+        if drift:
+            print(f"virtual metrics drifted: {drift}", file=sys.stderr)
+            return 1
+        print(f"check ok against entry {baseline.get('label')!r}")
+        return 0
+
+    if args.write:
+        history = load_history()
+        history.append(entry)
+        BENCH_PATH.write_text(
+            json.dumps(history, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"recorded entry {entry['label']!r} -> {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,17 @@ Usage::
     python -m repro simulate          # one run, fault injection optional
     python -m repro sweep             # AC sweep, fault injection optional
 
-    python -m repro lint              # static-analysis gate (RL001-RL006)
+    python -m repro lint              # static-analysis gate (RL001-RL007)
+    python -m repro serve             # multi-tenant fabric service soak
+
+``serve`` runs the multi-tenant fabric arbitration service
+(:mod:`repro.service`): a synthetic tenant fleet submits deadline-tagged
+hot-spot requests into a deterministic virtual-clock arbiter with
+admission control, overload shedding, priority preemption and
+circuit-breaker degradation.  It has its own flag set (``--tenants``,
+``--duration``, ``--service-acs``, ``--kills``, ``--journal``, ...) —
+see ``python -m repro serve --help``.  Two invocations with identical
+flags and a cold cache produce bit-identical journals and digests.
 
 ``lint`` is the repository's AST-based invariant analyzer
 (:mod:`repro.lint`): determinism, tracer guards, hygiene, event-schema
@@ -89,7 +99,7 @@ from .exec import (
     policy_from_env,
     run_sweep,
 )
-from .errors import ObservabilityError, SweepError
+from .errors import ObservabilityError, RisppError, SweepError
 from .fabric.faults import BernoulliLoadFaults, FaultModel, RetryPolicy
 from .h264.silibrary import build_atom_registry, build_si_library
 from .obs import TRACE_FORMATS, RecordingTracer, export_events
@@ -428,6 +438,178 @@ def _cmd_table2(args: argparse.Namespace) -> str:
     return format_table2(_SWEEP.get(args))
 
 
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the multi-tenant fabric arbitration service: a "
+            "deterministic virtual-clock soak of N tenants sharing the "
+            "reconfigurable fabric through admission control, priority "
+            "arbitration, overload shedding and circuit-breaker "
+            "degradation."
+        ),
+    )
+    parser.add_argument(
+        "--tenants",
+        type=_non_negative_int,
+        default=8,
+        help="synthetic fleet size (default 8)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=_non_negative_int,
+        default=20_000,
+        help="virtual ticks of request arrivals (default 20000; the "
+        "run then drains every admitted request)",
+    )
+    parser.add_argument(
+        "--service-acs",
+        type=_non_negative_int,
+        default=8,
+        help="Atom Containers of the shared fabric (default 8)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=2008,
+        help="service seed: fleet shape, request streams and backoff "
+        "jitter (default 2008)",
+    )
+    parser.add_argument(
+        "--mean-gap",
+        type=_non_negative_int,
+        default=160,
+        help="mean per-tenant inter-arrival gap in ticks (default 160; "
+        "lower it to push the fleet past fabric capacity)",
+    )
+    parser.add_argument(
+        "--deadline-slack",
+        type=_non_negative_int,
+        default=600,
+        help="request deadline offset in ticks (default 600)",
+    )
+    parser.add_argument(
+        "--variants",
+        type=_non_negative_int,
+        default=4,
+        help="distinct workload variants per tenant (default 4; higher "
+        "means fewer repeated requests and fewer cache hits)",
+    )
+    parser.add_argument(
+        "--kills",
+        type=_non_negative_int,
+        default=0,
+        metavar="N",
+        help="inject N permanent container faults (a fault storm; "
+        "default 0)",
+    )
+    parser.add_argument(
+        "--kill-at",
+        type=_non_negative_int,
+        default=0,
+        metavar="TICK",
+        help="first fault's tick (default: duration // 4)",
+    )
+    parser.add_argument(
+        "--kill-spacing",
+        type=_non_negative_int,
+        default=20,
+        metavar="TICKS",
+        help="gap between storm faults (default 20; keep it inside the "
+        "breaker window so the storm actually trips the breaker)",
+    )
+    parser.add_argument(
+        "--journal",
+        default="",
+        metavar="PATH",
+        help="write the canonical JSONL service journal to PATH",
+    )
+    parser.add_argument(
+        "--report-json",
+        default="",
+        metavar="PATH",
+        help="write the full structured report (per-tenant stats, shed "
+        "taxonomy, digests) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default="",
+        help="content-addressed result cache directory (default: "
+        "REPRO_CACHE_DIR; a warm cache turns repeats into "
+        "admission-free hits)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore any configured result cache (in-run answer reuse "
+        "still applies)",
+    )
+    parser.add_argument(
+        "--digest-only",
+        action="store_true",
+        help="print only the service digest (for determinism checks)",
+    )
+    return parser
+
+
+def serve_main(argv: List[str]) -> int:
+    """``repro serve``: run the fabric service and report; exit 0/1."""
+    from .obs.metrics import MetricsRegistry
+    from .service import ServiceConfig, make_tenant_fleet, run_service
+
+    args = _serve_parser().parse_args(argv)
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+    else:
+        cache = cache_from_env()
+    kill_at = args.kill_at if args.kill_at else args.duration // 4
+    fault_ticks = tuple(
+        kill_at + index * args.kill_spacing for index in range(args.kills)
+    )
+    metrics = MetricsRegistry()
+    try:
+        fleet = make_tenant_fleet(
+            args.tenants,
+            seed=args.seed,
+            mean_gap=args.mean_gap,
+            deadline_slack=args.deadline_slack,
+            variants=args.variants,
+        )
+        config = ServiceConfig(
+            num_acs=args.service_acs,
+            duration=args.duration,
+            seed=args.seed,
+            fault_ticks=fault_ticks,
+        )
+        report = run_service(
+            fleet,
+            config,
+            cache=cache,
+            metrics=metrics,
+            journal_path=args.journal or None,
+        )
+    except RisppError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.digest_only:
+        print(report.service_digest())
+    else:
+        print(report.summary())
+        if args.journal:
+            print(f"  journal -> {args.journal}")
+    if args.report_json:
+        Path(args.report_json).write_text(
+            json.dumps(report.to_json_dict(), indent=1, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        if not args.digest_only:
+            print(f"  report -> {args.report_json}")
+    return 0
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -589,6 +771,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Same early dispatch for the fabric service: its flag set is
+        # disjoint from the experiment commands.
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     names: List[str] = []
     for name in args.experiments:

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
-from ..errors import UnknownSpecialInstructionError
+from ..errors import SelectionError, UnknownSpecialInstructionError
 from .molecule import Molecule
 from .monitor import ExecutionMonitor
 from .schedule import Schedule, validate_schedule
@@ -130,6 +130,33 @@ class RuntimeManager:
             expected=expected,
             selection=selection,
             schedule=schedule,
+        )
+
+    def plan_with_lease(
+        self,
+        hot_spot: str,
+        si_names: Sequence[str],
+        available: Molecule,
+        lease: int,
+    ) -> HotSpotPlan:
+        """Plan a hot-spot entry against a *leased* AC budget.
+
+        The multi-tenant arbiter (:mod:`repro.service`) grants each
+        tenant a lease of the shared fabric and plans against exactly
+        that many containers, regardless of the fabric's full size.  A
+        zero lease is legal and yields a pure-software plan (the cISA
+        trap path) — that is the degraded answer the service returns
+        while its circuit breaker is open.
+
+        Raises
+        ------
+        SelectionError
+            For a negative lease: leases are granted, never owed.
+        """
+        if lease < 0:
+            raise SelectionError(f"negative AC lease: {lease}")
+        return self.plan_hot_spot(
+            hot_spot, si_names, available, num_acs=lease
         )
 
     # -- task II: observation / adaptation ------------------------------------

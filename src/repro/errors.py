@@ -25,6 +25,7 @@ __all__ = [
     "ObservabilityError",
     "SweepError",
     "JournalError",
+    "ServiceError",
 ]
 
 
@@ -133,6 +134,18 @@ class SweepError(RisppError):
     budgets), malformed chaos specifications, and sweep driver misuse.
     Individual *cell* failures never raise this — the supervisor's whole
     point is to quarantine them without aborting the grid.
+    """
+
+
+class ServiceError(RisppError):
+    """The multi-tenant fabric service was misconfigured or violated an
+    internal invariant.
+
+    Covers malformed tenant specifications (non-positive rates, unknown
+    priority classes, empty fleets) and arbiter book-keeping bugs (an
+    admitted request that neither completed nor was accounted for).
+    Individual *request* failures never raise this — overload is handled
+    by shedding at admission and degraded answers, not by exceptions.
     """
 
 

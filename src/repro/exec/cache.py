@@ -34,7 +34,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from .. import __version__
 from .spec import SweepCell
@@ -157,6 +157,27 @@ class ResultCache:
         if artifact.get("salt") != self.salt:
             return False
         return artifact.get("cell") == cell.to_config()
+
+    def read_through(
+        self,
+        cell: SweepCell,
+        compute: Callable[[], Dict[str, Any]],
+    ) -> Tuple[Dict[str, Any], bool]:
+        """Serve ``cell`` from the cache, computing and storing on a miss.
+
+        Returns ``(payload, hit)``.  This is the result-server mode used
+        by the multi-tenant fabric service (:mod:`repro.service`):
+        repeated requests for the same cell become admission-free hits,
+        and the first miss pays for everyone.  ``compute`` must return
+        the plain-JSON result payload (see
+        :meth:`~repro.sim.results.SimulationResult.to_json_dict`).
+        """
+        cached = self.get(cell)
+        if cached is not None:
+            return cached, True
+        payload = compute()
+        self.put(cell, payload)
+        return payload, False
 
     # -- write -------------------------------------------------------------
 

@@ -89,6 +89,7 @@ class SweepJournal:
     def _write(self, record: Dict[str, Any]) -> None:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._trim_truncated_tail()
             fresh = not self.path.exists() or self.path.stat().st_size == 0
             self._handle = open(self.path, "a", encoding="utf-8")
             if fresh:
@@ -104,6 +105,32 @@ class SweepJournal:
                 )
         self._handle.write(canonical_json(record) + "\n")
         self._handle.flush()
+
+    def _trim_truncated_tail(self) -> None:
+        """Drop a partial final line before appending to the journal.
+
+        A previous writer killed mid-line leaves a file that does not
+        end in a newline.  ``read_journal`` already ignores that partial
+        line; appending onto it would instead fuse the next record into
+        the garbage and corrupt the whole journal.  Truncating to the
+        last complete line keeps writer and reader agreeing on what the
+        journal contains — a fully-truncated header means an empty file,
+        which is then rewritten fresh.
+        """
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size == 0:
+            return
+        with open(self.path, "rb+") as handle:
+            handle.seek(-1, 2)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            data = handle.read()
+            keep = data.rfind(b"\n") + 1
+            handle.truncate(keep)
 
     def record_completed(
         self,

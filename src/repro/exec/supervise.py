@@ -76,6 +76,18 @@ __all__ = [
 ]
 
 
+def _wall_clock() -> float:
+    """The supervisor's only direct wall-clock read (RL007 seam).
+
+    Deadlines and retry backoff are wall-clock by nature — a hung worker
+    hangs in real time — but every *site* that needs the time goes
+    through this one function, so the deterministic-journal guarantees
+    stay auditable: nothing else in this module may call
+    ``time.monotonic()`` (enforced by lint rule RL007).
+    """
+    return time.monotonic()
+
+
 # -- failure taxonomy ----------------------------------------------------------
 
 
@@ -375,7 +387,7 @@ class _Supervisor:
                     index=item.index,
                     cell=item.cell,
                     attempt=item.attempt + 1,
-                    not_before=time.monotonic() + delay,
+                    not_before=_wall_clock() + delay,
                     last_failure=failure,
                 )
             )
@@ -412,7 +424,7 @@ class _Supervisor:
         )
         process.start()
         child_conn.close()
-        now = time.monotonic()
+        now = _wall_clock()
         self.in_flight.append(
             _InFlight(
                 index=item.index,
@@ -500,7 +512,7 @@ class _Supervisor:
 
     def run(self) -> None:
         while self.queue or self.in_flight:
-            now = time.monotonic()
+            now = _wall_clock()
             if self.interrupts >= 2:
                 # Second signal: the operator wants out *now*.  Kill the
                 # in-flight workers; their cells stay pending in the
@@ -531,7 +543,7 @@ class _Supervisor:
                     )
                     self.in_flight.remove(flight)
                     self._reap(flight)
-                now = time.monotonic()
+                now = _wall_clock()
                 expired = [
                     f
                     for f in self.in_flight

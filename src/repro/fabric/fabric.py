@@ -61,6 +61,7 @@ class Fabric:
             AtomContainer(i) for i in range(self.num_acs)
         ]
         self._evictions = 0
+        self._reserved = 0
 
     @property
     def space(self) -> AtomSpace:
@@ -89,6 +90,61 @@ class Fabric:
     def is_degraded(self) -> bool:
         """Whether the fabric lost at least one container to a fault."""
         return self.dead_count > 0
+
+    # -- arbitration leases ----------------------------------------------------
+
+    @property
+    def reserved_acs(self) -> int:
+        """Containers currently leased out by an arbiter (see
+        :mod:`repro.service`).  Leases are pure book-keeping on top of
+        the container array: they cap how many ACs concurrent tenants
+        may plan against, they do not pin specific containers."""
+        return self._reserved
+
+    @property
+    def free_acs(self) -> int:
+        """Usable containers not currently under a lease."""
+        return max(0, self.usable_acs - self._reserved)
+
+    @property
+    def overcommitted_acs(self) -> int:
+        """How far existing leases exceed the usable budget.
+
+        Becomes positive when container faults shrink :attr:`usable_acs`
+        below the already-granted leases; the arbiter preempts tenants
+        until this returns to zero.
+        """
+        return max(0, self._reserved - self.usable_acs)
+
+    def reserve_acs(self, count: int) -> None:
+        """Lease ``count`` usable containers to a tenant.
+
+        Raises
+        ------
+        CapacityError
+            When fewer than ``count`` unleased usable containers remain.
+            Arbiters are expected to check :attr:`free_acs` first — this
+            raise guards against double-granting bugs.
+        """
+        if count < 0:
+            raise FabricError(f"negative lease: {count}")
+        if count > self.free_acs:
+            raise CapacityError(
+                f"cannot lease {count} ACs: only {self.free_acs} of "
+                f"{self.usable_acs} usable ACs are free "
+                f"({self._reserved} already leased)"
+            )
+        self._reserved += count
+
+    def release_acs(self, count: int) -> None:
+        """Return ``count`` leased containers to the free pool."""
+        if count < 0:
+            raise FabricError(f"negative lease release: {count}")
+        if count > self._reserved:
+            raise FabricError(
+                f"cannot release {count} ACs: only {self._reserved} leased"
+            )
+        self._reserved -= count
 
     # -- availability ----------------------------------------------------------
 
@@ -251,9 +307,10 @@ class Fabric:
                 container.touch(now)
 
     def reset(self) -> None:
-        """Clear all containers (cold fabric)."""
+        """Clear all containers and leases (cold fabric)."""
         self.containers = [AtomContainer(i) for i in range(self.num_acs)]
         self._evictions = 0
+        self._reserved = 0
 
     def __repr__(self) -> str:
         loaded = sum(1 for c in self.containers if c.is_loaded)

@@ -94,6 +94,20 @@ RULE_DEFAULTS: Dict[str, Dict[str, Any]] = {
         "include": ["repro/*"],
         "allow": [],
     },
+    "RL007": {
+        "enabled": True,
+        # Service and supervisor code runs under virtual clocks and
+        # deterministic journals: any stray wall-clock *call* breaks
+        # bit-identical reruns.  (RL001 already bans the imports in most
+        # of the tree; this rule covers the allowlisted harness modules
+        # where ``time`` is importable but must stay behind the seams.)
+        "include": ["repro/service/*", "repro/exec/supervise.py"],
+        "allow": [],
+        # Functions whose bodies *are* the sanctioned wall-clock seams:
+        # everything else must call these (or MetricsRegistry.timer())
+        # instead of the clock directly.
+        "seams": ["_wall_clock"],
+    },
 }
 
 

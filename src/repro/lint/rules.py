@@ -1,4 +1,4 @@
-"""The per-module lint rules: RL001, RL002, RL003, RL005 and RL006.
+"""The per-module lint rules: RL001, RL002, RL003, RL005, RL006, RL007.
 
 Each rule is a small AST pass registered under its ID.  Rules receive a
 parsed :class:`Module` plus their effective options
@@ -32,6 +32,14 @@ The rule set encodes this repository's hard contracts:
   failure.  A robustness layer built on failure *classification*
   (timeouts vs crashes vs poison cells) cannot afford either — suppress
   narrowly and visibly with ``contextlib.suppress`` instead.
+* **RL007 — wall-clock seams.**  Service and supervisor code runs under
+  virtual clocks and deterministic journals, yet lives in modules where
+  RL001 allowlists the ``time`` import (deadlines and backoff sleeps are
+  wall-clock by nature).  This rule closes the gap: ``time.time()``,
+  ``time.monotonic()`` and argless ``datetime.now()`` may only be
+  *called* inside the configured seam functions (``seams`` option) —
+  everything else reads the clock through a seam or
+  ``MetricsRegistry.timer()``, keeping bit-identical reruns possible.
 """
 
 from __future__ import annotations
@@ -610,6 +618,76 @@ class SwallowedExceptionRule(Rule):
                 continue
             return False
         return True
+
+
+# -- RL007: wall-clock seams ---------------------------------------------------
+
+
+@register_rule
+class WallClockSeamRule(Rule):
+    """Wall-clock *calls* only inside the sanctioned seam functions.
+
+    Options: ``seams`` — function names whose bodies are the sanctioned
+    wall-clock readers; every other call site must go through them (or
+    through ``MetricsRegistry.timer()``, which never matches the banned
+    names in the first place).
+    """
+
+    rule_id = "RL007"
+    title = "wall-clock-seam"
+
+    #: Names importable from :mod:`time` that read the wall clock.
+    _TIME_FUNCS = ("time", "monotonic")
+
+    def check(
+        self, module: Module, options: Mapping[str, Any]
+    ) -> Iterator[Finding]:
+        seams = set(options.get("seams", []))
+        time_aliases: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "time"
+                and node.level == 0
+            ):
+                for alias in node.names:
+                    if alias.name in self._TIME_FUNCS:
+                        time_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._wall_clock_label(node, time_aliases)
+            if label is None:
+                continue
+            if set(module.enclosing_functions(node)) & seams:
+                continue  # inside a sanctioned seam function
+            yield self.finding(
+                module,
+                node,
+                f"wall-clock call {label} outside the sanctioned seams "
+                f"({sorted(seams) if seams else 'none configured'}); "
+                f"route it through a seam function or "
+                f"MetricsRegistry.timer() so reruns stay deterministic",
+            )
+
+    @staticmethod
+    def _wall_clock_label(
+        node: ast.Call, time_aliases: Set[str]
+    ) -> Optional[str]:
+        """A description when the call reads the wall clock, else None."""
+        func = node.func
+        dotted = _dotted(func)
+        if dotted in ("time.time", "time.monotonic"):
+            return f"{dotted}()"
+        if isinstance(func, ast.Name) and func.id in time_aliases:
+            return f"{func.id}() (imported from time)"
+        if (
+            dotted in ("datetime.now", "datetime.datetime.now")
+            and not node.args
+            and not node.keywords
+        ):
+            return f"argless {dotted}()"
+        return None
 
 
 def _dotted_exception(node: ast.expr) -> str:

@@ -23,6 +23,7 @@ pinned by the overhead-guard tests.
 from __future__ import annotations
 
 from .events import (
+    BreakerTransition,
     CellQuarantined,
     CellResumed,
     CellRetry,
@@ -30,6 +31,7 @@ from .events import (
     DecisionStep,
     DegradedEnter,
     DegradedExit,
+    DegradedServed,
     Eviction,
     HotSpotSwitch,
     LoadAbandoned,
@@ -37,6 +39,10 @@ from .events import (
     LoadFailed,
     LoadRetry,
     LoadStart,
+    RequestAdmitted,
+    RequestCompleted,
+    RequestPreempted,
+    RequestShed,
     RunEnd,
     RunStart,
     SchedulerDecision,
@@ -83,6 +89,12 @@ __all__ = [
     "CellRetry",
     "CellQuarantined",
     "CellResumed",
+    "RequestAdmitted",
+    "RequestShed",
+    "RequestPreempted",
+    "RequestCompleted",
+    "DegradedServed",
+    "BreakerTransition",
     "event_from_json_dict",
     "event_kinds",
     # tracer

@@ -43,6 +43,12 @@ __all__ = [
     "CellRetry",
     "CellQuarantined",
     "CellResumed",
+    "RequestAdmitted",
+    "RequestShed",
+    "RequestPreempted",
+    "RequestCompleted",
+    "DegradedServed",
+    "BreakerTransition",
     "event_from_json_dict",
     "event_kinds",
 ]
@@ -415,3 +421,108 @@ class CellResumed(TraceEvent):
 
     label: str
     source: str
+
+
+# -- multi-tenant fabric service -----------------------------------------------
+#
+# Service events describe the arbitration layer (:mod:`repro.service`):
+# their ``cycle`` is the arbiter's *virtual tick*, not a simulated
+# machine cycle, and the differential replay ignores them.  Every event
+# is tenant-tagged so a single soak log can be sliced per tenant.
+
+
+@_register
+@dataclass(frozen=True)
+class RequestAdmitted(TraceEvent):
+    """A tenant request passed admission control and joined the queue."""
+
+    kind = "request_admitted"
+
+    tenant: str
+    request_id: str
+    hot_spot: str
+    deadline: int
+    lease_acs: int
+
+
+@_register
+@dataclass(frozen=True)
+class RequestShed(TraceEvent):
+    """A tenant request was rejected at admission (load shedding).
+
+    ``reason`` is the shedding taxonomy tag: ``rate_limited``,
+    ``in_flight_cap``, ``atom_budget``, ``queue_full`` or ``deadline``.
+    Shedding happens *only* at admission — an admitted request is never
+    dropped.
+    """
+
+    kind = "request_shed"
+
+    tenant: str
+    request_id: str
+    reason: str
+
+
+@_register
+@dataclass(frozen=True)
+class RequestPreempted(TraceEvent):
+    """An in-flight request lost its fabric lease and was re-queued.
+
+    ``reason`` is ``priority`` (a higher-priority tenant claimed the
+    capacity) or ``fault`` (container deaths shrank the fabric below
+    the granted leases).  ``backoff`` is the seeded-jitter delay in
+    virtual ticks before the request may be re-dispatched.
+    """
+
+    kind = "request_preempted"
+
+    tenant: str
+    request_id: str
+    reason: str
+    preemptions: int
+    backoff: int
+
+
+@_register
+@dataclass(frozen=True)
+class RequestCompleted(TraceEvent):
+    """An admitted request finished and its answer was delivered."""
+
+    kind = "request_completed"
+
+    tenant: str
+    request_id: str
+    latency: int
+    degraded: bool
+    cache_hit: bool
+
+
+@_register
+@dataclass(frozen=True)
+class DegradedServed(TraceEvent):
+    """A request was answered with the cISA-only software result.
+
+    Emitted when the circuit breaker is open or the fabric cannot fit
+    the tenant's lease: the service degrades instead of failing."""
+
+    kind = "degraded_served"
+
+    tenant: str
+    request_id: str
+    reason: str
+
+
+@_register
+@dataclass(frozen=True)
+class BreakerTransition(TraceEvent):
+    """The service circuit breaker changed state.
+
+    ``state`` is the state being *entered* (``open`` / ``half_open`` /
+    ``closed``); ``faults`` is the fault count inside the sliding window
+    at transition time.
+    """
+
+    kind = "breaker_transition"
+
+    state: str
+    faults: int

@@ -27,12 +27,14 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ObservabilityError
 from .events import (
+    BreakerTransition,
     CellQuarantined,
     CellResumed,
     CellRetry,
     ContainerDead,
     DegradedEnter,
     DegradedExit,
+    DegradedServed,
     Eviction,
     HotSpotSwitch,
     LoadAbandoned,
@@ -40,6 +42,10 @@ from .events import (
     LoadFailed,
     LoadRetry,
     LoadStart,
+    RequestAdmitted,
+    RequestCompleted,
+    RequestPreempted,
+    RequestShed,
     RunEnd,
     RunStart,
     SchedulerDecision,
@@ -70,7 +76,10 @@ OBS_SCHEMA = "repro.obs/event-log"
 #: readers reject logs whose version they do not know.
 #: v2: sweep-supervisor events (cell_retry / cell_quarantined /
 #: cell_resumed).
-OBS_SCHEMA_VERSION = 2
+#: v3: multi-tenant service events (request_admitted / request_shed /
+#: request_preempted / request_completed / degraded_served /
+#: breaker_transition).
+OBS_SCHEMA_VERSION = 3
 
 #: The formats :func:`export_events` (and the CLI) understand.
 TRACE_FORMATS = ("json", "chrome", "summary")
@@ -354,6 +363,61 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, Any]:
                     "args": args,
                 }
             )
+        elif isinstance(
+            event,
+            (
+                RequestAdmitted,
+                RequestShed,
+                RequestPreempted,
+                RequestCompleted,
+                DegradedServed,
+                BreakerTransition,
+            ),
+        ):
+            # Service events live on the arbiter's virtual-tick clock;
+            # like supervisor events they render as instants on the
+            # scheduler track so a soak's admission story reads inline.
+            if isinstance(event, RequestAdmitted):
+                name = f"admit {event.tenant}/{event.request_id}"
+                args = {
+                    "hot_spot": event.hot_spot,
+                    "deadline": event.deadline,
+                    "lease_acs": event.lease_acs,
+                }
+            elif isinstance(event, RequestShed):
+                name = f"shed {event.tenant}/{event.request_id}"
+                args = {"reason": event.reason}
+            elif isinstance(event, RequestPreempted):
+                name = f"preempt {event.tenant}/{event.request_id}"
+                args = {
+                    "reason": event.reason,
+                    "preemptions": event.preemptions,
+                    "backoff": event.backoff,
+                }
+            elif isinstance(event, RequestCompleted):
+                name = f"complete {event.tenant}/{event.request_id}"
+                args = {
+                    "latency": event.latency,
+                    "degraded": event.degraded,
+                    "cache_hit": event.cache_hit,
+                }
+            elif isinstance(event, DegradedServed):
+                name = f"degraded {event.tenant}/{event.request_id}"
+                args = {"reason": event.reason}
+            else:
+                name = f"breaker {event.state}"
+                args = {"faults": event.faults}
+            emit(
+                {
+                    "name": name,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": _SCHED_TID,
+                    "ts": stamp(_SCHED_TID, event.cycle),
+                    "args": args,
+                }
+            )
 
     # Close loads the run truncated (port still busy at the last trace's
     # end) so every B has its E.
@@ -539,6 +603,47 @@ def to_summary_text(events: Sequence[TraceEvent]) -> str:
         elif isinstance(event, CellResumed):
             lines.append(
                 prefix + f"cell {event.label} resumed from {event.source}"
+            )
+        elif isinstance(event, RequestAdmitted):
+            lines.append(
+                prefix
+                + f"admit {event.tenant}/{event.request_id} "
+                f"({event.hot_spot}, {event.lease_acs} ACs, "
+                f"deadline {event.deadline})"
+            )
+        elif isinstance(event, RequestShed):
+            lines.append(
+                prefix
+                + f"SHED {event.tenant}/{event.request_id} "
+                f"({event.reason})"
+            )
+        elif isinstance(event, RequestPreempted):
+            lines.append(
+                prefix
+                + f"preempt {event.tenant}/{event.request_id} "
+                f"({event.reason}, #{event.preemptions}, "
+                f"backoff {event.backoff})"
+            )
+        elif isinstance(event, RequestCompleted):
+            how = "degraded" if event.degraded else "fabric"
+            if event.cache_hit:
+                how += ", cached"
+            lines.append(
+                prefix
+                + f"complete {event.tenant}/{event.request_id} "
+                f"({how}, latency {event.latency})"
+            )
+        elif isinstance(event, DegradedServed):
+            lines.append(
+                prefix
+                + f"degraded answer {event.tenant}/{event.request_id} "
+                f"({event.reason})"
+            )
+        elif isinstance(event, BreakerTransition):
+            lines.append(
+                prefix
+                + f"breaker -> {event.state} ({event.faults} faults "
+                f"in window)"
             )
         elif isinstance(event, RunEnd):
             lines.append(prefix + f"run end: {event.total_cycles:,} cycles")

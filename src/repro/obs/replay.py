@@ -57,6 +57,14 @@ REPLAY_IGNORED_EVENTS: Tuple[str, ...] = (
     "CellRetry",
     "CellQuarantined",
     "CellResumed",
+    # Multi-tenant service events: arbitration-layer bookkeeping on the
+    # virtual-tick clock, not the simulated machine clock.
+    "RequestAdmitted",
+    "RequestShed",
+    "RequestPreempted",
+    "RequestCompleted",
+    "DegradedServed",
+    "BreakerTransition",
 )
 
 

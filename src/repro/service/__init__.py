@@ -1,0 +1,42 @@
+"""Multi-tenant fabric arbitration service.
+
+The paper's run-time system manages one application's Special
+Instructions on one reconfigurable fabric.  This package scales that
+picture out: N tenants share the fabric through a long-running arbiter
+that performs admission control (token buckets, atom budgets, in-flight
+caps), priority arbitration with preemptive eviction, deadline-aware
+overload shedding, circuit-breaker degradation to cISA-only answers
+under fault storms, and content-addressed answer reuse — all on a
+deterministic virtual clock so soak runs are bit-identical across
+reruns.
+
+Entry points: build a fleet with :func:`make_tenant_fleet` (or
+hand-craft :class:`TenantSpec` instances), then call
+:func:`run_service`; the :class:`ServiceReport` it returns carries the
+shed taxonomy, the never-drop invariant and the determinism digests.
+"""
+
+from .admission import SHED_REASONS, AdmissionController, TokenBucket
+from .arbiter import SERVICE_JOURNAL_FORMAT, ServiceConfig, run_service
+from .breaker import CircuitBreaker
+from .report import ServiceReport, TenantStats
+from .request import RequestRecord, ServiceRequest, generate_requests
+from .tenant import PRIORITY_CLASSES, TenantSpec, make_tenant_fleet
+
+__all__ = [
+    "PRIORITY_CLASSES",
+    "SERVICE_JOURNAL_FORMAT",
+    "SHED_REASONS",
+    "AdmissionController",
+    "CircuitBreaker",
+    "RequestRecord",
+    "ServiceConfig",
+    "ServiceReport",
+    "ServiceRequest",
+    "TenantSpec",
+    "TenantStats",
+    "TokenBucket",
+    "generate_requests",
+    "make_tenant_fleet",
+    "run_service",
+]

@@ -1,0 +1,842 @@
+"""The multi-tenant fabric arbiter: one virtual-clock event loop.
+
+The arbiter is the paper's run-time system scaled out: instead of one
+application owning the fabric, N tenants submit hot-spot
+scheduling/simulation requests with deadlines, and the service decides
+*who* gets Atom Containers *when*:
+
+* **Admission** — every arrival passes the
+  :class:`~repro.service.admission.AdmissionController` gates (token
+  bucket, in-flight cap, atom budget, bounded queue, deadline triage);
+  sheds are tagged with the taxonomy and counted per tenant.
+* **Arbitration** — admitted requests queue by
+  ``(priority, deadline, seq)``; dispatch leases
+  :attr:`~repro.fabric.fabric.Fabric.free_acs` containers per request
+  and plans the tenant's hot spot against exactly that lease
+  (:meth:`~repro.core.runtime.RuntimeManager.plan_with_lease` seeds the
+  admission estimates).  Higher-priority arrivals preempt lower-priority
+  leases; container faults force preemption when the fabric shrinks
+  below the granted leases.  Preempted requests re-queue after a
+  seeded-jitter backoff (:func:`~repro.fabric.faults.backoff_delay` on
+  the virtual clock) — **admitted requests are never dropped**.
+* **Degradation** — a fault storm trips the
+  :class:`~repro.service.breaker.CircuitBreaker`; while it is open (or
+  when the fabric can no longer fit a lease at all) requests are served
+  the cISA-only software answer instead of failing.
+* **Answer reuse** — results are content-addressed: an in-run memo plus
+  the optional :class:`~repro.exec.cache.ResultCache` (read-through)
+  serve repeated requests as admission-free cache hits.
+
+Everything runs on an integer virtual clock with a ``(tick, kind, seq)``
+event heap and seeded randomness only, so a rerun with the same fleet,
+config and a cold cache produces a bit-identical journal and identical
+per-tenant digests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import heapq
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple, Union
+
+from ..core.runtime import RuntimeManager
+from ..core.schedulers import get_scheduler
+from ..errors import ServiceError
+from ..exec.cache import CODE_VERSION_SALT, ResultCache, canonical_json, cell_key
+from ..exec.runner import execute_cell
+from ..exec.spec import SweepCell
+from ..fabric.atom import AtomRegistry
+from ..fabric.fabric import Fabric
+from ..fabric.faults import backoff_delay
+from ..h264.silibrary import HOT_SPOT_SIS, build_atom_registry, build_si_library
+from ..obs.events import (
+    BreakerTransition,
+    ContainerDead,
+    DegradedServed,
+    RequestAdmitted,
+    RequestCompleted,
+    RequestPreempted,
+    RequestShed,
+)
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
+from .admission import AdmissionController
+from .breaker import CircuitBreaker
+from .report import ServiceReport, TenantStats
+from .request import RequestRecord, ServiceRequest, generate_requests
+from .tenant import TenantSpec
+
+__all__ = ["SERVICE_JOURNAL_FORMAT", "ServiceConfig", "run_service"]
+
+#: Format tag of the service journal's header line.
+SERVICE_JOURNAL_FORMAT = 1
+
+#: Event-kind ranks: at one tick, faults land first (capacity shrinks
+#: before new work), then completions free leases, then arrivals are
+#: admitted, then backoff-gated dispatch polls run.
+_FAULT, _COMPLETE, _ARRIVAL, _DISPATCH = 0, 1, 2, 3
+
+#: Fallback admission estimate (ticks) before planning seeds better ones.
+_DEFAULT_EST_TICKS = 24
+
+#: Plan-derived estimate: entry cost plus per-scheduled-atom cost.
+_EST_BASE_TICKS = 8
+_EST_TICKS_PER_ATOM = 6
+
+#: Virtual latency of serving an answer straight from the cache.
+_HIT_LATENCY_TICKS = 1
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Arbiter configuration (everything on the virtual clock)."""
+
+    num_acs: int = 8
+    duration: int = 20_000
+    seed: int = 2008
+    #: Global bound on queued admitted requests.
+    queue_limit: int = 32
+    #: Virtual-clock scale: simulated cycles per service tick (at the
+    #: paper's 100 MHz prototype, 200k cycles = 2 ms per tick).
+    cycles_per_tick: int = 200_000
+    #: Priority preemptions per request before it turns non-preemptible.
+    max_preemptions: int = 3
+    #: Seeded-backoff parameters for preempted-request requeueing.
+    backoff_base: float = 8.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.25
+    breaker_threshold: int = 3
+    breaker_window: int = 400
+    breaker_cooldown: int = 800
+    #: Virtual ticks at which one container dies (hard-fault storm).
+    fault_ticks: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_acs < 1:
+            raise ServiceError(f"num_acs must be >= 1, got {self.num_acs}")
+        if self.duration < 1:
+            raise ServiceError(
+                f"duration must be >= 1, got {self.duration}"
+            )
+        if self.queue_limit < 1:
+            raise ServiceError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.cycles_per_tick < 1:
+            raise ServiceError(
+                f"cycles_per_tick must be >= 1, got "
+                f"{self.cycles_per_tick}"
+            )
+        if self.max_preemptions < 0:
+            raise ServiceError(
+                f"max_preemptions must be >= 0, got "
+                f"{self.max_preemptions}"
+            )
+        if self.backoff_base <= 0 or self.backoff_factor < 1.0:
+            raise ServiceError(
+                f"backoff needs base > 0 and factor >= 1, got "
+                f"{self.backoff_base}/{self.backoff_factor}"
+            )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ServiceError(
+                f"backoff_jitter must be in [0, 1], got "
+                f"{self.backoff_jitter}"
+            )
+        if any(tick < 0 for tick in self.fault_ticks):
+            raise ServiceError(
+                f"fault_ticks must be non-negative: {self.fault_ticks}"
+            )
+
+
+class _ServiceJournal:
+    """Canonical-JSONL journal with a running content digest.
+
+    The digest is computed over the exact bytes written, so two runs
+    agree on the journal digest iff the files are bit-identical —
+    whether or not a file was actually requested.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]]) -> None:
+        self._hash = hashlib.sha256()
+        self._handle: Optional[TextIO] = None
+        if path is not None:
+            self._handle = Path(path).open("w", encoding="ascii")
+
+    def write(self, record: Dict[str, Any]) -> None:
+        line = canonical_json(record)
+        self._hash.update(line.encode("ascii") + b"\n")
+        if self._handle is not None:
+            self._handle.write(line + "\n")
+
+    def digest(self) -> str:
+        return self._hash.hexdigest()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class _Arbiter:
+    """One service run's mutable state (see module docstring)."""
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        config: ServiceConfig,
+        cache: Optional[ResultCache],
+        tracer: Tracer,
+        metrics: Optional[MetricsRegistry],
+        journal: _ServiceJournal,
+    ) -> None:
+        self.tenants = {tenant.name: tenant for tenant in tenants}
+        if len(self.tenants) != len(tenants):
+            raise ServiceError("tenant names must be unique")
+        self.config = config
+        self.cache = cache
+        self.tracer = tracer
+        self.metrics = metrics
+        self.journal = journal
+        self.fabric = Fabric(self._registry(), config.num_acs)
+        self.admission = AdmissionController(
+            tenants,
+            queue_limit=config.queue_limit,
+            default_est_ticks=_DEFAULT_EST_TICKS,
+        )
+        self.breaker = CircuitBreaker(
+            threshold=config.breaker_threshold,
+            window=config.breaker_window,
+            cooldown=config.breaker_cooldown,
+        )
+        self.rng = random.Random(config.seed)
+        self.stats = {
+            tenant.name: TenantStats(
+                name=tenant.name, priority=tenant.priority
+            )
+            for tenant in tenants
+        }
+        self.records: List[RequestRecord] = []
+        self.queue: List[RequestRecord] = []
+        self.running: List[RequestRecord] = []
+        self.heap: List[Tuple[int, int, int, int, int]] = []
+        self.memo: Dict[str, Dict[str, Any]] = {}
+        self.faults = 0
+        self.end_tick = 0
+        self._push_seq = 0
+
+    # -- setup -------------------------------------------------------------
+
+    def _registry(self) -> AtomRegistry:
+        return build_atom_registry()
+
+    def seed_estimates(self) -> None:
+        """Seed per-tenant admission estimates from leased planning.
+
+        For each tenant and each of its hot spots, the run-time manager
+        plans against the tenant's *lease* (zero included — that is the
+        pure-software plan); the scheduled-atom count prices the
+        request.  This is the paper's planning machinery answering the
+        service's triage question before any traffic flows.
+        """
+        registry = build_atom_registry()
+        library = build_si_library(registry)
+        empty = library.space.molecule({})
+        for name in sorted(self.tenants):
+            tenant = self.tenants[name]
+            manager = RuntimeManager(
+                library,
+                get_scheduler(tenant.scheduler),
+                num_acs=self.config.num_acs,
+            )
+            estimates: List[int] = []
+            for hot_spot in tenant.hot_spots:
+                plan = manager.plan_with_lease(
+                    hot_spot,
+                    HOT_SPOT_SIS[hot_spot],
+                    empty,
+                    tenant.lease_acs,
+                )
+                estimates.append(
+                    _EST_BASE_TICKS
+                    + _EST_TICKS_PER_ATOM * plan.num_scheduled_atoms
+                )
+            self.admission.seed_estimate(
+                name, sum(estimates) // len(estimates)
+            )
+
+    # -- event plumbing ----------------------------------------------------
+
+    def push(self, tick: int, kind: int, a: int = -1, b: int = -1) -> None:
+        self._push_seq += 1
+        heapq.heappush(self.heap, (tick, kind, self._push_seq, a, b))
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value)
+
+    # -- result serving ----------------------------------------------------
+
+    def _cell_for(self, request: ServiceRequest, degraded: bool) -> SweepCell:
+        tenant = self.tenants[request.tenant]
+        workload = dataclasses.replace(
+            tenant.workload,
+            hot_spots=(request.hot_spot,),
+            seed=tenant.workload.seed + request.variant,
+        )
+        if degraded or request.lease_acs == 0:
+            return SweepCell(
+                system="Software", num_acs=0, workload=workload
+            )
+        return SweepCell(
+            system="RISPP",
+            scheduler=tenant.scheduler,
+            num_acs=request.lease_acs,
+            workload=workload,
+        )
+
+    def _probe(self, cell: SweepCell) -> Optional[Dict[str, Any]]:
+        """A previously-served answer for ``cell``, if any (no compute)."""
+        key = cell_key(cell, self._salt())
+        payload = self.memo.get(key)
+        if payload is not None:
+            return payload
+        if self.cache is not None and self.cache.contains(cell):
+            payload = self.cache.get(cell)
+            if payload is not None:
+                self.memo[key] = payload
+            return payload
+        return None
+
+    def _execute(self, cell: SweepCell) -> Tuple[Dict[str, Any], bool]:
+        """The answer for ``cell``: memo, then read-through cache."""
+        key = cell_key(cell, self._salt())
+        memoised = self.memo.get(key)
+        if memoised is not None:
+            return memoised, True
+        if self.cache is not None:
+            payload, hit = self.cache.read_through(
+                cell, lambda: execute_cell(cell).to_json_dict()
+            )
+        else:
+            payload, hit = execute_cell(cell).to_json_dict(), False
+        self.memo[key] = payload
+        return payload, hit
+
+    def _salt(self) -> str:
+        return self.cache.salt if self.cache is not None else (
+            CODE_VERSION_SALT
+        )
+
+    @staticmethod
+    def _digest(payload: Dict[str, Any]) -> str:
+        return hashlib.sha256(
+            canonical_json(payload).encode("ascii")
+        ).hexdigest()[:16]
+
+    def _service_ticks(self, payload: Dict[str, Any]) -> int:
+        return max(
+            1, int(payload["total_cycles"]) // self.config.cycles_per_tick
+        )
+
+    # -- the event loop ----------------------------------------------------
+
+    def run(self) -> ServiceReport:
+        requests = generate_requests(
+            list(self.tenants.values()),
+            self.config.duration,
+            self.config.seed,
+        )
+        self.journal.write(
+            {
+                "kind": "header",
+                "format": SERVICE_JOURNAL_FORMAT,
+                "salt": self._salt(),
+                "seed": self.config.seed,
+                "duration": self.config.duration,
+                "num_acs": self.config.num_acs,
+                "tenants": sorted(self.tenants),
+            }
+        )
+        self.seed_estimates()
+        for index, request in enumerate(requests):
+            self.push(request.arrival, _ARRIVAL, index)
+        for tick in self.config.fault_ticks:
+            self.push(tick, _FAULT)
+        while self.heap:
+            tick, kind, _seq, a, b = heapq.heappop(self.heap)
+            now = self.end_tick = max(self.end_tick, tick)
+            transition = self.breaker.poll(now)
+            if transition is not None:
+                self._breaker_event(now, transition)
+            if kind == _FAULT:
+                self._on_fault(now)
+            elif kind == _COMPLETE:
+                self._on_complete(now, a, b)
+            elif kind == _ARRIVAL:
+                self._on_arrival(now, requests[a])
+            # _DISPATCH events carry no payload: the dispatch pass below
+            # runs after *every* event anyway; the heap entry only
+            # guarantees the loop wakes up when a backoff gate opens.
+            self._dispatch(now)
+        if self.queue or self.running:
+            raise ServiceError(
+                f"arbiter drained its event heap with {len(self.queue)} "
+                f"queued and {len(self.running)} running requests left"
+            )
+        return self._report()
+
+    # -- event handlers ----------------------------------------------------
+
+    def _on_arrival(self, now: int, request: ServiceRequest) -> None:
+        stats = self.stats[request.tenant]
+        stats.submitted += 1
+        self._count("service.submitted")
+        cell = self._cell_for(request, degraded=False)
+        payload = self._probe(cell)
+        if payload is not None:
+            # Answer reuse: the content-addressed result server already
+            # holds this answer — serve it admission-free.
+            record = RequestRecord(
+                request=request,
+                status="running",
+                admitted=False,
+                cache_hit=True,
+                service_ticks=_HIT_LATENCY_TICKS,
+                digest=self._digest(payload),
+            )
+            record.started = now
+            record.index = len(self.records)
+            self.records.append(record)
+            self.running.append(record)
+            self.journal.write(
+                {
+                    "kind": "hit",
+                    "tick": now,
+                    "tenant": request.tenant,
+                    "request": request.request_id,
+                }
+            )
+            self.push(
+                now + _HIT_LATENCY_TICKS,
+                _COMPLETE,
+                record.index,
+                record.epoch,
+            )
+            return
+        reason = self.admission.admit(
+            request,
+            now,
+            queue_depth=len(self.queue),
+            backlog_ticks=sum(r.est_ticks for r in self.queue),
+            capacity_slots=max(
+                1,
+                self.fabric.usable_acs // max(1, request.lease_acs),
+            ),
+        )
+        if reason is not None:
+            stats.shed[reason] = stats.shed.get(reason, 0) + 1
+            self._count(f"service.shed.{reason}")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    RequestShed(
+                        cycle=now,
+                        tenant=request.tenant,
+                        request_id=request.request_id,
+                        reason=reason,
+                    )
+                )
+            self.journal.write(
+                {
+                    "kind": "shed",
+                    "tick": now,
+                    "tenant": request.tenant,
+                    "request": request.request_id,
+                    "reason": reason,
+                }
+            )
+            return
+        stats.admitted += 1
+        self._count("service.admitted")
+        record = RequestRecord(
+            request=request,
+            est_ticks=self.admission.estimate(request.tenant),
+        )
+        record.index = len(self.records)
+        self.records.append(record)
+        self.queue.append(record)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                RequestAdmitted(
+                    cycle=now,
+                    tenant=request.tenant,
+                    request_id=request.request_id,
+                    hot_spot=request.hot_spot,
+                    deadline=request.deadline,
+                    lease_acs=request.lease_acs,
+                )
+            )
+        self.journal.write(
+            {
+                "kind": "admit",
+                "tick": now,
+                "tenant": request.tenant,
+                "request": request.request_id,
+                "hot_spot": request.hot_spot,
+                "deadline": request.deadline,
+            }
+        )
+
+    def _on_fault(self, now: int) -> None:
+        alive = [
+            c.index for c in self.fabric.containers if not c.is_faulty
+        ]
+        if not alive:
+            return
+        index = alive[0]
+        self.fabric.kill_container(index)
+        self.faults += 1
+        self._count("service.faults")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ContainerDead(cycle=now, container_index=index)
+            )
+        self.journal.write(
+            {"kind": "fault", "tick": now, "container": index}
+        )
+        transition = self.breaker.on_fault(now)
+        if transition is not None:
+            self._breaker_event(now, transition)
+        # Shrunken fabric: force-preempt the lowest-priority leases
+        # until the granted leases fit the remaining capacity again.
+        while self.fabric.overcommitted_acs > 0:
+            holders = [r for r in self.running if r.holds_lease]
+            if not holders:
+                break
+            holders.sort(
+                key=lambda r: (
+                    r.request.priority,
+                    -r.request.deadline,
+                    -r.request.seq,
+                )
+            )
+            self._preempt(holders[0], now, "fault")
+
+    def _on_complete(self, now: int, index: int, epoch: int) -> None:
+        record = self.records[index]
+        if record.status != "running" or record.epoch != epoch:
+            return  # stale completion of a preempted dispatch
+        record.status = "done"
+        record.completed = now
+        request = record.request
+        stats = self.stats[request.tenant]
+        latency = now - request.arrival
+        stats.latencies.append(latency)
+        stats.completions.append(
+            {
+                "request": request.request_id,
+                "tick": now,
+                "digest": record.digest,
+                "degraded": record.degraded,
+                "cache_hit": record.cache_hit,
+            }
+        )
+        if not record.admitted:
+            stats.cache_hits += 1
+            self._count("service.cache_hits")
+        else:
+            stats.completed += 1
+            self._count("service.completed")
+            self.admission.release(request)
+            if record.degraded:
+                stats.degraded += 1
+                self._count("service.degraded")
+        if record.holds_lease:
+            self.fabric.release_acs(request.lease_acs)
+            record.holds_lease = False
+            self.admission.observe_service_ticks(
+                request.tenant, record.service_ticks
+            )
+            transition = self.breaker.on_success(now)
+            if transition is not None:
+                self._breaker_event(now, transition)
+        self.running.remove(record)
+        self._observe("service.latency_ticks", float(latency))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                RequestCompleted(
+                    cycle=now,
+                    tenant=request.tenant,
+                    request_id=request.request_id,
+                    latency=latency,
+                    degraded=record.degraded,
+                    cache_hit=record.cache_hit,
+                )
+            )
+        self.journal.write(
+            {
+                "kind": "complete",
+                "tick": now,
+                "tenant": request.tenant,
+                "request": request.request_id,
+                "latency": latency,
+                "degraded": record.degraded,
+                "cache_hit": record.cache_hit,
+                "digest": record.digest,
+            }
+        )
+
+    def _breaker_event(self, now: int, state: str) -> None:
+        if state == "open":
+            self._count("service.breaker_trips")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                BreakerTransition(
+                    cycle=now,
+                    state=state,
+                    faults=self.breaker.faults_in_window(now),
+                )
+            )
+        self.journal.write(
+            {"kind": "breaker", "tick": now, "state": state}
+        )
+
+    # -- dispatch and preemption -------------------------------------------
+
+    def _dispatch(self, now: int) -> None:
+        while True:
+            eligible = [r for r in self.queue if r.not_before <= now]
+            if not eligible:
+                return
+            eligible.sort(
+                key=lambda r: (
+                    -r.request.priority,
+                    r.request.deadline,
+                    r.request.seq,
+                )
+            )
+            head = eligible[0]
+            lease = head.request.lease_acs
+            if (
+                self.breaker.is_open(now)
+                or lease > self.fabric.usable_acs
+                or lease == 0
+            ):
+                self._dispatch_degraded(head, now)
+                continue
+            if lease <= self.fabric.free_acs:
+                self._dispatch_fabric(head, now)
+                continue
+            if not self._preempt_for(head, now):
+                return  # capacity busy; a completion will wake us
+
+    def _start(self, record: RequestRecord, now: int) -> None:
+        self.queue.remove(record)
+        self.running.append(record)
+        record.status = "running"
+        record.started = now
+        record.epoch += 1
+
+    def _dispatch_fabric(self, record: RequestRecord, now: int) -> None:
+        request = record.request
+        self.fabric.reserve_acs(request.lease_acs)
+        record.holds_lease = True
+        record.degraded = False
+        payload, hit = self._execute(
+            self._cell_for(request, degraded=False)
+        )
+        record.cache_hit = record.cache_hit or hit
+        record.digest = self._digest(payload)
+        record.service_ticks = self._service_ticks(payload)
+        self._observe(
+            "service.service_ticks", float(record.service_ticks)
+        )
+        self._start(record, now)
+        self.push(
+            now + record.service_ticks,
+            _COMPLETE,
+            record.index,
+            record.epoch,
+        )
+
+    def _dispatch_degraded(self, record: RequestRecord, now: int) -> None:
+        request = record.request
+        if self.breaker.is_open(now):
+            reason = "breaker_open"
+        elif request.lease_acs > self.fabric.usable_acs:
+            reason = "capacity_lost"
+        else:
+            reason = "cisa_tenant"
+        record.degraded = True
+        record.degrade_reason = reason
+        record.holds_lease = False
+        payload, hit = self._execute(
+            self._cell_for(request, degraded=True)
+        )
+        record.cache_hit = record.cache_hit or hit
+        record.digest = self._digest(payload)
+        record.service_ticks = self._service_ticks(payload)
+        self._start(record, now)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                DegradedServed(
+                    cycle=now,
+                    tenant=request.tenant,
+                    request_id=request.request_id,
+                    reason=reason,
+                )
+            )
+        self.journal.write(
+            {
+                "kind": "degraded",
+                "tick": now,
+                "tenant": request.tenant,
+                "request": request.request_id,
+                "reason": reason,
+            }
+        )
+        self.push(
+            now + record.service_ticks,
+            _COMPLETE,
+            record.index,
+            record.epoch,
+        )
+
+    def _preempt_for(self, head: RequestRecord, now: int) -> bool:
+        """Free capacity for ``head`` by preempting lower priorities."""
+        needed = head.request.lease_acs - self.fabric.free_acs
+        victims = [
+            r
+            for r in self.running
+            if r.holds_lease
+            and r.preemptions < self.config.max_preemptions
+            and r.request.priority < head.request.priority
+        ]
+        victims.sort(
+            key=lambda r: (
+                r.request.priority,
+                -r.request.deadline,
+                -r.request.seq,
+            )
+        )
+        chosen: List[RequestRecord] = []
+        freed = 0
+        for victim in victims:
+            if freed >= needed:
+                break
+            chosen.append(victim)
+            freed += victim.request.lease_acs
+        if freed < needed:
+            return False
+        for victim in chosen:
+            self._preempt(victim, now, "priority")
+        return True
+
+    def _preempt(
+        self, record: RequestRecord, now: int, reason: str
+    ) -> None:
+        request = record.request
+        self.fabric.release_acs(request.lease_acs)
+        record.holds_lease = False
+        record.status = "queued"
+        record.epoch += 1  # invalidate the scheduled completion
+        record.preemptions += 1
+        backoff = max(
+            1,
+            int(
+                round(
+                    backoff_delay(
+                        self.config.backoff_base,
+                        self.config.backoff_factor,
+                        record.preemptions,
+                        jitter=self.config.backoff_jitter,
+                        rng=self.rng,
+                    )
+                )
+            ),
+        )
+        record.not_before = now + backoff
+        self.running.remove(record)
+        self.queue.append(record)
+        self.push(record.not_before, _DISPATCH)
+        stats = self.stats[request.tenant]
+        stats.preemptions += 1
+        self._count("service.preemptions")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                RequestPreempted(
+                    cycle=now,
+                    tenant=request.tenant,
+                    request_id=request.request_id,
+                    reason=reason,
+                    preemptions=record.preemptions,
+                    backoff=backoff,
+                )
+            )
+        self.journal.write(
+            {
+                "kind": "preempt",
+                "tick": now,
+                "tenant": request.tenant,
+                "request": request.request_id,
+                "reason": reason,
+                "backoff": backoff,
+            }
+        )
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self) -> ServiceReport:
+        report = ServiceReport(
+            duration=self.config.duration,
+            num_acs=self.config.num_acs,
+            end_tick=self.end_tick,
+            tenants=self.stats,
+            breaker_trips=self.breaker.trips,
+            faults=self.faults,
+            journal_digest=self.journal.digest(),
+        )
+        if report.dropped_admitted != 0:
+            raise ServiceError(
+                f"never-drop invariant violated: "
+                f"{report.dropped_admitted} admitted requests did not "
+                f"complete"
+            )
+        return report
+
+
+def run_service(
+    tenants: Sequence[TenantSpec],
+    config: Optional[ServiceConfig] = None,
+    cache: Optional[ResultCache] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    journal_path: Optional[Union[str, Path]] = None,
+) -> ServiceReport:
+    """Run the multi-tenant fabric arbitration service to completion.
+
+    Arrivals stop at ``config.duration`` ticks; the run then drains
+    every admitted request (the virtual clock keeps advancing), so the
+    report's never-drop invariant is checked over the *whole* stream.
+    """
+    config = config if config is not None else ServiceConfig()
+    journal = _ServiceJournal(journal_path)
+    try:
+        arbiter = _Arbiter(
+            tenants=tenants,
+            config=config,
+            cache=cache,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+            metrics=metrics,
+            journal=journal,
+        )
+        return arbiter.run()
+    finally:
+        journal.close()

@@ -1,0 +1,181 @@
+"""Tenant specifications for the multi-tenant fabric service.
+
+A tenant is one independent application competing for the shared
+reconfigurable fabric: its own :class:`~repro.exec.spec.WorkloadSpec`
+(the SI library is shared — every tenant runs the paper's H.264 SIs,
+differing in workload seed, scheduler and hot-spot mix), a priority
+class, and the admission-control knobs the arbiter enforces per tenant
+(AC lease size, atom budget, in-flight cap, token-bucket rate limit).
+
+All specs are frozen and validated at construction: a malformed fleet
+fails fast with :class:`~repro.errors.ServiceError` instead of
+producing a silently-wrong soak.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..errors import ServiceError
+from ..exec.spec import WorkloadSpec
+from ..h264.silibrary import HOT_SPOT_ORDER
+
+__all__ = ["PRIORITY_CLASSES", "TenantSpec", "make_tenant_fleet"]
+
+#: Priority classes, lowest first: the index is the arbitration rank.
+#: ``critical`` tenants may preempt ``standard`` and ``batch`` leases;
+#: ``batch`` preempts nobody.
+PRIORITY_CLASSES: Tuple[str, ...] = ("batch", "standard", "critical")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the fabric arbitration service.
+
+    Parameters
+    ----------
+    name:
+        Unique tenant identifier (tags every event and journal line).
+    workload:
+        The tenant's workload generator spec; the arbiter derives one
+        small single-hot-spot cell per request from it.
+    scheduler:
+        Atom-scheduler name used for the tenant's fabric plans.
+    priority:
+        One of :data:`PRIORITY_CLASSES`.
+    lease_acs:
+        Atom Containers leased from the shared fabric per dispatched
+        request.  Zero means a cISA-only tenant (always served by the
+        software path).
+    atom_budget:
+        Upper bound on the tenant's concurrently committed lease ACs
+        (queued + running); admission sheds ``atom_budget`` beyond it.
+    max_in_flight:
+        Upper bound on admitted-but-unfinished requests.
+    rate_interval:
+        Token-bucket refill period in virtual ticks (one token each).
+    burst:
+        Token-bucket capacity.
+    mean_gap:
+        Mean inter-arrival gap of the tenant's request stream (ticks).
+    deadline_slack:
+        Deadline offset: a request arriving at ``t`` must complete by
+        ``t + deadline_slack`` to be worth admitting.
+    hot_spots:
+        The hot spots the tenant requests, chosen per request by the
+        seeded stream generator.
+    variants:
+        Distinct workload variants (seed offsets) the tenant's requests
+        cycle over.  Small values make repeats — and thus
+        content-addressed cache hits — common; large values make most
+        requests fresh compute.
+    """
+
+    name: str
+    workload: WorkloadSpec
+    scheduler: str = "HEF"
+    priority: str = "standard"
+    lease_acs: int = 2
+    atom_budget: int = 6
+    max_in_flight: int = 4
+    rate_interval: int = 60
+    burst: int = 4
+    mean_gap: int = 160
+    deadline_slack: int = 600
+    hot_spots: Tuple[str, ...] = field(default=HOT_SPOT_ORDER)
+    variants: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServiceError("tenant name must be non-empty")
+        if self.priority not in PRIORITY_CLASSES:
+            raise ServiceError(
+                f"tenant {self.name!r}: unknown priority "
+                f"{self.priority!r}; known: {list(PRIORITY_CLASSES)}"
+            )
+        if self.lease_acs < 0:
+            raise ServiceError(
+                f"tenant {self.name!r}: negative lease_acs "
+                f"{self.lease_acs}"
+            )
+        if self.atom_budget < self.lease_acs:
+            raise ServiceError(
+                f"tenant {self.name!r}: atom_budget {self.atom_budget} "
+                f"below lease_acs {self.lease_acs} — no request could "
+                f"ever be admitted"
+            )
+        if self.max_in_flight < 1:
+            raise ServiceError(
+                f"tenant {self.name!r}: max_in_flight must be >= 1"
+            )
+        if self.rate_interval < 1 or self.burst < 1:
+            raise ServiceError(
+                f"tenant {self.name!r}: token bucket needs "
+                f"rate_interval >= 1 and burst >= 1"
+            )
+        if self.mean_gap < 1:
+            raise ServiceError(
+                f"tenant {self.name!r}: mean_gap must be >= 1"
+            )
+        if self.deadline_slack < 1:
+            raise ServiceError(
+                f"tenant {self.name!r}: deadline_slack must be >= 1"
+            )
+        if not self.hot_spots:
+            raise ServiceError(
+                f"tenant {self.name!r}: hot_spots must be non-empty"
+            )
+        if self.variants < 1:
+            raise ServiceError(
+                f"tenant {self.name!r}: variants must be >= 1"
+            )
+
+    @property
+    def priority_rank(self) -> int:
+        """Numeric arbitration rank (higher preempts lower)."""
+        return PRIORITY_CLASSES.index(self.priority)
+
+
+def make_tenant_fleet(
+    num_tenants: int,
+    seed: int = 2008,
+    mean_gap: int = 160,
+    deadline_slack: int = 600,
+    frames: int = 1,
+    max_traces: int = 2,
+    variants: int = 4,
+) -> Tuple[TenantSpec, ...]:
+    """A deterministic synthetic fleet for soaks and the ``serve`` CLI.
+
+    Priorities and schedulers rotate so the fleet always mixes classes;
+    per-tenant gaps are jittered by a generator seeded from ``seed``, so
+    the same arguments always produce the identical fleet.
+    """
+    if num_tenants < 1:
+        raise ServiceError(f"fleet needs >= 1 tenant, got {num_tenants}")
+    rng = random.Random(seed)
+    priorities = ("critical", "standard", "standard", "batch")
+    schedulers = ("HEF", "SJF", "ASF")
+    fleet: List[TenantSpec] = []
+    for index in range(num_tenants):
+        gap = mean_gap + rng.randrange(max(1, mean_gap // 2))
+        tenant = TenantSpec(
+            name=f"tenant{index:02d}",
+            workload=WorkloadSpec(
+                frames=frames, seed=seed + index, max_traces=max_traces
+            ),
+            scheduler=schedulers[index % len(schedulers)],
+            priority=priorities[index % len(priorities)],
+            lease_acs=2 + index % 2,
+            atom_budget=6,
+            max_in_flight=4,
+            rate_interval=max(1, gap // 3),
+            burst=4,
+            mean_gap=gap,
+            deadline_slack=deadline_slack,
+            variants=variants,
+        )
+        fleet.append(tenant)
+    return tuple(fleet)

@@ -1,0 +1,31 @@
+"""RL007 fixture — wall-clock reads in 'service/supervisor' code.
+
+Deliberately bad: every line tagged ``# expect: RL007`` must be flagged
+when this file masquerades as an in-scope module (see
+``tests/test_lint_rules.py``).  Excluded from ruff/pytest collection.
+"""
+
+import time
+from datetime import datetime
+from time import monotonic, time as now_fn
+
+
+def arrival_tick():
+    stamp = time.time()  # expect: RL007
+    mono = time.monotonic()  # expect: RL007
+    local = monotonic()  # expect: RL007
+    aliased = now_fn()  # expect: RL007
+    wall = datetime.now()  # expect: RL007
+    return stamp, mono, local, aliased, wall
+
+
+def _wall_clock():
+    # The sanctioned seam: the one place allowed to read the wall clock.
+    return time.monotonic()
+
+
+def timed_section():
+    # perf_counter is a duration probe, not a clock source — not banned.
+    begin = time.perf_counter()
+    zoned = datetime.now(tz=None)  # argful form is explicit, allowed
+    return begin, zoned

@@ -1,0 +1,196 @@
+"""Supervisor edge cases: truncated journal *headers* and signals that
+arrive before any cell is dispatched.
+
+The happy-path chaos coverage lives in ``test_exec_supervise.py`` /
+``test_exec_resume.py``; these tests pin the two rarer corners of the
+crash-recovery contract:
+
+* A journal whose very first (header) line was cut off mid-write must
+  read as an *empty* state with crash evidence (``truncated_tail``) —
+  resuming from it re-runs the whole grid instead of erroring out.  A
+  cut-off header followed by intact records, on the other hand, is
+  corruption and must raise.
+* SIGTERM landing when zero cells are in flight must drain instantly:
+  interrupted report, no outcomes, an empty failures report, and CLI
+  exit code 4.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.errors import JournalError
+from repro.exec import (
+    SupervisorPolicy,
+    SweepSpec,
+    WorkloadSpec,
+    read_journal,
+    run_supervised,
+)
+from repro.exec.journal import JOURNAL_FORMAT, SweepJournal
+from repro.exec.cache import CODE_VERSION_SALT
+
+
+def small_spec(ac_counts=(2, 3)):
+    return SweepSpec(
+        schedulers=("HEF",),
+        ac_counts=ac_counts,
+        workload=WorkloadSpec(frames=1, seed=2008),
+    )
+
+
+def header_line() -> str:
+    return json.dumps(
+        {
+            "kind": "header",
+            "format": JOURNAL_FORMAT,
+            "salt": CODE_VERSION_SALT,
+        },
+        sort_keys=True,
+    )
+
+
+class TestTruncatedHeader:
+    def test_truncated_header_reads_as_empty_state(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text(header_line()[:25])  # writer died mid-header
+        state = read_journal(path)
+        assert state.truncated_tail
+        assert state.completed == {}
+        assert state.quarantined == {}
+        assert not state.interrupted
+
+    def test_truncated_header_before_records_is_corruption(
+        self, tmp_path
+    ):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text(
+            header_line()[:25]
+            + "\n"
+            + json.dumps({"kind": "retry"})
+            + "\n"
+        )
+        with pytest.raises(JournalError):
+            read_journal(path)
+
+    def test_resume_from_truncated_header_reruns_everything(
+        self, tmp_path
+    ):
+        journal = tmp_path / "sweep.jsonl"
+        journal.write_text(header_line()[:25])
+        report = run_supervised(
+            small_spec(),
+            policy=SupervisorPolicy(),
+            journal_path=journal,
+            resume_from=journal,
+        )
+        assert report.resume_hits == 0
+        assert len(report.outcomes) == 2
+        assert not report.interrupted
+        # The journal was rewritten from scratch and is intact again.
+        state = read_journal(journal)
+        assert not state.truncated_tail
+        assert len(state.completed) == 2
+
+    def test_empty_journal_resumes_cleanly(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        journal.write_text("")
+        state = read_journal(journal)
+        assert state.completed == {}
+        assert not state.truncated_tail
+
+
+class TestSignalWithNothingInFlight:
+    @pytest.fixture()
+    def preinterrupted(self, monkeypatch):
+        """Deliver the signal before the first dispatch ever happens."""
+
+        def fake_install(supervisor):
+            supervisor.interrupts = 1
+            return {}
+
+        monkeypatch.setattr(
+            "repro.exec.supervise._install_signal_handlers",
+            fake_install,
+        )
+
+    def test_drains_immediately_with_no_outcomes(
+        self, preinterrupted, tmp_path
+    ):
+        journal = tmp_path / "sweep.jsonl"
+        report = run_supervised(
+            small_spec(),
+            policy=SupervisorPolicy(),
+            journal_path=journal,
+        )
+        assert report.interrupted
+        assert report.outcomes == []
+        assert report.quarantined == []
+        failures = report.failure_report()
+        assert failures["interrupted"] is True
+        assert failures["completed"] == 0
+        assert failures["quarantined"] == []
+        # The journal records the drained interrupt with every cell
+        # still pending, so --resume re-runs the full grid.
+        state = read_journal(journal)
+        assert state.interrupted
+        assert state.completed == {}
+
+    def test_interrupted_journal_then_resume_completes(
+        self, preinterrupted, monkeypatch, tmp_path
+    ):
+        journal = tmp_path / "sweep.jsonl"
+        run_supervised(
+            small_spec(),
+            policy=SupervisorPolicy(),
+            journal_path=journal,
+        )
+        # Second run: signals behave normally again.
+        monkeypatch.undo()
+        report = run_supervised(
+            small_spec(),
+            policy=SupervisorPolicy(),
+            journal_path=journal,
+            resume_from=journal,
+        )
+        assert not report.interrupted
+        assert len(report.outcomes) == 2
+
+    def test_cli_exits_4_with_empty_failures_report(
+        self, preinterrupted, tmp_path, capsys
+    ):
+        journal = tmp_path / "sweep.jsonl"
+        code = cli.main(
+            [
+                "sweep",
+                "--ac-list",
+                "2,3",
+                "--frames",
+                "1",
+                "--no-cache",
+                "--journal",
+                str(journal),
+            ]
+        )
+        assert code == 4
+        out = capsys.readouterr().out
+        assert "INTERRUPTED" in out
+        failures = json.loads(
+            (tmp_path / "sweep.jsonl.failures.json").read_text()
+        )
+        assert failures["interrupted"] is True
+        assert failures["completed"] == 0
+        assert failures["quarantined"] == []
+
+
+class TestSignalJournalLifecycle:
+    def test_journal_header_written_even_when_nothing_ran(
+        self, tmp_path
+    ):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record_interrupted(pending=5)
+        journal.close()
+        state = read_journal(tmp_path / "j.jsonl")
+        assert state.interrupted
+        assert state.completed == {}

@@ -33,7 +33,7 @@ def test_real_source_tree_is_clean(capsys):
     assert lint_main([]) == 0
     out = capsys.readouterr().out
     assert "0 findings" in out
-    assert "6 rules" in out
+    assert "7 rules" in out
 
 
 def test_repro_cli_dispatches_lint_subcommand(capsys):

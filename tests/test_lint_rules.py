@@ -1,5 +1,5 @@
-"""Per-module lint rules (RL001/RL002/RL003/RL005/RL006) against bad
-fixtures.
+"""Per-module lint rules (RL001/RL002/RL003/RL005/RL006/RL007) against
+bad fixtures.
 
 Each fixture in ``tests/lint_fixtures/`` tags its deliberately bad
 lines with ``# expect: <RULE> [<RULE>...]`` trailing comments; the tests
@@ -169,6 +169,64 @@ class TestRL006SwallowedExceptions:
                 select=["RL006"],
             )
             assert findings == [], f"RL006 findings in {relpath}"
+
+
+class TestRL007WallClockSeam:
+    def test_catches_wall_clock_outside_seams(self):
+        # Select RL007 alone: the fixture's time/datetime imports also
+        # trip RL001 under a repro/* path, which is RL001's own test.
+        source, findings = run_fixture(
+            "rl007_wallclock.py",
+            "repro/service/fixture.py",
+            select=["RL007"],
+        )
+        assert_matches_tags(source, findings)
+
+    def test_supervisor_module_is_in_scope(self):
+        _, findings = run_fixture(
+            "rl007_wallclock.py",
+            "repro/exec/supervise.py",
+            select=["RL007"],
+        )
+        assert [f.rule_id for f in findings] == ["RL007"] * 5
+
+    def test_out_of_scope_path_is_exempt(self):
+        _, findings = run_fixture(
+            "rl007_wallclock.py", "repro/sim/rispp.py", select=["RL007"]
+        )
+        assert findings == []
+
+    def test_seam_list_follows_config(self):
+        source = (
+            "import time\n"
+            "def read_clock():\n"
+            "    return time.monotonic()\n"
+        )
+        config = LintConfig(
+            {"RL007": {"seams": ["read_clock"]}}
+        )
+        assert analyze_source(
+            source, "repro/service/mod.py", config, select=["RL007"]
+        ) == []
+        findings = analyze_source(
+            source, "repro/service/mod.py", select=["RL007"]
+        )
+        assert [(f.rule_id, f.line) for f in findings] == [("RL007", 3)]
+
+    def test_real_service_tree_is_rl007_clean(self):
+        from pathlib import Path
+
+        import repro
+
+        src = Path(repro.__file__).resolve().parent
+        for path in sorted(src.rglob("*.py")):
+            relpath = "repro/" + path.relative_to(src).as_posix()
+            findings = analyze_source(
+                path.read_text(encoding="utf-8"),
+                relpath,
+                select=["RL007"],
+            )
+            assert findings == [], f"RL007 findings in {relpath}"
 
 
 def test_select_filters_rules():

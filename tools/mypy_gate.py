@@ -4,9 +4,9 @@
 Runs ``mypy`` over ``src/repro`` with the repo's ``pyproject.toml`` and
 splits the reported errors in two:
 
-* **Island errors** — in ``repro/core``, ``repro/obs``, ``repro/exec``
-  or ``repro/lint`` (the strictly-typed packages).  Any island error
-  fails the gate immediately.
+* **Island errors** — in ``repro/core``, ``repro/obs``, ``repro/exec``,
+  ``repro/lint`` or ``repro/service`` (the strictly-typed packages).
+  Any island error fails the gate immediately.
 * **Baseline errors** — everywhere else.  These fail only when they are
   *new* relative to the committed ``tools/mypy_baseline.txt``; known
   debt is tolerated but may not grow.  Entries are matched without line
@@ -31,7 +31,13 @@ from typing import List, Set, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BASELINE = REPO_ROOT / "tools" / "mypy_baseline.txt"
-ISLANDS = ("repro/core/", "repro/obs/", "repro/exec/", "repro/lint/")
+ISLANDS = (
+    "repro/core/",
+    "repro/obs/",
+    "repro/exec/",
+    "repro/lint/",
+    "repro/service/",
+)
 
 # "src/repro/sim/engine.py:12: error: message  [code]"
 _ERROR_RE = re.compile(
