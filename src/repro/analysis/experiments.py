@@ -13,6 +13,7 @@ speedup *shapes* stabilise after a handful of frames.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -44,6 +45,8 @@ __all__ = [
     "run_figure7",
     "run_figure8",
     "fig7_spec",
+    "fig7_payload",
+    "render_fig7_artifact",
     "speedup_table",
     "default_scale",
 ]
@@ -281,8 +284,14 @@ def fig7_spec(
     scale: Optional[ExperimentScale] = None,
     schedulers: Sequence[str] = PAPER_SCHEDULERS,
     include_molen: bool = True,
+    engine: str = "reference",
 ) -> SweepSpec:
-    """The declarative grid behind Figure 7 / Table 2."""
+    """The declarative grid behind Figure 7 / Table 2.
+
+    ``engine`` picks the trace-replay engine per cell; the engines are
+    bit-identical, so any choice regenerates the same figure (and hits
+    the same result-cache entries).
+    """
     scale = scale or default_scale()
     return SweepSpec(
         schedulers=tuple(schedulers),
@@ -290,6 +299,7 @@ def fig7_spec(
         workload=WorkloadSpec(frames=scale.frames, seed=scale.seed),
         include_molen=include_molen,
         include_software=True,
+        engine=engine,
     )
 
 
@@ -300,16 +310,18 @@ def run_figure7(
     progress: bool = False,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    engine: str = "reference",
 ) -> Fig7Result:
     """Reproduce Figure 7 (and the data underlying Table 2).
 
     Runs every scheduler (plus the Molen baseline) at every AC count of
     the sweep on the same workload, fanned out over ``jobs`` worker
     processes and served from ``cache`` where possible (both default to
-    the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` environment).
+    the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` environment).  ``engine``
+    selects the bit-identical trace-replay engine per cell.
     """
     scale = scale or default_scale()
-    spec = fig7_spec(scale, schedulers, include_molen)
+    spec = fig7_spec(scale, schedulers, include_molen, engine=engine)
     callback = None
     if progress:  # pragma: no cover - cosmetic
         def callback(outcome):
@@ -353,6 +365,27 @@ def speedup_table(result: Fig7Result) -> Dict[str, List[float]]:
         "ASF vs Molen": [m / a for m, a in zip(molen, asf)],
         "HEF vs Molen": [m / h for m, h in zip(molen, hef)],
     }
+
+
+def fig7_payload(result: Fig7Result) -> Dict[str, object]:
+    """``artifacts/full_sweep_results.json`` as a plain dict.
+
+    Key order and value types are pinned: serialising this dict with
+    :func:`render_fig7_artifact` regenerates the committed artifact
+    byte-for-byte.  Both trace-replay engines produce the same bytes —
+    the golden tests rely on it.
+    """
+    return {
+        "ac_counts": list(result.ac_counts),
+        "mcycles": {n: list(s) for n, s in result.mcycles.items()},
+        "software": result.software_mcycles,
+        "speedups": speedup_table(result),
+    }
+
+
+def render_fig7_artifact(result: Fig7Result) -> str:
+    """The exact serialisation of ``artifacts/full_sweep_results.json``."""
+    return json.dumps(fig7_payload(result), indent=1)
 
 
 # ---------------------------------------------------------------------------

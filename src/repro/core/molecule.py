@@ -232,7 +232,10 @@ class Molecule:
     @property
     def is_zero(self) -> bool:
         """True for the all-zero (pure software) molecule."""
-        return all(c == 0 for c in self._counts)
+        # Counts are non-negative, so zero-ness is just emptiness under
+        # any() — which runs at C speed on the tuple (this property sits
+        # on simulator hot paths).
+        return not any(self._counts)
 
     def count(self, name: str) -> int:
         """The number of instances of atom type ``name``."""

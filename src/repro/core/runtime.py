@@ -29,6 +29,7 @@ from .molecule import Molecule
 from .monitor import ExecutionMonitor
 from .schedule import Schedule, validate_schedule
 from .schedulers.base import AtomScheduler
+from .scoring import fast_schedule, select_molecules_fast
 from .selection import MoleculeSelection, select_molecules
 from .si import MoleculeImpl, SILibrary
 
@@ -83,6 +84,9 @@ class RuntimeManager:
         self.monitor = monitor if monitor is not None else ExecutionMonitor()
         self.validate_schedules = bool(validate_schedules)
         self._sis_by_name = {si.name: si for si in library}
+        # Static-array memo for the fast planning path (repro.core.scoring);
+        # keyed by immutable library objects, so it never needs clearing.
+        self._scoring_cache: Dict[object, object] = {}
 
     # -- task III: re-loading decisions --------------------------------------
 
@@ -92,6 +96,7 @@ class RuntimeManager:
         si_names: Sequence[str],
         available: Molecule,
         num_acs: Optional[int] = None,
+        fast: bool = False,
     ) -> HotSpotPlan:
         """Select molecules and schedule atom loads for a hot-spot entry.
 
@@ -104,23 +109,38 @@ class RuntimeManager:
         (:attr:`~repro.fabric.fabric.Fabric.usable_acs`) so that plans
         keep fitting after permanent container faults.  The override
         never exceeds the configured budget.
+
+        ``fast`` routes selection and scheduling through the
+        array-friendly implementations in :mod:`repro.core.scoring`
+        (used by the vector simulation engine).  The resulting plan is
+        identical either way.
         """
         budget = self.num_acs
         if num_acs is not None:
             budget = max(0, min(budget, int(num_acs)))
         sis = self.library.subset(si_names)
         expected = self.monitor.predict(hot_spot, si_names)
-        selection = select_molecules(
-            sis, expected, budget, available=available
-        )
+        if fast:
+            selection = select_molecules_fast(
+                sis, expected, budget, available=available,
+                cache=self._scoring_cache,
+            )
+        else:
+            selection = select_molecules(
+                sis, expected, budget, available=available
+            )
         hardware = selection.hardware_selection()
         if hardware:
-            schedule = self.scheduler.schedule(
-                hardware,
-                {si.name: si for si in sis},
-                available,
-                expected,
-            )
+            sis_map = {si.name: si for si in sis}
+            if fast:
+                schedule = fast_schedule(
+                    self.scheduler, hardware, sis_map, available, expected,
+                    cache=self._scoring_cache,
+                )
+            else:
+                schedule = self.scheduler.schedule(
+                    hardware, sis_map, available, expected
+                )
             if self.validate_schedules:
                 validate_schedule(schedule, hardware, available)
         else:

@@ -120,11 +120,15 @@ class Schedule:
                 f"upgrade step for {impl.si_name}/{impl.name} loads no atoms"
             )
         first = len(self._loads)
-        for atom_type in new_atoms.iter_atom_instances():
-            self._loads.append(
-                AtomLoad(atom_type, si_name=impl.si_name,
-                         molecule_name=impl.name)
-            )
+        loads = self._loads
+        # One AtomLoad per atom *type*, reused per instance: the loads
+        # are frozen value-compared records, so instances of the same
+        # type within one step are interchangeable objects.
+        for atom_type, count in zip(new_atoms.space.names, new_atoms.counts):
+            if count:
+                load = AtomLoad(atom_type, si_name=impl.si_name,
+                                molecule_name=impl.name)
+                loads.extend([load] * count)
         self._steps.append(
             UpgradeStep(
                 impl=impl,

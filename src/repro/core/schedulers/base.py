@@ -115,6 +115,28 @@ class SchedulerState:
         """True once the selected molecule of ``si_name`` is covered."""
         return self.additional_atoms(self.selection[si_name]) == 0
 
+    def smallest_step(
+        self, candidates: List[MoleculeImpl]
+    ) -> Optional[MoleculeImpl]:
+        """The candidate with the fewest additional atoms.
+
+        Ties are broken towards the bigger performance improvement (as
+        the SJF description in Section 4.4 prescribes), then by molecule
+        name for determinism.  Lives on the state so accelerated states
+        can answer from their cached arrays.
+        """
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda c: (
+                self.additional_atoms(c),
+                -self.improvement(c),
+                c.si_name,
+                c.name,
+            ),
+        )
+
     # -- mutation ----------------------------------------------------------
 
     def commit(self, impl: MoleculeImpl) -> None:
@@ -210,21 +232,10 @@ class AtomScheduler(ABC):
     ) -> Optional[MoleculeImpl]:
         """The candidate with the fewest additional atoms.
 
-        Ties are broken towards the bigger performance improvement (as the
-        SJF description in Section 4.4 prescribes), then by molecule name
-        for determinism.
+        Delegates to :meth:`SchedulerState.smallest_step` (kept as a
+        static helper for the strategies' call sites).
         """
-        if not candidates:
-            return None
-        return min(
-            candidates,
-            key=lambda c: (
-                state.additional_atoms(c),
-                -state.improvement(c),
-                c.si_name,
-                c.name,
-            ),
-        )
+        return state.smallest_step(candidates)
 
     @classmethod
     def load_smallest_molecule_per_si(cls, state: SchedulerState) -> None:

@@ -111,6 +111,7 @@ def execute_cell(
             retry_policy=retry_policy,
             tracer=tracer,
             metrics=metrics,
+            engine=cell.engine,
         )
     else:  # Molen
         sim = MolenSimulator(
@@ -122,6 +123,7 @@ def execute_cell(
             retry_policy=retry_policy,
             tracer=tracer,
             metrics=metrics,
+            engine=cell.engine,
         )
     return sim.run(workload)
 

@@ -29,6 +29,9 @@ __all__ = ["WorkloadSpec", "SweepCell", "SweepSpec"]
 #: Systems a cell can simulate.
 _SYSTEMS = ("RISPP", "Molen", "Software")
 
+#: Trace-replay engines a cell can request (see repro.sim.engine.ENGINES).
+_ENGINES = ("reference", "vector", "auto")
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -104,6 +107,11 @@ class SweepCell:
     fault_rate: float = 0.0
     fault_seed: int = 2008
     max_retries: int = 3
+    #: Trace-replay engine (``reference``/``vector``/``auto``).  The
+    #: engines are bit-identical, so the choice is an execution detail,
+    #: not part of the cell's identity — it is deliberately excluded
+    #: from :meth:`to_config` and therefore from the cache key.
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if self.system not in _SYSTEMS:
@@ -115,6 +123,10 @@ class SweepCell:
         if not 0.0 <= self.fault_rate <= 1.0:
             raise SimulationError(
                 f"fault rate must be within [0, 1], got {self.fault_rate!r}"
+            )
+        if self.engine not in _ENGINES:
+            raise SimulationError(
+                f"unknown engine {self.engine!r}; known: {sorted(_ENGINES)}"
             )
 
     @property
@@ -165,10 +177,15 @@ class SweepSpec:
     fault_rate: float = 0.0
     fault_seed: int = 2008
     max_retries: int = 3
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "schedulers", tuple(self.schedulers))
         object.__setattr__(self, "ac_counts", tuple(self.ac_counts))
+        if self.engine not in _ENGINES:
+            raise SimulationError(
+                f"unknown engine {self.engine!r}; known: {sorted(_ENGINES)}"
+            )
 
     def cells(self) -> List[SweepCell]:
         """Enumerate the grid, deterministically ordered.
@@ -191,6 +208,7 @@ class SweepSpec:
                         fault_rate=self.fault_rate,
                         fault_seed=self.fault_seed,
                         max_retries=self.max_retries,
+                        engine=self.engine,
                     )
                 )
             if self.include_molen:
@@ -203,6 +221,7 @@ class SweepSpec:
                         fault_rate=self.fault_rate,
                         fault_seed=self.fault_seed,
                         max_retries=self.max_retries,
+                        engine=self.engine,
                     )
                 )
         if self.include_software:
@@ -211,6 +230,7 @@ class SweepSpec:
                     system="Software",
                     num_acs=0,
                     workload=self.workload,
+                    engine=self.engine,
                 )
             )
         return cells

@@ -9,11 +9,23 @@ port, or holding a loaded (usable) atom.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Optional, Protocol
 
 from ..errors import ContainerFaultError, FabricError, TransientLoadError
 
 __all__ = ["ContainerState", "AtomContainer"]
+
+
+class _ContainerOwner(Protocol):
+    """What a container reports its state edges to."""
+
+    def _container_loaded(self, container: "AtomContainer") -> None: ...
+
+    def _container_unloaded(self, container: "AtomContainer") -> None: ...
+
+    def _container_emptied(self, container: "AtomContainer") -> None: ...
+
+    def _container_filled(self, container: "AtomContainer") -> None: ...
 
 
 class ContainerState(enum.Enum):
@@ -31,7 +43,7 @@ class AtomContainer:
 
     __slots__ = (
         "index", "state", "atom_type", "loaded_at", "last_used",
-        "use_count",
+        "use_count", "owner",
     )
 
     def __init__(self, index: int):
@@ -45,6 +57,13 @@ class AtomContainer:
         self.last_used: int = -1
         #: Number of uses since the atom was loaded (LFU key).
         self.use_count: int = 0
+        #: The owning fabric, notified on loaded-set transitions so it
+        #: can keep its per-type container index without rescanning.
+        #: The notification sits here (not in the fabric methods)
+        #: because containers are legitimately driven directly in tests
+        #: and tools — every loaded/unloaded edge passes through these
+        #: state methods.
+        self.owner: Optional["_ContainerOwner"] = None
 
     @property
     def is_empty(self) -> bool:
@@ -78,6 +97,11 @@ class AtomContainer:
             raise ContainerFaultError(
                 f"AC{self.index} is permanently faulty and cannot be loaded"
             )
+        if self.owner is not None:
+            if self.state is ContainerState.LOADED:
+                self.owner._container_unloaded(self)
+            elif self.state is ContainerState.EMPTY:
+                self.owner._container_filled(self)
         self.state = ContainerState.LOADING
         self.atom_type = atom_type
         self.loaded_at = -1
@@ -93,6 +117,8 @@ class AtomContainer:
         self.state = ContainerState.LOADED
         self.loaded_at = now
         self.last_used = now
+        if self.owner is not None:
+            self.owner._container_loaded(self)
 
     def fail_load(self) -> None:
         """The write into this container failed transiently.
@@ -109,6 +135,8 @@ class AtomContainer:
         self.atom_type = None
         self.loaded_at = -1
         self.use_count = 0
+        if self.owner is not None:
+            self.owner._container_emptied(self)
 
     def mark_faulty(self) -> None:
         """Permanently retire this container (hard fault / wear-out)."""
@@ -116,6 +144,11 @@ class AtomContainer:
             raise ContainerFaultError(
                 f"AC{self.index} is already marked faulty"
             )
+        if self.owner is not None:
+            if self.state is ContainerState.LOADED:
+                self.owner._container_unloaded(self)
+            elif self.state is ContainerState.EMPTY:
+                self.owner._container_filled(self)
         self.state = ContainerState.FAULTY
         self.atom_type = None
         self.loaded_at = -1
@@ -125,10 +158,14 @@ class AtomContainer:
         """Drop the loaded atom (bookkeeping-only; no port time needed)."""
         if not self.is_loaded:
             raise FabricError(f"cannot evict AC{self.index}: not loaded")
+        if self.owner is not None:
+            self.owner._container_unloaded(self)
         self.state = ContainerState.EMPTY
         self.atom_type = None
         self.loaded_at = -1
         self.use_count = 0
+        if self.owner is not None:
+            self.owner._container_emptied(self)
 
     def touch(self, now: int) -> None:
         """Record a use of the loaded atom (LRU/LFU eviction keys)."""

@@ -11,10 +11,11 @@ scheduler, which is itself a reproduction-relevant observation.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from operator import attrgetter
 from typing import Dict, Sequence, Type
 
 from ..errors import FabricError
-from .container import AtomContainer
+from .container import AtomContainer, ContainerState
 
 __all__ = [
     "EvictionPolicy",
@@ -46,7 +47,8 @@ class EvictionPolicy(ABC):
         not loaded — possible when a fault retired a candidate between
         enumeration and choice) before delegating to :meth:`choose`.
         """
-        usable = [c for c in candidates if c.is_loaded]
+        loaded = ContainerState.LOADED
+        usable = [c for c in candidates if c.state is loaded]
         if not usable:
             raise FabricError(
                 "eviction requested but no loaded, healthy candidate "
@@ -69,8 +71,10 @@ class LRUEviction(EvictionPolicy):
 
     name = "LRU"
 
+    _key = attrgetter("last_used", "index")
+
     def choose(self, candidates):
-        return min(candidates, key=lambda c: (c.last_used, c.index))
+        return min(candidates, key=self._key)
 
 
 class FIFOEviction(EvictionPolicy):
@@ -78,8 +82,10 @@ class FIFOEviction(EvictionPolicy):
 
     name = "FIFO"
 
+    _key = attrgetter("loaded_at", "index")
+
     def choose(self, candidates):
-        return min(candidates, key=lambda c: (c.loaded_at, c.index))
+        return min(candidates, key=self._key)
 
 
 class LFUEviction(EvictionPolicy):
@@ -87,10 +93,10 @@ class LFUEviction(EvictionPolicy):
 
     name = "LFU"
 
+    _key = attrgetter("use_count", "last_used", "index")
+
     def choose(self, candidates):
-        return min(
-            candidates, key=lambda c: (c.use_count, c.last_used, c.index)
-        )
+        return min(candidates, key=self._key)
 
 
 class MRUEviction(EvictionPolicy):

@@ -16,14 +16,14 @@ selection bug, not an expected run-time condition.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..core.molecule import AtomSpace, Molecule
 from ..errors import CapacityError, ContainerFaultError, FabricError
 from ..obs.events import Eviction
 from ..obs.tracer import NULL_TRACER, Tracer
 from .atom import AtomRegistry
-from .container import AtomContainer
+from .container import AtomContainer, ContainerState
 from .eviction import EvictionPolicy, LRUEviction
 
 __all__ = ["Fabric"]
@@ -60,8 +60,51 @@ class Fabric:
         self.containers: List[AtomContainer] = [
             AtomContainer(i) for i in range(self.num_acs)
         ]
+        for container in self.containers:
+            container.owner = self
         self._evictions = 0
         self._reserved = 0
+        self._dead = 0
+        #: Loaded containers grouped by atom type, kept current by the
+        #: containers' owner notifications (so it stays exact even when
+        #: containers are driven directly).  ``_loaded_ver`` bumps on
+        #: every edge — an exact, cheap version stamp for availability
+        #: snapshots.
+        self._loaded_groups: Dict[str, List[AtomContainer]] = {}
+        self._loaded_ver = 0
+        #: Atom-space position per type and the loaded counts in vector
+        #: order — the incrementally maintained :meth:`available` answer.
+        self._pos: Dict[str, int] = registry.space._index
+        self._avail_counts: List[int] = [0] * registry.space.size
+        #: Indices of EMPTY containers (exact, owner-notified); the
+        #: placement rule "first empty container" is ``min`` of this set.
+        self._empty: Set[int] = {c.index for c in self.containers}
+
+    # -- container owner notifications -----------------------------------------
+
+    def _container_loaded(self, container: AtomContainer) -> None:
+        atom_type = container.atom_type
+        assert atom_type is not None
+        group = self._loaded_groups.get(atom_type)
+        if group is None:
+            self._loaded_groups[atom_type] = [container]
+        else:
+            group.append(container)
+        self._avail_counts[self._pos[atom_type]] += 1
+        self._loaded_ver += 1
+
+    def _container_unloaded(self, container: AtomContainer) -> None:
+        atom_type = container.atom_type
+        assert atom_type is not None
+        self._loaded_groups[atom_type].remove(container)
+        self._avail_counts[self._pos[atom_type]] -= 1
+        self._loaded_ver += 1
+
+    def _container_emptied(self, container: AtomContainer) -> None:
+        self._empty.add(container.index)
+
+    def _container_filled(self, container: AtomContainer) -> None:
+        self._empty.discard(container.index)
 
     @property
     def space(self) -> AtomSpace:
@@ -74,8 +117,13 @@ class Fabric:
 
     @property
     def dead_count(self) -> int:
-        """Number of permanently faulty (unusable) containers."""
-        return sum(1 for c in self.containers if c.is_faulty)
+        """Number of permanently faulty (unusable) containers.
+
+        Maintained as a counter (containers only die through
+        :meth:`kill_container`) because the degradation checks sit on
+        the simulators' per-span hot path.
+        """
+        return self._dead
 
     @property
     def usable_acs(self) -> int:
@@ -155,19 +203,12 @@ class Fabric:
         usable on an as-soon-as-available basis, i.e. from the cycle its
         reconfiguration completes.
         """
-        counts = [0] * self.space.size
-        for container in self.containers:
-            if container.is_loaded:
-                counts[self.space.index(container.atom_type)] += 1
-        return Molecule(self.space, counts)
+        return Molecule._make(self.registry.space, tuple(self._avail_counts))
 
     def loaded_count(self, atom_type: str) -> int:
         """Number of usable instances of one atom type."""
-        return sum(
-            1
-            for c in self.containers
-            if c.is_loaded and c.atom_type == atom_type
-        )
+        group = self._loaded_groups.get(atom_type)
+        return len(group) if group is not None else 0
 
     def in_flight(self) -> Optional[str]:
         """The atom type currently being written, if any."""
@@ -218,6 +259,7 @@ class Fabric:
         if container.is_loading:
             container.fail_load()
         container.mark_faulty()
+        self._dead += 1
 
     # -- placement / eviction ----------------------------------------------------
 
@@ -228,22 +270,19 @@ class Fabric:
         to keep (typically ``sup(M)`` of the active selection).  The
         configured eviction policy chooses among the stale candidates.
         """
-        loaded_counts: Dict[str, int] = {}
-        for container in self.containers:
-            if container.is_loaded:
-                loaded_counts[container.atom_type] = (
-                    loaded_counts.get(container.atom_type, 0) + 1
-                )
-        candidates = [
-            container
-            for container in self.containers
-            if container.is_loaded
-            and loaded_counts[container.atom_type]
-            > retained.count(container.atom_type)
-        ]
+        retained_counts = retained.counts
+        pos = self._pos
+        candidates: List[AtomContainer] = []
+        for atom_type, group in self._loaded_groups.items():
+            if group and len(group) > retained_counts[pos[atom_type]]:
+                candidates.extend(group)
         if not candidates:
             return None
-        return self.eviction_policy.select(candidates)
+        # The loaded-group index only ever holds LOADED containers, so
+        # the validation pass of EvictionPolicy.select (a re-filter plus
+        # membership check, per eviction) is redundant here; go straight
+        # to the policy's choice.
+        return self.eviction_policy.choose(candidates)
 
     def begin_load(
         self, atom_type: str, now: int, retained: Molecule
@@ -261,10 +300,9 @@ class Fabric:
         if atom_type not in self.registry:
             raise FabricError(f"unknown atom type {atom_type!r}")
         target: Optional[AtomContainer] = None
-        for container in self.containers:
-            if container.is_empty:
-                target = container
-                break
+        if self._empty:
+            # Placement rule: the first (lowest-index) empty container.
+            target = self.containers[min(self._empty)]
         if target is None:
             target = self._pick_victim(retained)
             if target is not None:
@@ -295,22 +333,36 @@ class Fabric:
         Keeps the LRU eviction honest: atoms that execute SIs stay,
         leftovers from previous hot spots age out first.
         """
-        for atom_type in molecule.atom_names():
-            wanted = molecule.count(atom_type)
-            serving = [
-                c
-                for c in self.containers
-                if c.is_loaded and c.atom_type == atom_type
-            ]
-            serving.sort(key=lambda c: (-c.last_used, c.index))
-            for container in serving[:wanted]:
-                container.touch(now)
+        groups = self._loaded_groups
+        for atom_type, wanted in zip(molecule.space.names, molecule.counts):
+            if not wanted:
+                continue
+            group = groups.get(atom_type)
+            if not group:
+                continue
+            if len(group) > wanted:
+                # Most-recently-used first; only the instances actually
+                # serving the molecule are refreshed.
+                group = sorted(group, key=lambda c: (-c.last_used, c.index))
+                group = group[:wanted]
+            for container in group:
+                container.last_used = now
+                container.use_count += 1
 
     def reset(self) -> None:
         """Clear all containers and leases (cold fabric)."""
+        for container in self.containers:
+            container.owner = None
         self.containers = [AtomContainer(i) for i in range(self.num_acs)]
+        for container in self.containers:
+            container.owner = self
         self._evictions = 0
         self._reserved = 0
+        self._dead = 0
+        self._loaded_groups = {}
+        self._avail_counts = [0] * self.registry.space.size
+        self._empty = {c.index for c in self.containers}
+        self._loaded_ver += 1
 
     def __repr__(self) -> str:
         loaded = sum(1 for c in self.containers if c.is_loaded)

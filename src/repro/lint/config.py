@@ -86,7 +86,10 @@ RULE_DEFAULTS: Dict[str, Dict[str, Any]] = {
     },
     "RL005": {
         "enabled": True,
-        "include": ["repro/core/schedulers/*"],
+        # The vector engine's benefit comparisons must stay as
+        # division-free as the schedulers they mirror (the hardware
+        # comparator has no divider).
+        "include": ["repro/core/schedulers/*", "repro/sim/vector*"],
         "allow": [],
     },
     "RL006": {

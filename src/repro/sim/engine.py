@@ -50,8 +50,12 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..workload.trace import HotSpotTrace, Workload
 from .results import LatencyEvent, Segment, SimulationResult
+from .vector import VectorExecutor
 
-__all__ = ["SystemSimulator"]
+__all__ = ["SystemSimulator", "ENGINES"]
+
+#: Valid values of the ``engine`` parameter.
+ENGINES = frozenset({"reference", "vector", "auto"})
 
 
 class SystemSimulator(ABC):
@@ -85,6 +89,13 @@ class SystemSimulator(ABC):
         Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
         wall-clock scheduler-decision timings and end-of-run gauges.
         Wall-clock readings never enter the (deterministic) event log.
+    engine:
+        Trace-replay engine: ``"reference"`` (the per-span loop below),
+        ``"vector"`` (the numpy fast path of :mod:`repro.sim.vector`),
+        or ``"auto"``.  The two engines are bit-identical, so the choice
+        never changes results — only wall-clock speed.  The vector path
+        emits no trace events, so ``"vector"`` and ``"auto"`` silently
+        fall back to the reference engine whenever a tracer is enabled.
     """
 
     #: Reported in results as the system column.
@@ -102,10 +113,15 @@ class SystemSimulator(ABC):
         retry_policy: Optional[RetryPolicy] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        engine: str = "reference",
     ):
         if registry.space != library.space:
             raise SimulationError(
                 "atom registry and SI library use different atom spaces"
+            )
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}"
             )
         self.library = library
         self.registry = registry
@@ -120,6 +136,10 @@ class SystemSimulator(ABC):
         )
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.engine = engine
+        #: True while a run is replaying through the vector executor;
+        #: planners may route to the array-friendly scoring fast path.
+        self._vector_active = False
         self.fabric = Fabric(
             registry,
             num_acs,
@@ -165,6 +185,35 @@ class SystemSimulator(ABC):
     def _finish(self, trace: HotSpotTrace, context: object) -> None:
         """Hook called after a hot-spot invocation completed."""
 
+    def _dispatch_memo_key(
+        self, trace: HotSpotTrace, context: object
+    ) -> Optional[object]:
+        """Hashable key under which :meth:`_impl_for` may be memoized.
+
+        The vector executor caches dispatch results per (key, fabric
+        availability).  A system whose dispatch depends on more than the
+        availability must fold that extra state into the key; ``None``
+        (the safe default) disables memoization entirely — dispatch is
+        then recomputed through the reference :meth:`_impl_for` on every
+        span.
+        """
+        return None
+
+    def _dispatch_preference(
+        self, si_name: str, context: object
+    ) -> Optional[Sequence[MoleculeImpl]]:
+        """Static preference order replicating :meth:`_impl_for`.
+
+        When a system's dispatch is equivalent to "the first
+        implementation of this ordered list whose atoms are loaded", it
+        can return that list here and the vector executor resolves
+        dispatch-memo misses with one array feasibility scan instead of
+        per-SI molecule walks.  The list must contain at least one
+        always-feasible entry (a software implementation).  ``None``
+        (the default) keeps the reference :meth:`_impl_for` miss path.
+        """
+        return None
+
     def _decision_event(
         self,
         trace: HotSpotTrace,
@@ -189,6 +238,19 @@ class SystemSimulator(ABC):
 
     # -- main loop -------------------------------------------------------------------
 
+    def _resolve_engine(self) -> str:
+        """The engine a run starting now would actually use.
+
+        ``"vector"`` and ``"auto"`` resolve to the vector executor only
+        when no tracer is attached: the vector path constructs no event
+        objects (that is where its speed comes from), so traced runs
+        always take the reference loop.  Results are bit-identical
+        either way.
+        """
+        if self.engine == "reference" or self.tracer.enabled:
+            return "reference"
+        return "vector"
+
     def reset(self) -> None:
         """Cold-start the fabric, port and fault model (fresh run).
 
@@ -212,6 +274,10 @@ class SystemSimulator(ABC):
     def run(self, workload: Workload) -> SimulationResult:
         """Replay ``workload`` and return the accounted result."""
         self.reset()
+        vexec: Optional[VectorExecutor] = None
+        if self._resolve_engine() == "vector":
+            vexec = VectorExecutor(self)
+        self._vector_active = vexec is not None
         now = 0
         hot_spot_cycles: Dict[str, int] = {}
         frame_cycles: Dict[int, int] = {}
@@ -263,9 +329,16 @@ class SystemSimulator(ABC):
                     self._decision_event(trace, context, now, atom_sequence)
                 )
             self.port.replace_queue(list(atom_sequence), retained, now)
-            now = self._execute(
-                trace, context, now, segments, latency_events, last_latency
-            )
+            if vexec is not None:
+                now = vexec.execute(
+                    trace, context, now, segments, latency_events,
+                    last_latency,
+                )
+            else:
+                now = self._execute(
+                    trace, context, now, segments, latency_events,
+                    last_latency,
+                )
             for si_name, count in trace.totals().items():
                 si_totals[si_name] = si_totals.get(si_name, 0) + count
             self._finish(trace, context)
@@ -277,6 +350,7 @@ class SystemSimulator(ABC):
                 frame_cycles.get(trace.frame_index, 0) + elapsed
             )
 
+        self._vector_active = False
         if tracer.enabled:
             tracer.emit(RunEnd(cycle=now, total_cycles=now))
         if self.metrics is not None:

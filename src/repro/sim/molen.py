@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.molecule import Molecule
 from ..core.monitor import ExecutionMonitor
+from ..core.scoring import select_molecules_fast
 from ..core.selection import MoleculeSelection, select_molecules
 from ..core.si import MoleculeImpl, SILibrary
 from ..fabric.atom import AtomRegistry
@@ -58,6 +59,7 @@ class MolenSimulator(SystemSimulator):
         retry_policy=None,
         tracer=None,
         metrics=None,
+        engine="reference",
     ):
         super().__init__(
             library,
@@ -70,8 +72,12 @@ class MolenSimulator(SystemSimulator):
             retry_policy=retry_policy,
             tracer=tracer,
             metrics=metrics,
+            engine=engine,
         )
         self.monitor = monitor if monitor is not None else ExecutionMonitor()
+        # Static-array memo for the fast selection path; keyed by the
+        # immutable library objects, so it survives resets unchanged.
+        self._scoring_cache: Dict[object, object] = {}
 
     @property
     def scheduler_name(self) -> str:
@@ -89,10 +95,16 @@ class MolenSimulator(SystemSimulator):
     ) -> Tuple[Sequence[str], Molecule, _MolenContext]:
         sis = self.library.subset(trace.si_names)
         expected = self.monitor.predict(trace.hot_spot, trace.si_names)
-        selection = select_molecules(
-            # The effective budget shrinks when containers die.
-            sis, expected, self.fabric.usable_acs, available=available
-        )
+        if self._vector_active:
+            selection = select_molecules_fast(
+                # The effective budget shrinks when containers die.
+                sis, expected, self.fabric.usable_acs, available=available,
+                cache=self._scoring_cache,
+            )
+        else:
+            selection = select_molecules(
+                sis, expected, self.fabric.usable_acs, available=available
+            )
         # Load order: most important SI first, whole molecules back to
         # back.  Atoms already on the fabric are reused.
         importance: List[Tuple[float, str]] = []
@@ -133,6 +145,27 @@ class MolenSimulator(SystemSimulator):
             steps=(),
             atom_sequence=tuple(atom_sequence),
         )
+
+    def _dispatch_memo_key(
+        self, trace: HotSpotTrace, context: _MolenContext
+    ) -> Optional[object]:
+        # Molen dispatch depends on the availability *and* the hot
+        # spot's chosen implementations, so the latter join the key.
+        chosen = tuple(
+            context.selection.implementations[si_name].name
+            for si_name in trace.si_names
+        )
+        return (trace.si_names, chosen)
+
+    def _dispatch_preference(
+        self, si_name: str, context: _MolenContext
+    ) -> Sequence[MoleculeImpl]:
+        # Mirrors _impl_for: the chosen implementation when fully
+        # loaded, otherwise the base-ISA trap.
+        impl = context.selection.implementations[si_name]
+        if impl.is_software:
+            return [impl]
+        return [impl, self.library.get(si_name).software]
 
     def _impl_for(
         self, si_name: str, available: Molecule, context: _MolenContext

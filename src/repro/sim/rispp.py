@@ -57,6 +57,7 @@ class RisppSimulator(SystemSimulator):
         retry_policy=None,
         tracer=None,
         metrics=None,
+        engine="reference",
     ):
         super().__init__(
             library,
@@ -69,6 +70,7 @@ class RisppSimulator(SystemSimulator):
             retry_policy=retry_policy,
             tracer=tracer,
             metrics=metrics,
+            engine=engine,
         )
         self.runtime = RuntimeManager(
             library,
@@ -100,6 +102,7 @@ class RisppSimulator(SystemSimulator):
             # Plan against the *effective* budget: permanently failed
             # containers must not be counted on.
             num_acs=self.fabric.usable_acs,
+            fast=self._vector_active,
         )
         # Retain what the plan targets *plus* what is currently loaded and
         # still part of the target — eviction only touches true leftovers.
@@ -109,6 +112,27 @@ class RisppSimulator(SystemSimulator):
         self, si_name: str, available: Molecule, context: HotSpotPlan
     ) -> MoleculeImpl:
         return self.runtime.dispatch(si_name, available)
+
+    def _dispatch_memo_key(
+        self, trace: HotSpotTrace, context: HotSpotPlan
+    ) -> Optional[object]:
+        # RISPP dispatch is context-free (fastest molecule available
+        # right now), so memoizing on the SI tuple + availability is
+        # exact — and the same fabric states recur across frames.
+        return trace.si_names
+
+    def _dispatch_preference(
+        self, si_name: str, context: HotSpotPlan
+    ) -> Sequence[MoleculeImpl]:
+        # fastest_available scans the molecules keeping the strictly
+        # best (latency, determinant, name) seen so far, starting from
+        # software — i.e. the first *feasible* entry of this stable sort
+        # (software listed first, so it wins exact key ties).
+        si = self.library.get(si_name)
+        return sorted(
+            [si.software, *si.molecules],
+            key=lambda impl: (impl.latency, impl.determinant, impl.name),
+        )
 
     def _decision_event(
         self,

@@ -129,6 +129,37 @@ class TestRL005DivisionFree:
         _, findings = run_fixture("rl005_division.py", "repro/hw/fsm.py")
         assert findings == []
 
+    def test_vector_engine_is_in_scope(self):
+        # The vector fast path mirrors the schedulers' benefit logic,
+        # so the division ban follows it there.
+        source, findings = run_fixture(
+            "rl005_division.py", "repro/sim/vector.py"
+        )
+        assert_matches_tags(source, findings)
+
+    def test_real_vector_tree_is_rl005_clean(self):
+        from pathlib import Path
+
+        import repro
+
+        src = Path(repro.__file__).resolve().parent
+        scanned = []
+        for path in sorted(src.rglob("*.py")):
+            relpath = "repro/" + path.relative_to(src).as_posix()
+            if not (
+                relpath.startswith("repro/sim/vector")
+                or relpath.startswith("repro/core/schedulers/")
+            ):
+                continue
+            scanned.append(relpath)
+            findings = analyze_source(
+                path.read_text(encoding="utf-8"),
+                relpath,
+                select=["RL005"],
+            )
+            assert findings == [], f"RL005 findings in {relpath}"
+        assert "repro/sim/vector.py" in scanned
+
 
 class TestRL006SwallowedExceptions:
     def test_catches_bare_and_silent_handlers(self):

@@ -37,6 +37,7 @@ ISLANDS = (
     "repro/exec/",
     "repro/lint/",
     "repro/service/",
+    "repro/sim/vector",
 )
 
 # "src/repro/sim/engine.py:12: error: message  [code]"
