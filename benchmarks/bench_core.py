@@ -15,7 +15,13 @@ records, per PR:
   the reference engine; a digest change without an intentional semantic
   change is a regression,
 * ``engines_identical`` — whether the vector engine reproduced the
-  reference digest bit-for-bit; ``False`` is always a bug.
+  reference digest bit-for-bit; ``False`` is always a bug,
+* ``cells_per_sec_prefetch`` / ``prefetch_hidden_cycles`` — one
+  informational PREFETCH pass over the RISPP AC sweep (reference
+  engine: speculation forces the per-cycle loop).  Never gated — it
+  records the speculative lane's throughput cost and how much
+  reconfiguration overhead it hides next to the HEF cells of the same
+  grid.
 
 Usage::
 
@@ -146,6 +152,32 @@ def run_scenario() -> Dict[str, Any]:
     entry["speedup"] = round(
         entry["wall_seconds_reference"] / entry["wall_seconds_vector"], 2
     )
+
+    # Informational PREFETCH pass: the HEF cells of the same grid with
+    # speculation enabled (reference engine — speculation forces the
+    # per-cycle loop).  One rep; never gated.
+    prefetch_cells = [
+        dataclasses.replace(cell, scheduler="PREFETCH", engine="reference")
+        for cell in cells["reference"]
+        if cell.system == "RISPP" and cell.scheduler == "HEF"
+    ]
+    start = time.perf_counter()
+    prefetch_results = [execute_cell(cell) for cell in prefetch_cells]
+    prefetch_wall = time.perf_counter() - start
+    hef_by_acs = {
+        r.num_acs: r
+        for r in results["reference"]
+        if r.system == "RISPP" and r.scheduler_name == "HEF"
+    }
+    hidden = sum(
+        max(0, hef_by_acs[r.num_acs].total_cycles - r.total_cycles)
+        for r in prefetch_results
+    )
+    entry["wall_seconds_prefetch"] = round(prefetch_wall, 3)
+    entry["cells_per_sec_prefetch"] = round(
+        len(prefetch_cells) / prefetch_wall, 1
+    )
+    entry["prefetch_hidden_cycles"] = hidden
     return entry
 
 

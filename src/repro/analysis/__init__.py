@@ -14,10 +14,12 @@ from .experiments import (
     Fig4Result,
     Fig7Result,
     Fig8Result,
+    PrefetchComparisonResult,
     run_figure2,
     run_figure4,
     run_figure7,
     run_figure8,
+    run_prefetch_comparison,
     speedup_table,
 )
 from .tables import (
@@ -40,10 +42,12 @@ __all__ = [
     "Fig4Result",
     "Fig7Result",
     "Fig8Result",
+    "PrefetchComparisonResult",
     "run_figure2",
     "run_figure4",
     "run_figure7",
     "run_figure8",
+    "run_prefetch_comparison",
     "speedup_table",
     "format_table1",
     "format_table2",

@@ -40,10 +40,12 @@ __all__ = [
     "Fig4Result",
     "Fig7Result",
     "Fig8Result",
+    "PrefetchComparisonResult",
     "run_figure2",
     "run_figure4",
     "run_figure7",
     "run_figure8",
+    "run_prefetch_comparison",
     "fig7_spec",
     "fig7_payload",
     "render_fig7_artifact",
@@ -386,6 +388,164 @@ def fig7_payload(result: Fig7Result) -> Dict[str, object]:
 def render_fig7_artifact(result: Fig7Result) -> str:
     """The exact serialisation of ``artifacts/full_sweep_results.json``."""
     return json.dumps(fig7_payload(result), indent=1)
+
+
+# ---------------------------------------------------------------------------
+# Prefetch — overhead hidden by cross-hot-spot speculation vs plain HEF
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PrefetchComparisonResult:
+    """PREFETCH vs HEF over an AC sweep (the Figure 7 axis).
+
+    Per AC count the comparison reports the cycles the speculation hid
+    (``hef_total - prefetch_total``) and, as the headline fraction, how
+    much of HEF's *reconfiguration overhead* (its committed bus
+    occupancy) that hiding amounts to.  The per-run never-worse
+    invariant — PREFETCH is at most ``prefetch_wasted_bus_cycles``
+    slower than HEF — is checked for every cell pair and surfaced as
+    ``never_worse``.
+    """
+
+    ac_counts: Tuple[int, ...]
+    workload_generator: str
+    flip_rate: float
+    confidence: float
+    budget: int
+    frames: int
+    hef_mcycles: List[float]
+    prefetch_mcycles: List[float]
+    #: Per AC count: ``hef_total_cycles - prefetch_total_cycles``
+    #: (negative means PREFETCH lost cycles — bounded by the wasted-bus
+    #: account, never more).
+    hidden_cycles: List[int]
+    #: ``hidden_cycles`` over HEF's committed bus occupancy — the share
+    #: of the reconfiguration overhead the speculation hid.
+    hidden_fraction: List[float]
+    issued: List[int]
+    hits: List[int]
+    wasted: List[int]
+    wasted_bus_cycles: List[int]
+    never_worse: bool
+    report: Optional[SweepReport] = None
+
+    def summary(self) -> str:
+        """Per-AC-count one-liners plus the invariant verdict."""
+        lines = [
+            f"PREFETCH vs HEF ({self.workload_generator} workload, "
+            f"{self.frames} frames, confidence {self.confidence:g}, "
+            f"budget {self.budget})",
+            f"{'ACs':>4s} {'HEF Mcyc':>10s} {'PF Mcyc':>10s} "
+            f"{'hidden':>10s} {'of bus':>7s} {'issued':>7s} {'hits':>5s} "
+            f"{'wasted':>7s}",
+        ]
+        for i, num_acs in enumerate(self.ac_counts):
+            lines.append(
+                f"{num_acs:>4d} {self.hef_mcycles[i]:>10.2f} "
+                f"{self.prefetch_mcycles[i]:>10.2f} "
+                f"{self.hidden_cycles[i]:>10d} "
+                f"{self.hidden_fraction[i]:>7.1%} "
+                f"{self.issued[i]:>7d} {self.hits[i]:>5d} "
+                f"{self.wasted[i]:>7d}"
+            )
+        lines.append(
+            "never-worse invariant: "
+            + ("holds for every AC count" if self.never_worse else
+               "VIOLATED")
+        )
+        return "\n".join(lines)
+
+
+def run_prefetch_comparison(
+    ac_counts: Sequence[int] = (4, 6, 10, 16),
+    scale: Optional[ExperimentScale] = None,
+    confidence: float = 0.6,
+    budget: int = 4,
+    workload_generator: str = "h264",
+    flip_rate: float = 0.25,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> PrefetchComparisonResult:
+    """PREFETCH vs HEF: how much reconfiguration overhead speculation hides.
+
+    Runs both schedulers at every AC count on the same workload (the
+    calibrated H.264 model, or the adversarial misprediction generator
+    with ``workload_generator="adversarial"``) and reports the hidden
+    cycles per AC count, as an absolute count and as a fraction of HEF's
+    committed reconfiguration-bus occupancy.  Where the selection
+    saturates the fabric, speculative loads find no evictable victim and
+    settle as zero-cost drops — the hidden fraction is then exactly 0
+    and PREFETCH is field-identical to HEF.
+    """
+    scale = scale or default_scale()
+    workload = WorkloadSpec(
+        frames=scale.frames,
+        seed=scale.seed,
+        generator=workload_generator,
+        flip_rate=flip_rate,
+    )
+    cells: List[SweepCell] = []
+    for num_acs in ac_counts:
+        for scheduler in ("HEF", "PREFETCH"):
+            cells.append(
+                SweepCell(
+                    system="RISPP",
+                    scheduler=scheduler,
+                    num_acs=num_acs,
+                    workload=workload,
+                    prefetch_confidence=confidence,
+                    prefetch_budget=budget,
+                )
+            )
+    jobs, cache, policy = _engine_args(jobs, cache)
+    report = run_sweep(cells, jobs=jobs, cache=cache, policy=policy)
+    hef_mcycles: List[float] = []
+    prefetch_mcycles: List[float] = []
+    hidden_cycles: List[int] = []
+    hidden_fraction: List[float] = []
+    issued: List[int] = []
+    hits: List[int] = []
+    wasted: List[int] = []
+    wasted_bus: List[int] = []
+    never_worse = True
+    for i in range(0, len(report.outcomes), 2):
+        hef = report.outcomes[i].result
+        prefetch = report.outcomes[i + 1].result
+        hidden = hef.total_cycles - prefetch.total_cycles
+        hef_mcycles.append(hef.total_mcycles)
+        prefetch_mcycles.append(prefetch.total_mcycles)
+        hidden_cycles.append(hidden)
+        hidden_fraction.append(
+            hidden / hef.bus_busy_cycles if hef.bus_busy_cycles else 0.0
+        )
+        issued.append(prefetch.prefetch_issued)
+        hits.append(prefetch.prefetch_hits)
+        wasted.append(prefetch.prefetch_wasted)
+        wasted_bus.append(prefetch.prefetch_wasted_bus_cycles)
+        if (
+            prefetch.total_cycles
+            > hef.total_cycles + prefetch.prefetch_wasted_bus_cycles
+        ):
+            never_worse = False
+    return PrefetchComparisonResult(
+        ac_counts=tuple(ac_counts),
+        workload_generator=workload_generator,
+        flip_rate=flip_rate,
+        confidence=confidence,
+        budget=budget,
+        frames=scale.frames,
+        hef_mcycles=hef_mcycles,
+        prefetch_mcycles=prefetch_mcycles,
+        hidden_cycles=hidden_cycles,
+        hidden_fraction=hidden_fraction,
+        issued=issued,
+        hits=hits,
+        wasted=wasted,
+        wasted_bus_cycles=wasted_bus,
+        never_worse=never_worse,
+        report=report,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -89,7 +89,7 @@ from .analysis import (
     run_figure7,
     run_figure8,
 )
-from .analysis.experiments import default_scale
+from .analysis.experiments import ExperimentScale, default_scale
 from .core.schedulers import available_schedulers, get_scheduler
 from .exec import (
     ResultCache,
@@ -109,6 +109,7 @@ from .h264.silibrary import build_atom_registry, build_si_library
 from .obs import TRACE_FORMATS, RecordingTracer, export_events
 from .sim.engine import ENGINES
 from .sim.rispp import RisppSimulator
+from .workload.adversarial import generate_adversarial_workload
 from .workload.model import generate_workload
 
 __all__ = ["main"]
@@ -242,17 +243,36 @@ def _trace_cell_path(base: str, label: str) -> Path:
     return path.with_name(f"{path.stem}.{slug}{path.suffix or '.json'}")
 
 
+def _scheduler_kwargs(args: argparse.Namespace) -> dict:
+    """Per-scheduler constructor knobs from the CLI namespace."""
+    if args.scheduler == "PREFETCH":
+        return {
+            "confidence": args.prefetch_confidence,
+            "budget": args.prefetch_budget,
+        }
+    return {}
+
+
+def _build_workload(args: argparse.Namespace, frames: int):
+    """The simulate-command workload for the selected generator."""
+    if args.workload == "adversarial":
+        return generate_adversarial_workload(
+            num_phases=frames * 3, seed=2008, flip_rate=args.flip_rate
+        )
+    return generate_workload(num_frames=frames, seed=2008)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> str:
     registry = build_atom_registry()
     library = build_si_library(registry)
     frames = args.frames if args.frames else default_scale().frames
-    workload = generate_workload(num_frames=frames, seed=2008)
+    workload = _build_workload(args, frames)
     fault_model, retry_policy = _fault_setup(args)
     tracer = RecordingTracer() if args.trace_out else None
     sim = RisppSimulator(
         library,
         registry,
-        get_scheduler(args.scheduler),
+        get_scheduler(args.scheduler, **_scheduler_kwargs(args)),
         args.acs,
         fault_model=fault_model,
         retry_policy=retry_policy,
@@ -266,6 +286,12 @@ def _cmd_simulate(args: argparse.Namespace) -> str:
         f"fault seed {args.fault_seed}, max retries {args.max_retries}",
         _fault_report(result),
     ]
+    if result.prefetch_issued:
+        lines.append(
+            f"  prefetch: {result.prefetch_issued} issued, "
+            f"{result.prefetch_hits} hits, {result.prefetch_wasted} "
+            f"wasted ({result.prefetch_wasted_bus_cycles} bus cycles)"
+        )
     if tracer is not None:
         export_events(list(tracer), args.trace_out, args.trace_format)
         lines.append(
@@ -284,11 +310,18 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     spec = SweepSpec(
         schedulers=(args.scheduler,),
         ac_counts=tuple(ac_counts),
-        workload=WorkloadSpec(frames=frames, seed=2008),
+        workload=WorkloadSpec(
+            frames=frames,
+            seed=2008,
+            generator=args.workload,
+            flip_rate=args.flip_rate,
+        ),
         fault_rate=args.fault_rate,
         fault_seed=args.fault_seed,
         max_retries=args.max_retries,
         engine=args.engine,
+        prefetch_confidence=args.prefetch_confidence,
+        prefetch_budget=args.prefetch_budget,
     )
     jobs, cache = _engine_setup(args)
     policy, journal_path, resume_from, chaos = _supervision_setup(args)
@@ -380,6 +413,28 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         args._exit_code = 4
     lines.append(report.summary())
     return "\n".join(lines)
+
+
+def _cmd_prefetch(args: argparse.Namespace) -> str:
+    from .analysis.experiments import run_prefetch_comparison
+
+    frames = args.frames if args.frames else default_scale().frames
+    if args.ac_list is not None:
+        ac_counts = tuple(args.ac_list)
+    else:
+        ac_counts = (4, 6, 10, 16)
+    jobs, cache = _engine_setup(args)
+    result = run_prefetch_comparison(
+        ac_counts=ac_counts,
+        scale=ExperimentScale(frames=frames),
+        confidence=args.prefetch_confidence,
+        budget=args.prefetch_budget,
+        workload_generator=args.workload,
+        flip_rate=args.flip_rate,
+        jobs=jobs,
+        cache=cache,
+    )
+    return result.summary()
 
 
 def _cmd_table1(args: argparse.Namespace) -> str:
@@ -631,6 +686,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
 _EXTRA_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "prefetch": _cmd_prefetch,
 }
 
 
@@ -756,6 +812,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="supervised sweep: inject worker failures for testing — "
         "comma-separated '<label-glob>:<mode>[:<attempts>]' with modes "
         "hang/crash/raise (default: REPRO_CHAOS)",
+    )
+    parser.add_argument(
+        "--prefetch-confidence",
+        type=_probability,
+        default=0.6,
+        help="PREFETCH scheduler: transition-predictor confidence "
+        "required before speculating; 0 disables speculation and makes "
+        "PREFETCH behave exactly like HEF (default 0.6)",
+    )
+    parser.add_argument(
+        "--prefetch-budget",
+        type=_non_negative_int,
+        default=4,
+        help="PREFETCH scheduler: maximum speculative atom loads per "
+        "hot spot; 0 disables speculation (default 4)",
+    )
+    parser.add_argument(
+        "--workload",
+        default="h264",
+        choices=("h264", "adversarial"),
+        help="trace generator for simulate/sweep: the calibrated H.264 "
+        "model, or seeded phase-misprediction traces that stress the "
+        "PREFETCH transition predictor (default h264)",
+    )
+    parser.add_argument(
+        "--flip-rate",
+        type=_probability,
+        default=0.25,
+        help="adversarial workload: per-phase probability that the next "
+        "hot spot deviates from the dominant ME->EE->LF cycle "
+        "(default 0.25)",
     )
     parser.add_argument(
         "--fault-rate",

@@ -16,12 +16,20 @@ encounter of a hot spot.  Alternative forecasting strategies from
 :mod:`repro.core.forecast` (last-value, sliding window, trend) can be
 plugged in via ``predictor_factory``.  The monitor also keeps simple
 error statistics so experiments can report prediction quality.
+
+On top of the per-SI frequency forecasts the monitor tracks the
+*hot-spot transition history*: :meth:`record_transition` feeds observed
+``prev -> next`` phase changes into per-edge predictors of the same
+forecast family (EWMA over 0/1 indicators, i.e. a recency-weighted
+transition frequency), and :meth:`predict_next` answers "which hot spot
+comes after this one, and how sure are we?" — the signal the PREFETCH
+scheduler speculates on (:mod:`repro.core.schedulers.prefetch`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import CalibrationError
 from .forecast import EwmaPredictor, Predictor, PredictorFactory
@@ -100,6 +108,15 @@ class ExecutionMonitor:
         }
         self._predictors: Dict[Tuple[str, str], Predictor] = {}
         self._stats: Dict[Tuple[str, str], MonitorStats] = {}
+        #: Transition predictors, one per observed ``(prev, next)`` edge:
+        #: an EWMA over 0/1 indicators — the recency-weighted frequency
+        #: with which ``prev`` was followed by ``next``.
+        self._transitions: Dict[Tuple[str, str], Predictor] = {}
+        #: Successor sets per hot spot (keys of the edges seen so far).
+        self._successors: Dict[str, Set[str]] = {}
+        #: The SI names last measured per hot spot — what a speculative
+        #: plan for a predicted phase should plan for.
+        self._seen_sis: Dict[str, Tuple[str, ...]] = {}
 
     # -- prediction ----------------------------------------------------------
 
@@ -145,6 +162,52 @@ class ExecutionMonitor:
             stats.abs_error_sum += abs(value - predictor.predict())
             stats.measured_sum += float(value)
             predictor.update(float(value))
+        self._seen_sis[hot_spot] = tuple(sorted(measured))
+
+    # -- hot-spot transition prediction ----------------------------------------
+
+    def record_transition(self, prev: str, nxt: str) -> None:
+        """Feed one observed hot-spot transition ``prev -> nxt``.
+
+        Every known edge out of ``prev`` receives a 0/1 indicator update
+        (1 for the edge taken, 0 for the others), so each edge predictor
+        converges to the recency-weighted frequency of that transition.
+        """
+        successors = self._successors.setdefault(prev, set())
+        successors.add(nxt)
+        for succ in successors:
+            key = (prev, succ)
+            predictor = self._transitions.get(key)
+            if predictor is None:
+                predictor = self._factory(0.0)
+                self._transitions[key] = predictor
+            predictor.update(1.0 if succ == nxt else 0.0)
+
+    def predict_next(self, hot_spot: str) -> Optional[Tuple[str, float]]:
+        """The most likely successor of ``hot_spot`` and its confidence.
+
+        Returns ``None`` before any transition out of ``hot_spot`` was
+        observed.  Ties break deterministically towards the
+        lexicographically smallest successor name.
+        """
+        successors = self._successors.get(hot_spot)
+        if not successors:
+            return None
+        best: Optional[Tuple[str, float]] = None
+        for succ in sorted(successors):
+            score = self._transitions[(hot_spot, succ)].predict()
+            if best is None or score > best[1]:
+                best = (succ, score)
+        return best
+
+    def si_names_for(self, hot_spot: str) -> Tuple[str, ...]:
+        """SI names last measured in ``hot_spot`` (empty if never run).
+
+        A speculative plan for a predicted phase needs its SI set; the
+        monitor only knows it once the phase has executed at least once,
+        which is exactly when transition prediction can fire anyway.
+        """
+        return self._seen_sis.get(hot_spot, ())
 
     # -- inspection ------------------------------------------------------------
 
@@ -164,6 +227,9 @@ class ExecutionMonitor:
         """Forget all measurements (profile entries are kept)."""
         self._predictors.clear()
         self._stats.clear()
+        self._transitions.clear()
+        self._successors.clear()
+        self._seen_sis.clear()
 
     def __repr__(self) -> str:
         return (

@@ -1,9 +1,10 @@
 """Atom-scheduling strategies.
 
 The four schedulers of Section 4.4 — FSFR, ASF, SJF and the proposed HEF
-— plus two extensions used by the ablation benchmarks (a bounded
-beam-search lookahead and a random baseline).  All schedulers are
-registered under their short name; use :func:`get_scheduler` to
+— plus extensions: a bounded beam-search lookahead and a random baseline
+used by the ablation benchmarks, and the cross-hot-spot PREFETCH
+scheduler (HEF with speculative next-phase atom loads).  All schedulers
+are registered under their short name; use :func:`get_scheduler` to
 instantiate one by name.
 """
 
@@ -20,6 +21,7 @@ from .fsfr import FSFRScheduler
 from .asf import ASFScheduler
 from .sjf import SJFScheduler
 from .hef import HEFScheduler
+from .prefetch import PrefetchScheduler
 from .lookahead import LookaheadScheduler
 from .random_sched import RandomScheduler
 
@@ -36,6 +38,7 @@ __all__ = [
     "ASFScheduler",
     "SJFScheduler",
     "HEFScheduler",
+    "PrefetchScheduler",
     "LookaheadScheduler",
     "RandomScheduler",
     "PAPER_SCHEDULERS",

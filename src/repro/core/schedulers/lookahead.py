@@ -128,10 +128,20 @@ class LookaheadScheduler(AtomScheduler):
                 key=lambda n: (n.cost, tuple(s.name for s in n.steps))
             )
             beam = next_level[: self.beam_width]
-        if not finished:  # pragma: no cover - root always terminates
-            return
-        best = min(
-            finished, key=lambda n: (n.cost, tuple(s.name for s in n.steps))
-        )
-        for impl in best.steps:
-            state.commit(impl)
+        if finished:
+            best = min(
+                finished,
+                key=lambda n: (n.cost, tuple(s.name for s in n.steps)),
+            )
+            for impl in best.steps:
+                state.commit(impl)
+        # Condition (2): every selected molecule must end up fully
+        # composed.  The cleaning step (equation 4) drops a selected
+        # molecule that does not improve on what is already available,
+        # so a finished sequence can leave selection entries uncovered —
+        # and an exhausted beam used to fall through to an *empty*
+        # schedule here.  Commit the stragglers directly, most-important
+        # SI first (the same closing rule upgrade_si_fully applies).
+        for si_name in state.sis_by_importance():
+            if not state.is_complete(si_name):
+                state.commit(state.selection[si_name])

@@ -50,7 +50,7 @@ __all__ = [
 #: code change alters what any simulation produces (scheduler behaviour,
 #: workload generation, cost models, result fields) — the package
 #: version is included so releases re-key automatically.
-CODE_VERSION_SALT = f"repro-{__version__}/sweep-cache-v1"
+CODE_VERSION_SALT = f"repro-{__version__}/sweep-cache-v2"
 
 #: Artifact schema version; artifacts with another format are misses.
 _ARTIFACT_FORMAT = 1

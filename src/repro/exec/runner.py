@@ -101,10 +101,16 @@ def execute_cell(
         )
     retry_policy = RetryPolicy(max_retries=cell.max_retries)
     if cell.system == "RISPP":
+        scheduler_kwargs: Dict[str, Any] = {}
+        if cell.scheduler == "PREFETCH":
+            scheduler_kwargs = {
+                "confidence": cell.prefetch_confidence,
+                "budget": cell.prefetch_budget,
+            }
         sim = RisppSimulator(
             library,
             registry,
-            get_scheduler(cell.scheduler),
+            get_scheduler(cell.scheduler, **scheduler_kwargs),
             cell.num_acs,
             record_segments=cell.record_segments,
             fault_model=fault_model,

@@ -41,29 +41,57 @@ class WorkloadSpec:
     experiments use (e.g. Figure 2 replays only the first two ME
     invocations).  Filters are applied after generation, so the same
     ``(frames, seed)`` pair always yields the same underlying traces.
+
+    ``generator`` selects the trace source: ``"h264"`` (default) is the
+    calibrated H.264 model; ``"adversarial"`` builds a seeded
+    phase-misprediction workload
+    (:class:`~repro.workload.adversarial.AdversarialWorkloadModel`,
+    three phases per ``frames`` unit, flip probability ``flip_rate``).
+    The extra keys only enter :meth:`to_config` for non-default
+    generators, so every pre-existing cell configuration — and with it
+    every cache key — stays byte-identical.
     """
 
     frames: int = 40
     seed: int = 2008
     hot_spots: Optional[Tuple[str, ...]] = None
     max_traces: Optional[int] = None
+    generator: str = "h264"
+    flip_rate: float = 0.25
 
     def __post_init__(self) -> None:
         if self.frames <= 0:
             raise SimulationError(
                 f"workload needs at least one frame, got {self.frames}"
             )
+        if self.generator not in ("h264", "adversarial"):
+            raise SimulationError(
+                f"unknown workload generator {self.generator!r}; "
+                "known: ['adversarial', 'h264']"
+            )
+        if not 0.0 <= self.flip_rate <= 1.0:
+            raise SimulationError(
+                f"flip rate must be within [0, 1], got {self.flip_rate!r}"
+            )
         if self.hot_spots is not None:
             object.__setattr__(self, "hot_spots", tuple(self.hot_spots))
 
     def build(self) -> "Workload":
         """Generate (and filter) the workload this spec describes."""
+        from ..workload.adversarial import AdversarialWorkloadModel
         from ..workload.model import H264WorkloadModel
         from ..workload.trace import Workload
 
-        workload = H264WorkloadModel(
-            num_frames=self.frames, seed=self.seed
-        ).generate()
+        if self.generator == "adversarial":
+            workload = AdversarialWorkloadModel(
+                num_phases=self.frames * 3,
+                seed=self.seed,
+                flip_rate=self.flip_rate,
+            ).generate()
+        else:
+            workload = H264WorkloadModel(
+                num_frames=self.frames, seed=self.seed
+            ).generate()
         if self.hot_spots is None and self.max_traces is None:
             return workload
         traces = list(workload.traces)
@@ -77,7 +105,7 @@ class WorkloadSpec:
         return Workload(name=name, traces=traces)
 
     def to_config(self) -> Dict[str, Any]:
-        return {
+        config: Dict[str, Any] = {
             "frames": int(self.frames),
             "seed": int(self.seed),
             "hot_spots": (
@@ -87,6 +115,12 @@ class WorkloadSpec:
                 None if self.max_traces is None else int(self.max_traces)
             ),
         }
+        if self.generator != "h264":
+            # Non-default generators extend the config; the default
+            # stays byte-identical to pre-generator cells (cache keys!).
+            config["generator"] = self.generator
+            config["flip_rate"] = float(self.flip_rate)
+        return config
 
 
 @dataclass(frozen=True)
@@ -112,6 +146,10 @@ class SweepCell:
     #: not part of the cell's identity — it is deliberately excluded
     #: from :meth:`to_config` and therefore from the cache key.
     engine: str = "reference"
+    #: PREFETCH scheduler knobs; only consulted (and only part of the
+    #: cell's config/cache identity) when ``scheduler == "PREFETCH"``.
+    prefetch_confidence: float = 0.6
+    prefetch_budget: int = 4
 
     def __post_init__(self) -> None:
         if self.system not in _SYSTEMS:
@@ -127,6 +165,15 @@ class SweepCell:
         if self.engine not in _ENGINES:
             raise SimulationError(
                 f"unknown engine {self.engine!r}; known: {sorted(_ENGINES)}"
+            )
+        if not 0.0 <= self.prefetch_confidence <= 1.0:
+            raise SimulationError(
+                "prefetch confidence must be within [0, 1], got "
+                f"{self.prefetch_confidence!r}"
+            )
+        if self.prefetch_budget < 0:
+            raise SimulationError(
+                f"prefetch budget must be >= 0, got {self.prefetch_budget!r}"
             )
 
     @property
@@ -145,7 +192,7 @@ class SweepCell:
         performs.  Two cells produce the same simulation result if and
         only if their configs are equal.
         """
-        return {
+        config: Dict[str, Any] = {
             "system": self.system,
             "scheduler": self.scheduler,
             "num_acs": int(self.num_acs),
@@ -155,6 +202,14 @@ class SweepCell:
             "fault_seed": int(self.fault_seed),
             "max_retries": int(self.max_retries),
         }
+        if self.scheduler == "PREFETCH":
+            # The knobs change what PREFETCH simulates, so they must be
+            # part of its identity; for every other scheduler they are
+            # inert and deliberately left out (configs — and cache keys
+            # — of pre-existing cells stay byte-identical).
+            config["prefetch_confidence"] = float(self.prefetch_confidence)
+            config["prefetch_budget"] = int(self.prefetch_budget)
+        return config
 
 
 @dataclass(frozen=True)
@@ -178,6 +233,10 @@ class SweepSpec:
     fault_seed: int = 2008
     max_retries: int = 3
     engine: str = "reference"
+    #: PREFETCH knobs, applied to every PREFETCH cell of the grid (inert
+    #: for the other schedulers).
+    prefetch_confidence: float = 0.6
+    prefetch_budget: int = 4
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "schedulers", tuple(self.schedulers))
@@ -209,6 +268,8 @@ class SweepSpec:
                         fault_seed=self.fault_seed,
                         max_retries=self.max_retries,
                         engine=self.engine,
+                        prefetch_confidence=self.prefetch_confidence,
+                        prefetch_budget=self.prefetch_budget,
                     )
                 )
             if self.include_molen:

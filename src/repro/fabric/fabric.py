@@ -116,6 +116,11 @@ class Fabric:
         return self._evictions
 
     @property
+    def empty_count(self) -> int:
+        """Number of EMPTY containers right now."""
+        return len(self._empty)
+
+    @property
     def dead_count(self) -> int:
         """Number of permanently faulty (unusable) containers.
 

@@ -25,13 +25,31 @@ fabric's usable-AC budget.  Loads whose retry budget is exhausted, or
 that no longer fit the degraded fabric, are *abandoned* — the affected
 SIs keep executing via the base-ISA trap path, so an SI is always
 executable no matter what the fabric does.
+
+Speculative lane
+----------------
+The PREFETCH scheduler (:mod:`repro.core.schedulers.prefetch`) issues
+atom loads for a *predicted* next hot spot through
+:meth:`ReconfigPort.enqueue_speculative`.  Speculative loads live in a
+second FIFO that only drains while the normal queue is empty (idle
+windows of the bus), may only fill empty containers or evict *stale*
+atoms — never one the retained set (the current selection) needs, the
+same victim rule normal loads obey — and are never retried on a fault.
+When the current plan needs every loaded atom a speculative load is
+dropped at zero bus cost instead of raising.  At the next
+hot-spot switch :meth:`ReconfigPort.cancel_speculative` settles the
+lane: still-pending entries are cancelled (zero bus cost) and the
+caller classifies everything started as hit or wasted.  An in-flight
+speculative load is simply re-labelled as a normal load — if the new
+plan wants its atom the existing :meth:`replace_queue` dedup makes the
+completion serve the plan.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Sequence
+from typing import Deque, List, Optional, Sequence, Tuple
 
 from ..core.molecule import Molecule
 from ..errors import CapacityError, FabricError, SimulationError, TransientLoadError
@@ -47,7 +65,7 @@ from ..obs.tracer import NULL_TRACER, Tracer
 from .fabric import Fabric
 from .faults import FaultModel, LoadFault, NoFaults, RetryPolicy
 
-__all__ = ["LoadCompletion", "ReconfigPort"]
+__all__ = ["LoadCompletion", "SpeculationReport", "ReconfigPort"]
 
 
 @dataclass(frozen=True)
@@ -57,6 +75,36 @@ class LoadCompletion:
     cycle: int
     atom_type: str
     container_index: int
+
+
+@dataclass(frozen=True)
+class SpeculationReport:
+    """What happened to one phase's speculative loads (settled lane).
+
+    Returned by :meth:`ReconfigPort.cancel_speculative`.  ``completed``
+    atoms are loaded and usable; ``in_flight`` is the one atom still
+    being written (re-labelled normal by the cancel); ``dropped`` atoms
+    never touched the bus (no free or evictable container, or still
+    pending at the cancel); ``failed`` atoms were started but killed by
+    the fault model
+    (speculative loads are not retried).
+    """
+
+    completed: Tuple[str, ...]
+    in_flight: Optional[str]
+    dropped: Tuple[str, ...]
+    failed: Tuple[str, ...]
+
+    @property
+    def started(self) -> Tuple[str, ...]:
+        """Atoms that actually occupied the bus (cost bus cycles)."""
+        extra = (self.in_flight,) if self.in_flight is not None else ()
+        return self.completed + self.failed + extra
+
+    @property
+    def issued(self) -> int:
+        """Total speculative atoms the report settles."""
+        return len(self.started) + len(self.dropped)
 
 
 class ReconfigPort:
@@ -104,6 +152,14 @@ class ReconfigPort:
         self._loads_retried = 0
         self._loads_abandoned = 0
         self._busy_cycles = 0
+        #: Speculative lane: pending prefetch loads (drained only while
+        #: the normal queue is idle) and the current phase's settlement
+        #: bookkeeping (see :meth:`cancel_speculative`).
+        self._spec_pending: Deque[str] = deque()
+        self._in_flight_spec = False
+        self._spec_completed: List[str] = []
+        self._spec_dropped: List[str] = []
+        self._spec_failed: List[str] = []
 
     # -- statistics ------------------------------------------------------------
 
@@ -193,10 +249,66 @@ class ReconfigPort:
         self._pending.extend(atom_types)
         self._maybe_start(now)
 
+    # -- speculative lane -------------------------------------------------------
+
+    @property
+    def speculation_outstanding(self) -> bool:
+        """Whether any speculative state awaits settlement."""
+        return bool(
+            self._spec_pending
+            or self._in_flight_spec
+            or self._spec_completed
+            or self._spec_dropped
+            or self._spec_failed
+        )
+
+    def enqueue_speculative(
+        self, atom_types: Sequence[str], now: int
+    ) -> None:
+        """Queue prefetch loads for a predicted next hot spot.
+
+        Speculative loads only run while the normal queue is idle, and
+        may evict only stale atoms (never one the retained set needs);
+        atoms that find no free or evictable container are dropped
+        (settled as such by :meth:`cancel_speculative`).
+        """
+        self._spec_pending.extend(atom_types)
+        self._maybe_start(now)
+
+    def cancel_speculative(self) -> SpeculationReport:
+        """Settle the speculative lane (hot-spot switch).
+
+        Still-pending speculative loads are cancelled (zero bus cost)
+        and reported as dropped; an in-flight speculative load keeps
+        writing but is re-labelled as a normal load, so the existing
+        :meth:`replace_queue` dedup lets its completion serve the new
+        plan when the atom is wanted.  All per-phase speculative
+        bookkeeping is reset.
+        """
+        dropped = self._spec_dropped + list(self._spec_pending)
+        self._spec_pending.clear()
+        in_flight = self._in_flight if self._in_flight_spec else None
+        self._in_flight_spec = False
+        report = SpeculationReport(
+            completed=tuple(self._spec_completed),
+            in_flight=in_flight,
+            dropped=tuple(dropped),
+            failed=tuple(self._spec_failed),
+        )
+        self._spec_completed = []
+        self._spec_dropped = []
+        self._spec_failed = []
+        return report
+
     # -- time advancement -----------------------------------------------------------
 
     def _start_load(
-        self, atom_type: str, now: int, delay: int = 0, failures: int = 0
+        self,
+        atom_type: str,
+        now: int,
+        delay: int = 0,
+        failures: int = 0,
+        speculative: bool = False,
     ) -> bool:
         """Begin one load (fresh or retry); False when it must be abandoned.
 
@@ -204,10 +316,20 @@ class ReconfigPort:
         an expected consequence of dead containers — the load is dropped
         and the SIs fall back to software.  On a healthy fabric it still
         indicates a scheduler bug and propagates.
+
+        A *speculative* load may fill an empty container or evict a
+        stale atom (one the retained set does not need — the same victim
+        rule normal loads use), but when the current plan needs every
+        loaded atom it is dropped instead of raising.
         """
         try:
             container = self.fabric.begin_load(atom_type, now, self._retained)
         except CapacityError:
+            if speculative:
+                # Nothing evictable: the current selection needs every
+                # loaded atom.  Drop the speculation at zero bus cost.
+                self._spec_dropped.append(atom_type)
+                return False
             if not self.fabric.is_degraded:
                 raise
             self._loads_abandoned += 1
@@ -224,6 +346,7 @@ class ReconfigPort:
         self._in_flight = atom_type
         self._in_flight_container = container.index
         self._in_flight_failures = failures
+        self._in_flight_spec = speculative
         self._busy_until = now + delay + duration
         self._loads_started += 1
         self._busy_cycles += delay + duration
@@ -235,6 +358,7 @@ class ReconfigPort:
                     container_index=container.index,
                     expected_completion=self._busy_until,
                     attempt=failures,
+                    speculative=speculative,
                 )
             )
         return True
@@ -242,6 +366,13 @@ class ReconfigPort:
     def _maybe_start(self, now: int) -> None:
         while self._in_flight is None and self._pending:
             if self._start_load(self._pending.popleft(), now):
+                return
+        # The bus is idle and nothing of the active plan is queued: fill
+        # the window with speculative prefetch loads, if any.
+        while self._in_flight is None and self._spec_pending:
+            if self._start_load(
+                self._spec_pending.popleft(), now, speculative=True
+            ):
                 return
 
     def next_completion(self) -> Optional[int]:
@@ -252,6 +383,7 @@ class ReconfigPort:
         self._in_flight = None
         self._in_flight_container = None
         self._in_flight_failures = 0
+        self._in_flight_spec = False
 
     def _handle_fault(
         self, fault: LoadFault, container, finish: int
@@ -277,7 +409,24 @@ class ReconfigPort:
                 self.tracer.emit(
                     ContainerDead(cycle=finish, container_index=container.index)
                 )
+        speculative = self._in_flight_spec
         self._clear_in_flight()
+        if speculative:
+            # Speculative loads are never retried: the prediction may
+            # already be stale, and retry backoff would hog the bus the
+            # current plan might need.  Settled as a failed speculation.
+            self._spec_failed.append(atom_type)
+            self._loads_abandoned += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    LoadAbandoned(
+                        cycle=finish,
+                        atom_type=atom_type,
+                        reason="speculative-no-retry",
+                    )
+                )
+            self._maybe_start(finish)
+            return
         if self.retry_policy.allows_retry(failures):
             # Backoff is modelled as extra in-flight time of the retry:
             # the port stays "busy" through the gap, keeping completion
@@ -350,6 +499,8 @@ class ReconfigPort:
                     container_index=container.index,
                 )
             )
+            if self._in_flight_spec:
+                self._spec_completed.append(self._in_flight)
             self._loads_completed += 1
             if self.tracer.enabled:
                 self.tracer.emit(

@@ -39,6 +39,9 @@ from .events import (
     LoadFailed,
     LoadRetry,
     LoadStart,
+    PrefetchHit,
+    PrefetchIssued,
+    PrefetchWasted,
     RequestAdmitted,
     RequestCompleted,
     RequestPreempted,
@@ -81,6 +84,9 @@ __all__ = [
     "LoadFailed",
     "LoadRetry",
     "LoadAbandoned",
+    "PrefetchIssued",
+    "PrefetchHit",
+    "PrefetchWasted",
     "Eviction",
     "ContainerDead",
     "SIUpgrade",

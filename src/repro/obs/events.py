@@ -35,6 +35,9 @@ __all__ = [
     "LoadFailed",
     "LoadRetry",
     "LoadAbandoned",
+    "PrefetchIssued",
+    "PrefetchHit",
+    "PrefetchWasted",
     "Eviction",
     "ContainerDead",
     "SIUpgrade",
@@ -245,6 +248,9 @@ class LoadStart(TraceEvent):
     ``cycle`` is when the port accepted the load; retry backoff is part
     of the in-flight time, so ``expected_completion`` already includes
     it.  ``attempt`` is 0 for a fresh load, n for the n-th retry.
+    ``speculative`` marks loads issued by the prefetch scheduler for a
+    *predicted* future hot spot — they only ever fill empty containers,
+    so a speculative load never triggers an :class:`Eviction`.
     """
 
     kind = "load_start"
@@ -253,6 +259,7 @@ class LoadStart(TraceEvent):
     container_index: int
     expected_completion: int
     attempt: int
+    speculative: bool = False
 
 
 @_register
@@ -297,6 +304,71 @@ class LoadAbandoned(TraceEvent):
     """A load was given up on (retry budget or degraded fabric)."""
 
     kind = "load_abandoned"
+
+    atom_type: str
+    reason: str
+
+
+# -- cross-hot-spot prefetch ---------------------------------------------------
+#
+# Prefetch events describe the speculative side channel of the PREFETCH
+# scheduler (:mod:`repro.core.schedulers.prefetch`): atom loads issued
+# for a *predicted* next hot spot during idle windows of the current
+# one.  The differential replay ignores them — their cycle-accounting
+# effect manifests entirely through the SIUpgrade latency timeline.
+# Invariant per run: every issued prefetch is eventually classified,
+# i.e. #PrefetchIssued == #PrefetchHit + #PrefetchWasted.
+
+
+@_register
+@dataclass(frozen=True)
+class PrefetchIssued(TraceEvent):
+    """A speculative atom load was queued for a predicted hot spot.
+
+    ``hot_spot`` is the phase being executed when the speculation was
+    issued; ``predicted_hot_spot`` is the phase the atom is for.
+    ``confidence`` is the transition predictor's score for that phase at
+    issue time (recency-weighted transition frequency in [0, 1]).
+    """
+
+    kind = "prefetch_issued"
+
+    hot_spot: str
+    predicted_hot_spot: str
+    atom_type: str
+    confidence: float
+
+
+@_register
+@dataclass(frozen=True)
+class PrefetchHit(TraceEvent):
+    """A speculative atom turned out to be wanted by the next hot spot.
+
+    Emitted at the hot-spot switch that consumed the speculation;
+    ``hot_spot`` is the phase that materialised and matched.
+    """
+
+    kind = "prefetch_hit"
+
+    hot_spot: str
+    atom_type: str
+
+
+@_register
+@dataclass(frozen=True)
+class PrefetchWasted(TraceEvent):
+    """A speculative atom did not help (misprediction path).
+
+    ``reason`` is the waste taxonomy tag: ``mispredicted`` (the phase
+    that materialised was not the predicted one), ``surplus`` (right
+    phase, but the new selection did not want this atom), ``dropped``
+    (no empty container / queue cancelled before the load started —
+    zero bus cost), ``failed`` (the fault model killed the speculative
+    load; speculative loads are never retried) or ``run_end`` (the run
+    finished before the next switch could consume it).
+    """
+
+    kind = "prefetch_wasted"
 
     atom_type: str
     reason: str

@@ -42,6 +42,9 @@ from .events import (
     LoadFailed,
     LoadRetry,
     LoadStart,
+    PrefetchHit,
+    PrefetchIssued,
+    PrefetchWasted,
     RequestAdmitted,
     RequestCompleted,
     RequestPreempted,
@@ -79,7 +82,9 @@ OBS_SCHEMA = "repro.obs/event-log"
 #: v3: multi-tenant service events (request_admitted / request_shed /
 #: request_preempted / request_completed / degraded_served /
 #: breaker_transition).
-OBS_SCHEMA_VERSION = 3
+#: v4: cross-hot-spot prefetch events (prefetch_issued / prefetch_hit /
+#: prefetch_wasted) and the ``speculative`` flag on load_start.
+OBS_SCHEMA_VERSION = 4
 
 #: The formats :func:`export_events` (and the CLI) understand.
 TRACE_FORMATS = ("json", "chrome", "summary")
@@ -220,6 +225,7 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, Any]:
                 "args": {
                     "atom": event.atom_type,
                     "attempt": event.attempt,
+                    "speculative": event.speculative,
                 },
             }
         )
@@ -352,6 +358,36 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, Any]:
             else:
                 name = f"cell resumed {event.label}"
                 args = {"source": event.source}
+            emit(
+                {
+                    "name": name,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": _SCHED_TID,
+                    "ts": stamp(_SCHED_TID, event.cycle),
+                    "args": args,
+                }
+            )
+        elif isinstance(
+            event, (PrefetchIssued, PrefetchHit, PrefetchWasted)
+        ):
+            # Prefetch events are scheduler-level speculation decisions;
+            # they render as instants on the scheduler track so the
+            # speculate/consume story reads next to the decisions.
+            if isinstance(event, PrefetchIssued):
+                name = f"prefetch {event.atom_type}"
+                args = {
+                    "hot_spot": event.hot_spot,
+                    "predicted": event.predicted_hot_spot,
+                    "confidence": event.confidence,
+                }
+            elif isinstance(event, PrefetchHit):
+                name = f"prefetch hit {event.atom_type}"
+                args = {"hot_spot": event.hot_spot}
+            else:
+                name = f"prefetch wasted {event.atom_type}"
+                args = {"reason": event.reason}
             emit(
                 {
                     "name": name,
@@ -603,6 +639,23 @@ def to_summary_text(events: Sequence[TraceEvent]) -> str:
         elif isinstance(event, CellResumed):
             lines.append(
                 prefix + f"cell {event.label} resumed from {event.source}"
+            )
+        elif isinstance(event, PrefetchIssued):
+            lines.append(
+                prefix
+                + f"prefetch {event.atom_type} for "
+                f"{event.predicted_hot_spot} (in {event.hot_spot}, "
+                f"confidence {event.confidence:.2f})"
+            )
+        elif isinstance(event, PrefetchHit):
+            lines.append(
+                prefix
+                + f"prefetch hit {event.atom_type} ({event.hot_spot})"
+            )
+        elif isinstance(event, PrefetchWasted):
+            lines.append(
+                prefix
+                + f"prefetch wasted {event.atom_type} ({event.reason})"
             )
         elif isinstance(event, RequestAdmitted):
             lines.append(

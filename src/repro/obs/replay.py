@@ -48,6 +48,12 @@ REPLAY_IGNORED_EVENTS: Tuple[str, ...] = (
     "LoadFailed",
     "LoadRetry",
     "LoadAbandoned",
+    # Prefetch bookkeeping: speculative bus activity for a predicted
+    # next hot spot.  Its cycle-accounting effect (earlier upgrades
+    # after the switch) manifests entirely as SIUpgrade latency steps.
+    "PrefetchIssued",
+    "PrefetchHit",
+    "PrefetchWasted",
     "Eviction",
     "ContainerDead",
     "DegradedEnter",

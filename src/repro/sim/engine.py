@@ -96,6 +96,10 @@ class SystemSimulator(ABC):
         never changes results — only wall-clock speed.  The vector path
         emits no trace events, so ``"vector"`` and ``"auto"`` silently
         fall back to the reference engine whenever a tracer is enabled.
+        Systems can force the same fallback via :meth:`_forces_reference`
+        — the RISPP simulator does when cross-hot-spot prefetching is
+        active, since speculative loads cross the phase boundaries the
+        vector executor batches over.
     """
 
     #: Reported in results as the system column.
@@ -156,6 +160,12 @@ class SystemSimulator(ABC):
         self._degraded_cycles = 0
         self._obs_last_latency: Dict[str, int] = {}
         self._obs_degraded = False
+        #: Cross-hot-spot prefetch accounting (stays zero unless a
+        #: concrete system speculates; see :mod:`repro.sim.rispp`).
+        self._prefetch_issued = 0
+        self._prefetch_hits = 0
+        self._prefetch_wasted = 0
+        self._prefetch_wasted_bus_cycles = 0
 
     # -- hooks for the concrete systems ------------------------------------------
 
@@ -184,6 +194,32 @@ class SystemSimulator(ABC):
 
     def _finish(self, trace: HotSpotTrace, context: object) -> None:
         """Hook called after a hot-spot invocation completed."""
+
+    def _forces_reference(self) -> bool:
+        """Whether this system requires the reference trace-replay loop.
+
+        Mirrors the tracer fallback: ``"vector"`` and ``"auto"`` resolve
+        to the reference engine when this returns True.  The base
+        implementation never forces; RISPP does while cross-hot-spot
+        prefetching is active.
+        """
+        return False
+
+    def _after_plan(
+        self, trace: HotSpotTrace, context: object, now: int
+    ) -> None:
+        """Hook called right after the plan was handed to the port.
+
+        Concrete systems may issue speculative work for a predicted next
+        phase here (the port queue now reflects the committed plan).
+        """
+
+    def _run_epilogue(self, now: int) -> None:
+        """Hook called once after the last trace, before run teardown.
+
+        Lets systems settle cross-phase state (e.g. classify leftover
+        speculative loads) so the accounting invariants hold per run.
+        """
 
     def _dispatch_memo_key(
         self, trace: HotSpotTrace, context: object
@@ -244,10 +280,15 @@ class SystemSimulator(ABC):
         ``"vector"`` and ``"auto"`` resolve to the vector executor only
         when no tracer is attached: the vector path constructs no event
         objects (that is where its speed comes from), so traced runs
-        always take the reference loop.  Results are bit-identical
-        either way.
+        always take the reference loop.  Systems that speculate across
+        phase boundaries (:meth:`_forces_reference`) fall back the same
+        way.  Results are bit-identical either way.
         """
-        if self.engine == "reference" or self.tracer.enabled:
+        if (
+            self.engine == "reference"
+            or self.tracer.enabled
+            or self._forces_reference()
+        ):
             return "reference"
         return "vector"
 
@@ -270,6 +311,10 @@ class SystemSimulator(ABC):
         self._degraded_cycles = 0
         self._obs_last_latency = {}
         self._obs_degraded = False
+        self._prefetch_issued = 0
+        self._prefetch_hits = 0
+        self._prefetch_wasted = 0
+        self._prefetch_wasted_bus_cycles = 0
 
     def run(self, workload: Workload) -> SimulationResult:
         """Replay ``workload`` and return the accounted result."""
@@ -329,6 +374,7 @@ class SystemSimulator(ABC):
                     self._decision_event(trace, context, now, atom_sequence)
                 )
             self.port.replace_queue(list(atom_sequence), retained, now)
+            self._after_plan(trace, context, now)
             if vexec is not None:
                 now = vexec.execute(
                     trace, context, now, segments, latency_events,
@@ -351,6 +397,7 @@ class SystemSimulator(ABC):
             )
 
         self._vector_active = False
+        self._run_epilogue(now)
         if tracer.enabled:
             tracer.emit(RunEnd(cycle=now, total_cycles=now))
         if self.metrics is not None:
@@ -385,6 +432,11 @@ class SystemSimulator(ABC):
             loads_abandoned=self.port.loads_abandoned,
             dead_containers=self.fabric.dead_count,
             degraded_cycles=self._degraded_cycles,
+            bus_busy_cycles=self.port.busy_cycles,
+            prefetch_issued=self._prefetch_issued,
+            prefetch_hits=self._prefetch_hits,
+            prefetch_wasted=self._prefetch_wasted,
+            prefetch_wasted_bus_cycles=self._prefetch_wasted_bus_cycles,
             segments=segments,
             latency_events=latency_events,
         )

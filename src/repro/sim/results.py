@@ -131,6 +131,18 @@ class SimulationResult:
     loads_abandoned: int = 0
     dead_containers: int = 0
     degraded_cycles: int = 0
+    #: Total committed reconfiguration-bus occupancy (cycles the port
+    #: spent — or is committed to spend — writing bitstreams, retry
+    #: backoff included).  The denominator of "overhead hidden".
+    bus_busy_cycles: int = 0
+    #: Cross-hot-spot prefetch accounting (all zero unless the PREFETCH
+    #: scheduler speculated).  Invariant per run:
+    #: ``prefetch_issued == prefetch_hits + prefetch_wasted``.
+    prefetch_issued: int = 0
+    prefetch_hits: int = 0
+    prefetch_wasted: int = 0
+    #: Bus cycles spent on speculative loads that did not become hits.
+    prefetch_wasted_bus_cycles: int = 0
     segments: Optional[List[Segment]] = None
     latency_events: Optional[List[LatencyEvent]] = None
 
@@ -223,6 +235,13 @@ class SimulationResult:
             "loads_abandoned": int(self.loads_abandoned),
             "dead_containers": int(self.dead_containers),
             "degraded_cycles": int(self.degraded_cycles),
+            "bus_busy_cycles": int(self.bus_busy_cycles),
+            "prefetch_issued": int(self.prefetch_issued),
+            "prefetch_hits": int(self.prefetch_hits),
+            "prefetch_wasted": int(self.prefetch_wasted),
+            "prefetch_wasted_bus_cycles": int(
+                self.prefetch_wasted_bus_cycles
+            ),
             "segments": None,
             "latency_events": None,
         }
@@ -261,6 +280,13 @@ class SimulationResult:
             loads_abandoned=int(data.get("loads_abandoned", 0)),
             dead_containers=int(data.get("dead_containers", 0)),
             degraded_cycles=int(data.get("degraded_cycles", 0)),
+            bus_busy_cycles=int(data.get("bus_busy_cycles", 0)),
+            prefetch_issued=int(data.get("prefetch_issued", 0)),
+            prefetch_hits=int(data.get("prefetch_hits", 0)),
+            prefetch_wasted=int(data.get("prefetch_wasted", 0)),
+            prefetch_wasted_bus_cycles=int(
+                data.get("prefetch_wasted_bus_cycles", 0)
+            ),
             segments=(
                 None
                 if segments is None

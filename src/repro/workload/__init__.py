@@ -9,13 +9,19 @@ counts.  Two generators exist:
   Table 2 sweeps),
 * the functional encoder in :mod:`repro.h264` — real pixel processing
   that emits the same trace structures (slow; used by examples and
-  cross-validation tests).
+  cross-validation tests),
+* :mod:`repro.workload.adversarial` — seeded phase-misprediction
+  traces that stress the PREFETCH scheduler's transition predictor.
 """
 
 from __future__ import annotations
 
 from .trace import HotSpotTrace, Workload
 from .model import H264WorkloadModel, generate_workload
+from .adversarial import (
+    AdversarialWorkloadModel,
+    generate_adversarial_workload,
+)
 from .io import save_workload, load_workload
 
 __all__ = [
@@ -23,6 +29,8 @@ __all__ = [
     "Workload",
     "H264WorkloadModel",
     "generate_workload",
+    "AdversarialWorkloadModel",
+    "generate_adversarial_workload",
     "save_workload",
     "load_workload",
 ]

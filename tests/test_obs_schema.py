@@ -32,6 +32,7 @@ from repro.sim.rispp import RisppSimulator
 DATA = Path(__file__).parent / "data"
 GOLDEN_LOG = DATA / "golden_event_log.json"
 GOLDEN_CHROME = DATA / "golden_chrome_trace.json"
+GOLDEN_PREFETCH_LOG = DATA / "golden_prefetch_event_log.json"
 
 
 @pytest.fixture(scope="module")
@@ -42,6 +43,26 @@ def pinned_events(h264_library, h264_registry):
         h264_library, h264_registry, get_scheduler("HEF"), 6, tracer=tracer
     )
     sim.run(generate_workload(num_frames=1, seed=2008))
+    return list(tracer)
+
+
+@pytest.fixture(scope="module")
+def pinned_prefetch_events(h264_library, h264_registry):
+    """The pinned speculative run (PREFETCH, 16 ACs, 2 frames).
+
+    16 ACs because that is where the h264 selection leaves fabric slack
+    and speculative loads actually reach the bus — the golden must pin
+    the *speculating* code path, not an all-drops no-op.
+    """
+    tracer = RecordingTracer()
+    sim = RisppSimulator(
+        h264_library,
+        h264_registry,
+        get_scheduler("PREFETCH", confidence=0.3, budget=4),
+        16,
+        tracer=tracer,
+    )
+    sim.run(generate_workload(num_frames=2, seed=2008))
     return list(tracer)
 
 
@@ -84,6 +105,47 @@ def test_unknown_schema_version_rejected(pinned_events):
     bumped["schema_version"] = OBS_SCHEMA_VERSION + 1
     with pytest.raises(ObservabilityError):
         events_from_json_dict(bumped)
+
+
+def test_previous_schema_version_rejected(pinned_events):
+    # v3 logs predate the prefetch events; replaying one against the v4
+    # reader must fail loudly, not silently drop or misread events.
+    log = events_to_json_dict(pinned_events)
+    downgraded = copy.deepcopy(log)
+    downgraded["schema_version"] = OBS_SCHEMA_VERSION - 1
+    with pytest.raises(ObservabilityError):
+        events_from_json_dict(downgraded)
+
+
+def test_golden_prefetch_event_log_matches(pinned_prefetch_events):
+    golden = json.loads(GOLDEN_PREFETCH_LOG.read_text())
+    assert _canonical(events_to_json_dict(pinned_prefetch_events)) == (
+        _canonical(golden)
+    )
+
+
+def test_golden_prefetch_log_round_trips(pinned_prefetch_events):
+    events = events_from_json_dict(
+        json.loads(GOLDEN_PREFETCH_LOG.read_text())
+    )
+    assert events == pinned_prefetch_events
+
+
+def test_golden_prefetch_log_exercises_speculation():
+    # Guard against regenerating the golden from a configuration where
+    # speculation never fires: the pinned log must contain the whole
+    # prefetch event family, including flagged speculative load starts.
+    golden = json.loads(GOLDEN_PREFETCH_LOG.read_text())
+    kinds = [event["kind"] for event in golden["events"]]
+    issued = kinds.count("prefetch_issued")
+    hits = kinds.count("prefetch_hit")
+    wasted = kinds.count("prefetch_wasted")
+    assert issued > 0 and hits > 0
+    assert issued == hits + wasted
+    assert any(
+        event["kind"] == "load_start" and event.get("speculative")
+        for event in golden["events"]
+    )
 
 
 def test_wrong_schema_name_rejected(pinned_events):

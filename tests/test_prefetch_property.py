@@ -1,0 +1,131 @@
+"""Property-based tests for the PREFETCH scheduler's invariants.
+
+Hypothesis draws adversarial misprediction workloads (random phase
+counts, seeds, flip rates and regime shifts) plus random fabric sizes
+and prefetch knobs, and checks the properties the speculative lane
+promises no matter how wrong the predictor is:
+
+* **Determinism** — two fresh simulators over the same inputs produce
+  bit-identical :class:`~repro.sim.results.SimulationResult`s.
+* **Stale-victim rule** — every eviction (speculative or not) removes an
+  atom instance the retained meta-molecule does not need: the currently
+  selected molecules can never lose an atom to speculation.
+* **Settlement identity** — every speculative load settles exactly once:
+  the ``PrefetchIssued`` events equal ``PrefetchHit`` plus
+  ``PrefetchWasted`` events, and the trace counts agree with the result
+  counters.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedulers import PrefetchScheduler
+from repro.fabric.faults import BernoulliLoadFaults, RetryPolicy
+from repro.h264.silibrary import build_atom_registry, build_si_library
+from repro.obs import RecordingTracer
+from repro.sim.rispp import RisppSimulator
+from repro.workload import AdversarialWorkloadModel
+
+REGISTRY = build_atom_registry()
+LIBRARY = build_si_library(REGISTRY)
+
+
+@st.composite
+def prefetch_setup(draw):
+    workload = AdversarialWorkloadModel(
+        num_phases=draw(st.integers(min_value=2, max_value=9)),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+        flip_rate=draw(st.sampled_from([0.0, 0.25, 0.5, 1.0])),
+        mbs_per_phase=draw(st.sampled_from([40, 150, 396])),
+        shift_period=draw(st.sampled_from([0, 2, 5])),
+    ).generate()
+    acs = draw(st.integers(min_value=2, max_value=18))
+    confidence = draw(st.sampled_from([0.1, 0.3, 0.6, 1.0]))
+    budget = draw(st.integers(min_value=1, max_value=6))
+    fault_rate = draw(st.sampled_from([0.0, 0.0, 0.1]))
+    fault_seed = draw(st.integers(min_value=0, max_value=2**16))
+    return workload, acs, confidence, budget, fault_rate, fault_seed
+
+
+def make_sim(acs, confidence, budget, fault_rate, fault_seed, tracer=None):
+    return RisppSimulator(
+        LIBRARY,
+        REGISTRY,
+        PrefetchScheduler(confidence=confidence, budget=budget),
+        acs,
+        fault_model=(
+            BernoulliLoadFaults(fault_rate, seed=fault_seed)
+            if fault_rate
+            else None
+        ),
+        retry_policy=RetryPolicy(max_retries=2, backoff_cycles=100),
+        tracer=tracer,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(setup=prefetch_setup())
+def test_double_run_bit_identical(setup):
+    workload, acs, confidence, budget, fault_rate, fault_seed = setup
+    first = make_sim(acs, confidence, budget, fault_rate, fault_seed).run(
+        workload
+    )
+    second = make_sim(acs, confidence, budget, fault_rate, fault_seed).run(
+        workload
+    )
+    assert first.to_json_dict() == second.to_json_dict()
+
+
+@settings(max_examples=20, deadline=None)
+@given(setup=prefetch_setup())
+def test_evictions_only_remove_stale_atoms(setup):
+    workload, acs, confidence, budget, fault_rate, fault_seed = setup
+    sim = make_sim(acs, confidence, budget, fault_rate, fault_seed)
+    fabric = sim.fabric
+    original_pick = fabric._pick_victim
+
+    def checked_pick(retained):
+        victim = original_pick(retained)
+        if victim is not None:
+            atom_type = victim.atom_type
+            loaded = len(fabric._loaded_groups.get(atom_type, ()))
+            needed = retained.as_dict().get(atom_type, 0)
+            assert loaded > needed, (
+                f"evicted {atom_type!r} with {loaded} loaded but "
+                f"{needed} retained: the current selection lost an atom"
+            )
+        return victim
+
+    fabric._pick_victim = checked_pick
+    result = sim.run(workload)
+    assert result.prefetch_issued == (
+        result.prefetch_hits + result.prefetch_wasted
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(setup=prefetch_setup())
+def test_trace_settlement_matches_counters(setup):
+    workload, acs, confidence, budget, fault_rate, fault_seed = setup
+    tracer = RecordingTracer()
+    sim = make_sim(
+        acs, confidence, budget, fault_rate, fault_seed, tracer=tracer
+    )
+    result = sim.run(workload)
+    kinds = [event.kind for event in tracer.events]
+    issued = kinds.count("prefetch_issued")
+    hits = kinds.count("prefetch_hit")
+    wasted = kinds.count("prefetch_wasted")
+    assert issued == hits + wasted
+    assert issued == result.prefetch_issued
+    assert hits == result.prefetch_hits
+    assert wasted == result.prefetch_wasted
+    # Speculative load starts are flagged and never outnumber issues.
+    speculative_starts = sum(
+        1
+        for event in tracer.events
+        if event.kind == "load_start" and getattr(event, "speculative", False)
+    )
+    assert speculative_starts <= issued

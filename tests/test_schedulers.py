@@ -148,6 +148,21 @@ class TestAllSchedulersSatisfyConditions:
         )
         validate_schedule(schedule, selection)
 
+    def test_nonimproving_selection_still_completes(
+        self, scheduler_cls, space, sis, toy_library
+    ):
+        # m2 (latency 120) is already fully available and the selection
+        # asks for the slower m4 (latency 150): equation (4) cleans away
+        # every candidate, so the only way to satisfy condition (2) is
+        # to commit the selected molecule directly.
+        selection = {"SI1": toy_library.get("SI1").molecule("m4")}
+        available = space.molecule({"A": 2, "B": 2})
+        schedule = scheduler_cls().schedule(
+            selection, sis, available, {"SI1": 100.0}
+        )
+        validate_schedule(schedule, selection, available)
+        assert schedule.loaded_molecule() == space.molecule({"B": 1})
+
     def test_latency_never_increases_along_steps(
         self, scheduler_cls, space, sis, selection, expected
     ):
@@ -282,6 +297,30 @@ class TestLookahead:
     def test_invalid_beam_width(self):
         with pytest.raises(ValueError):
             LookaheadScheduler(beam_width=0)
+
+    def test_empty_beam_falls_back_to_direct_commit(
+        self, space, sis, toy_library
+    ):
+        # Regression: with every candidate cleaned away the beam search
+        # finishes without any steps; the scheduler used to return an
+        # *empty* schedule here, silently violating condition (2).  The
+        # fallback must load exactly the selected molecule's missing
+        # atoms, in importance order.
+        selection = {
+            "SI1": toy_library.get("SI1").molecule("m4"),
+            "SI2": toy_library.get("SI2").molecule("n2"),
+        }
+        # m2 (120 < m4's 150) and n3 (35 < n2's 90) already available:
+        # neither selected molecule improves, both get cleaned.
+        available = space.molecule({"A": 2, "B": 2, "C": 2})
+        schedule = LookaheadScheduler().schedule(
+            selection, sis, available, {"SI1": 10.0, "SI2": 1000.0}
+        )
+        validate_schedule(schedule, selection, available)
+        assert schedule.loaded_molecule() == space.molecule({"B": 1})
+        # Only the incomplete selection entry (m4) needed a step; the
+        # fully available n2 must not be re-scheduled.
+        assert [s.impl.name for s in schedule.steps] == ["m4"]
 
 
 class TestRandom:
