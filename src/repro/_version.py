@@ -1,0 +1,14 @@
+"""The package version, in a leaf module.
+
+Kept out of ``repro/__init__.py`` so low-level modules (e.g. the sweep
+cache's code-version salt in :mod:`repro.exec.cache`) can read the
+version without importing the package root — importing the root from a
+submodule the root itself re-exports would create an initialization
+cycle that only holds together by import order.
+"""
+
+from __future__ import annotations
+
+__all__ = ["__version__"]
+
+__version__ = "1.0.0"

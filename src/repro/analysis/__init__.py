@@ -15,6 +15,8 @@ from .experiments import (
     Fig7Result,
     Fig8Result,
     PrefetchComparisonResult,
+    build_fig4_library,
+    fig7_payload,
     run_figure2,
     run_figure4,
     run_figure7,
@@ -49,6 +51,8 @@ __all__ = [
     "run_figure8",
     "run_prefetch_comparison",
     "speedup_table",
+    "build_fig4_library",
+    "fig7_payload",
     "format_table1",
     "format_table2",
     "format_table3",

@@ -22,14 +22,16 @@ manager's decisions into the fabric model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence
 
 from ..errors import SelectionError, UnknownSpecialInstructionError
 from .molecule import Molecule
 from .monitor import ExecutionMonitor
 from .schedule import Schedule, validate_schedule
-from .schedulers.base import AtomScheduler
-from .scoring import fast_schedule, select_molecules_fast
+from .scoring import ScoringCache, fast_schedule, select_molecules_fast
+
+if TYPE_CHECKING:  # annotation-only: keeps core below the schedulers
+    from .schedulers.base import AtomScheduler
 from .selection import MoleculeSelection, select_molecules
 from .si import MoleculeImpl, SILibrary
 
@@ -86,7 +88,7 @@ class RuntimeManager:
         self._sis_by_name = {si.name: si for si in library}
         # Static-array memo for the fast planning path (repro.core.scoring);
         # keyed by immutable library objects, so it never needs clearing.
-        self._scoring_cache: Dict[object, object] = {}
+        self._scoring_cache: ScoringCache = {}
 
     # -- task III: re-loading decisions --------------------------------------
 

@@ -36,7 +36,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
-from .. import __version__
+from .._version import __version__
 from .spec import SweepCell
 
 __all__ = [

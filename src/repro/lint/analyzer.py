@@ -4,8 +4,16 @@
 relpath — which is also the test seam: fixtures masquerade as e.g.
 ``repro/sim/fixture.py`` to land in a rule's scope.  :func:`run_analysis`
 walks a whole source root, applies every per-module rule to the files in
-its scope, then runs the project-level rules (RL004).  Findings come
-back sorted by ``(path, line, col, rule)`` so reports are stable.
+its scope, runs the project-level rules (RL004), then — when any of
+RL008–RL011 is selected — builds the whole-program model
+(:mod:`repro.lint.graph`) once and runs the program rules over it.
+Findings come back sorted by ``(path, line, col, rule)`` so reports are
+stable.
+
+With a :class:`~repro.lint.cache.LintCache` attached, per-module results
+are reused for files whose content hash and rule-set fingerprint match,
+and the project/program-level results are reused when the *whole tree*
+(plus the external reference roots RL011 reads) is unchanged.
 """
 
 from __future__ import annotations
@@ -13,9 +21,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Set, Tuple
 
+from .cache import LintCache
 from .config import LintConfig
 from .findings import Finding
+from .graph import build_program
 from .rules import RULES, parse_module
+from .rules_program import ProgramRule
 from .schema import ProjectRule
 
 __all__ = ["analyze_source", "run_analysis", "iter_source_files"]
@@ -61,6 +72,8 @@ def analyze_source(
     for rule_id, rule in RULES.items():
         if rule_id not in wanted or isinstance(rule, ProjectRule):
             continue
+        if isinstance(rule, ProgramRule):
+            continue
         if not config.enabled(rule_id):
             continue
         if not config.in_scope(rule_id, relpath):
@@ -69,30 +82,96 @@ def analyze_source(
     return sorted(findings, key=Finding.sort_key)
 
 
+def _external_roots(
+    src_root: Path, config: LintConfig, wanted: Set[str]
+) -> List[Path]:
+    """The extra reference roots the program rules read (RL011)."""
+    if "RL011" not in wanted or not config.enabled("RL011"):
+        return []
+    return [
+        src_root.parent / root
+        for root in config.rule("RL011").get("roots", [])
+    ]
+
+
+def _extra_tree_files(
+    src_root: Path, config: LintConfig, wanted: Set[str]
+) -> List[Path]:
+    """Non-``src`` files whose content the tree-level results depend on."""
+    files: List[Path] = []
+    if "RL004" in wanted and config.enabled("RL004"):
+        fingerprint = config.rule("RL004").get("fingerprint")
+        if fingerprint:
+            files.append(src_root / fingerprint)
+    for root in _external_roots(src_root, config, wanted):
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+    return files
+
+
+def _tree_level_findings(
+    src_root: Path, config: LintConfig, wanted: Set[str]
+) -> List[Finding]:
+    """Project rules (RL004) plus whole-program rules (RL008–RL011)."""
+    findings: List[Finding] = []
+    program = None
+    for rule_id, rule in RULES.items():
+        if rule_id not in wanted or not config.enabled(rule_id):
+            continue
+        if isinstance(rule, ProgramRule):
+            if program is None:
+                program = build_program(src_root)
+            findings.extend(
+                rule.check_program(program, config.rule(rule_id))
+            )
+        elif isinstance(rule, ProjectRule):
+            findings.extend(
+                rule.check_project(src_root, config.rule(rule_id))
+            )
+    return findings
+
+
 def run_analysis(
     src_root: Path,
     config: Optional[LintConfig] = None,
     select: Optional[Iterable[str]] = None,
+    cache: Optional[LintCache] = None,
 ) -> List[Finding]:
-    """Lint every module under ``src_root``, plus the project rules."""
+    """Lint every module under ``src_root``, plus the tree-level rules."""
     config = config if config is not None else LintConfig()
     wanted = _selected(select)
     findings: List[Finding] = []
+    file_hashes: List[Tuple[str, str]] = []
     for path, relpath in iter_source_files(src_root):
-        findings.extend(
-            analyze_source(
-                path.read_text(encoding="utf-8"),
-                relpath,
-                config,
-                select=wanted,
+        source_bytes = path.read_bytes()
+        if cache is not None:
+            file_sha = cache.content_sha(source_bytes)
+            file_hashes.append((relpath, file_sha))
+            cached = cache.get_file(relpath, file_sha)
+            if cached is not None:
+                findings.extend(cached)
+                continue
+        file_findings = analyze_source(
+            source_bytes.decode("utf-8"),
+            relpath,
+            config,
+            select=wanted,
+        )
+        findings.extend(file_findings)
+        if cache is not None:
+            cache.put_file(relpath, file_sha, file_findings)
+    if cache is not None:
+        extra = _extra_tree_files(src_root, config, wanted)
+        tree_key = cache.tree_key(file_hashes, extra)
+        cached_tree = cache.get_tree(tree_key)
+        if cached_tree is not None:
+            findings.extend(cached_tree)
+        else:
+            tree_findings = _tree_level_findings(
+                src_root, config, wanted
             )
-        )
-    for rule_id, rule in RULES.items():
-        if rule_id not in wanted or not isinstance(rule, ProjectRule):
-            continue
-        if not config.enabled(rule_id):
-            continue
-        findings.extend(
-            rule.check_project(src_root, config.rule(rule_id))
-        )
+            cache.put_tree(tree_key, tree_findings)
+            findings.extend(tree_findings)
+    else:
+        findings.extend(_tree_level_findings(src_root, config, wanted))
     return sorted(findings, key=Finding.sort_key)

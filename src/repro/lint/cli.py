@@ -1,20 +1,30 @@
 """``python -m repro lint`` — the repository's static-analysis gate.
 
-Runs every registered rule (RL001-RL006) over the source tree and
-reports findings as ``path:line:col: RLxxx message`` text or as a JSON
-document (``--format json``).  Exit codes: 0 clean, 1 findings, 2 for a
-configuration or usage problem — so the command slots directly into CI.
+Runs every registered rule (RL001–RL011) over the source tree and
+reports findings as ``path:line:col: RLxxx message`` text, as a JSON
+document (``--format json``) or as SARIF 2.1.0 (``--format sarif``, for
+CI upload).  Exit codes: 0 clean, 1 findings, 2 for a configuration or
+usage problem — so the command slots directly into CI.
+
+Results are cached content-addressed under ``artifacts/.lintcache/``
+(``--no-cache`` bypasses it); ``--changed-only`` restricts the *report*
+to files that differ from a git base ref (default ``main``) — the
+whole-program rules still analyze the full tree, because a change in
+one module can create a violation in another, but only findings in
+changed files (plus tree-level config findings) are shown.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from .analyzer import run_analysis
+from .cache import LintCache, ruleset_fingerprint
 from .config import LintConfig, LintConfigError
 from .rules import RULES
 from .schema import write_fingerprint
@@ -54,14 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro lint",
         description=(
             "AST-based invariant analyzer for the simulation core: "
-            "determinism (RL001), tracer guards (RL002), hygiene "
-            "(RL003), event-schema drift (RL004), division-free HEF "
-            "comparisons (RL005) and swallowed exceptions (RL006)."
+            "per-module rules for determinism (RL001), tracer guards "
+            "(RL002), hygiene (RL003), event-schema drift (RL004), "
+            "division-free HEF comparisons (RL005), swallowed "
+            "exceptions (RL006) and wall-clock seams (RL007), plus "
+            "whole-program rules for architecture layering (RL008), "
+            "nondeterministic-iteration taint (RL009), float "
+            "contamination of integer-exact zones (RL010) and dead "
+            "exports (RL011)."
         ),
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default text)",
     )
@@ -86,12 +101,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule IDs to run (default: all)",
     )
     parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the content-hash result cache "
+        "under artifacts/.lintcache/",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report only findings in files that differ from --base "
+        "(per git); the whole-program rules still see the full tree",
+    )
+    parser.add_argument(
+        "--base",
+        default="main",
+        metavar="REF",
+        help="git ref --changed-only diffs against (default main)",
+    )
+    parser.add_argument(
         "--write-fingerprint",
         action="store_true",
         help="re-record the committed event-schema fingerprint "
         "(after a deliberate OBS_SCHEMA_VERSION bump) and exit",
     )
     return parser
+
+
+def _changed_relpaths(src_root: Path, base: str) -> Set[str]:
+    """Source-root relpaths of files differing from ``base`` in git.
+
+    Covers committed, staged and unstaged changes (``git diff <base>``
+    over the working tree).  Raises :class:`LintConfigError` when git
+    cannot answer — a silent empty set would report a dirty tree as
+    clean.
+    """
+    repo_root = src_root.parent
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", base, "--", "."],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError as exc:
+        raise LintConfigError(f"cannot run git for --changed-only: {exc}")
+    if proc.returncode != 0:
+        raise LintConfigError(
+            f"git diff against {base!r} failed: "
+            f"{proc.stderr.strip() or 'unknown git error'}"
+        )
+    prefix = f"{src_root.name}/"
+    changed: Set[str] = set()
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line.startswith(prefix) and line.endswith(".py"):
+            changed.add(line[len(prefix):])
+    return changed
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -118,7 +184,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         print(f"wrote event-schema fingerprint: {target}")
         return 0
-    findings = run_analysis(src_root, config, select=args.select)
+    cache: Optional[LintCache] = None
+    if not args.no_cache:
+        cache = LintCache(
+            src_root.parent / "artifacts" / ".lintcache",
+            ruleset_fingerprint(
+                {rule_id: config.rule(rule_id) for rule_id in RULES},
+                args.select,
+            ),
+        )
+    findings = run_analysis(
+        src_root, config, select=args.select, cache=cache
+    )
+    if args.changed_only:
+        try:
+            changed = _changed_relpaths(src_root, args.base)
+        except LintConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # Keep tree-level findings pinned to config files: a contract
+        # problem is not attributable to any one changed module.
+        findings = [
+            f
+            for f in findings
+            if f.path in changed or f.path == "pyproject.toml"
+        ]
     if args.format == "json":
         print(
             json.dumps(
@@ -130,6 +220,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 },
                 indent=1,
                 sort_keys=True,
+            )
+        )
+    elif args.format == "sarif":
+        from .sarif import sarif_report
+
+        print(
+            json.dumps(
+                sarif_report(findings, src_root), indent=1, sort_keys=True
             )
         )
     else:

@@ -111,6 +111,146 @@ RULE_DEFAULTS: Dict[str, Dict[str, Any]] = {
         # instead of the clock directly.
         "seams": ["_wall_clock"],
     },
+    "RL008": {
+        "enabled": True,
+        # The architecture layering contract.  ``layers`` names ordered
+        # path-glob groups (first match wins — keep specific entries
+        # like trace/obs_protocol/schedulers above their parent
+        # packages); ``imports`` declares which *other* layers each
+        # layer may import (same-layer imports are always allowed,
+        # ``if TYPE_CHECKING:`` imports are exempt).  The declaration
+        # must be a DAG; RL008 verifies that too.
+        "layers": {
+            # Shared leaves: error taxonomy, paper constants, version.
+            "base": [
+                "repro/errors.py",
+                "repro/calibration.py",
+                "repro/_version.py",
+            ],
+            # Workload trace *types* sit below both producers (h264)
+            # and generators (workload) — that is what keeps the
+            # encoder <-> workload relationship acyclic.
+            "trace": ["repro/workload/trace.py", "repro/workload/io.py"],
+            # The tracer protocol + event dataclasses: the only part of
+            # obs the deterministic core may touch.
+            "obs_protocol": ["repro/obs/tracer.py", "repro/obs/events.py"],
+            "obs": ["repro/obs/*"],
+            "schedulers": ["repro/core/schedulers/*"],
+            # The core package root re-exports the schedulers, so it
+            # sits one layer above the plain core modules.
+            "core_api": ["repro/core/__init__.py"],
+            # Runtime manager + vectorized scoring consume the
+            # scheduler implementations, so they sit above them.
+            "core_runtime": [
+                "repro/core/runtime.py",
+                "repro/core/scoring.py",
+            ],
+            "core": ["repro/core/*"],
+            "fabric": ["repro/fabric/*"],
+            "isa": ["repro/isa/*"],
+            "h264": ["repro/h264/*"],
+            "workload": ["repro/workload/*"],
+            "hw": ["repro/hw/*"],
+            "sim": ["repro/sim/*"],
+            "exec": ["repro/exec/*"],
+            "service": ["repro/service/*"],
+            "analysis": ["repro/analysis/*"],
+            "lint": ["repro/lint/*"],
+            "pkg": ["repro/__init__.py"],
+            "cli": ["repro/cli.py", "repro/__main__.py"],
+        },
+        "imports": {
+            "base": [],
+            "trace": ["base"],
+            "obs_protocol": ["base"],
+            "obs": ["base", "obs_protocol"],
+            "core": ["base"],
+            "schedulers": ["base", "core"],
+            "core_runtime": ["base", "core", "schedulers"],
+            "core_api": ["base", "core", "schedulers", "core_runtime"],
+            "fabric": ["base", "core", "obs_protocol"],
+            "isa": ["base", "core"],
+            "h264": ["base", "core", "fabric", "trace"],
+            "workload": ["base", "trace", "h264"],
+            "hw": ["base", "core", "schedulers"],
+            "sim": [
+                "base", "core", "core_runtime", "schedulers", "fabric",
+                "isa", "obs_protocol", "trace",
+            ],
+            "exec": [
+                "base", "core", "schedulers", "fabric", "h264",
+                "sim", "obs", "obs_protocol", "trace", "workload",
+            ],
+            "service": [
+                "base", "core", "core_runtime", "schedulers", "fabric",
+                "h264", "obs", "obs_protocol", "exec", "trace",
+                "workload",
+            ],
+            "analysis": [
+                "base", "core", "schedulers", "fabric", "h264", "hw",
+                "sim", "exec", "trace", "workload",
+            ],
+            "lint": ["base"],
+            "pkg": [
+                "base", "core_api", "fabric", "isa", "h264", "hw",
+                "workload", "trace", "sim", "obs", "exec",
+            ],
+            "cli": [
+                "base", "trace", "obs_protocol", "obs", "core",
+                "schedulers", "core_api", "core_runtime", "fabric",
+                "isa", "h264", "workload", "hw", "sim", "exec",
+                "service", "analysis", "lint", "pkg",
+            ],
+        },
+    },
+    "RL009": {
+        "enabled": True,
+        # Modules where taint *reaching a sink* is reported; the taint
+        # itself is tracked across the whole program regardless.
+        "include": ["repro/*"],
+        "allow": [],
+        # Call-name patterns that are determinism sinks: result
+        # dataclasses, the canonical-JSON chokepoint every journal
+        # line / digest / cache key goes through, and raw hashes.
+        "sink_calls": [
+            "SimulationResult", "Segment", "LatencyEvent",
+            "canonical_json", "cell_key", "sha256", "sha1", "md5",
+            "blake2b",
+        ],
+        # Trace-event constructions (classes resolved to an events
+        # module) are sinks too: event payloads land in golden logs.
+        "sink_events": True,
+        # dict iteration is insertion-ordered on every supported
+        # interpreter and key order is sanitized by sort_keys at the
+        # canonical-JSON chokepoint, so it is not a default source.
+        "taint_dict": False,
+    },
+    "RL010": {
+        "enabled": True,
+        # The integer-exact zones: scheduler benefit logic, both
+        # trace-replay engines, and the service's virtual clock.
+        "include": [
+            "repro/core/schedulers/*",
+            "repro/sim/engine.py",
+            "repro/sim/vector.py",
+            "repro/service/arbiter.py",
+        ],
+        "allow": [],
+        # Name patterns of integer-exact state: cycle counters,
+        # deadline arithmetic, virtual-clock ticks.
+        "sink_names": ["*cycle*", "*deadline*", "virtual_now", "*tick*"],
+    },
+    "RL011": {
+        "enabled": True,
+        "include": ["repro/*"],
+        "allow": [],
+        # Symbols that are deliberate public API even when nothing in
+        # the repository references them yet.
+        "allow_names": [],
+        # Reference roots beyond src/ (relative to the repository
+        # root): anything mentioned here keeps a symbol alive.
+        "roots": ["tests", "benchmarks", "examples", "tools"],
+    },
 }
 
 

@@ -1,0 +1,724 @@
+"""Conservative dataflow core for the whole-program rules.
+
+A deliberately small abstract interpreter over module/function bodies:
+values carry a bitmask of flags, statements update a name -> flags
+environment, and module-level functions get *call summaries* — "returns
+flagged value", "propagates flagged arguments" — that other modules
+resolve through the import graph (:mod:`repro.lint.graph`).  The
+engine is intraprocedural with summaries: no path sensitivity, no
+aliasing, loops approximated by iterating each body to a local fixpoint.
+
+Two semantics plug into the engine:
+
+* :class:`IterationSemantics` (RL009) — ``TAINTED`` marks values whose
+  *order* is nondeterministic (iterating a ``set``/``frozenset``,
+  ``os.listdir``, unsorted ``glob``); ``UNORDERED`` marks set-valued
+  expressions whose iteration produces taint.  ``sorted(...)`` and
+  order-insensitive aggregates (``sum``, ``min``, ``max``, ``len``,
+  ``any``, ``all``) sanitize.
+* :class:`FloatSemantics` (RL010) — ``TAINTED`` marks float-valued
+  expressions (float literals, ``float(...)``, true division,
+  float-returning ``math.*``); ``int()``, ``round(x)`` and the
+  integer-valued ``math`` functions sanitize.
+
+Both are *under*-approximate by design where Python itself guarantees
+determinism: dict/``dict.items()`` iteration is insertion-ordered on
+every supported interpreter, so it is not a default taint source (the
+``taint_dict`` option turns it on for stricter trees).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .graph import Program, ProgramModule
+
+__all__ = [
+    "TAINTED",
+    "UNORDERED",
+    "Summary",
+    "Resolver",
+    "Semantics",
+    "IterationSemantics",
+    "FloatSemantics",
+    "DataflowEngine",
+]
+
+#: Value flag: the value (or its iteration order) is nondeterministic.
+TAINTED = 1
+#: Value flag: set-valued — iterating it yields TAINTED elements.
+UNORDERED = 2
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Call summary of one module-level function."""
+
+    #: flags of the return value with clean arguments.
+    returns: int
+    #: flags of the return value when every argument is flagged.
+    returns_when_args_flagged: int
+
+    def call_flags(self, any_arg_flagged: bool) -> int:
+        if any_arg_flagged:
+            return self.returns | self.returns_when_args_flagged
+        return self.returns
+
+
+def _dotted(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    return ""
+
+
+class Resolver:
+    """Resolve names in one module to project functions/constants."""
+
+    def __init__(self, pm: ProgramModule) -> None:
+        #: local name -> (target relpath, symbol name or None=module)
+        self.bindings: Dict[str, Tuple[str, Optional[str]]] = {}
+        for edge in pm.imports:
+            if edge.bound_name is None:
+                continue
+            self.bindings[edge.bound_name] = (edge.target, edge.symbol)
+
+    def resolve_call(
+        self, func: ast.expr
+    ) -> Optional[Tuple[str, str]]:
+        """``(module relpath, function name)`` for a resolvable callee."""
+        if isinstance(func, ast.Name):
+            bound = self.bindings.get(func.id)
+            if bound is not None and bound[1] is not None:
+                return bound[0], bound[1]
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            bound = self.bindings.get(func.value.id)
+            if bound is not None and bound[1] is None:
+                return bound[0], func.attr
+        return None
+
+
+class Semantics:
+    """Flag semantics one rule plugs into the engine."""
+
+    def literal_flags(self, node: ast.Constant) -> int:
+        return 0
+
+    def call_flags(
+        self,
+        node: ast.Call,
+        dotted: str,
+        arg_flags: int,
+        summary_flags: Optional[int],
+    ) -> int:
+        """Flags of a call result.
+
+        ``dotted`` is the best-effort dotted callee name, ``arg_flags``
+        the union of all argument flags, ``summary_flags`` the resolved
+        project-function summary result (None when unresolvable).
+        """
+        raise NotImplementedError
+
+    def binop_flags(self, node: ast.BinOp, flags: int) -> int:
+        return flags
+
+    def iteration_flags(self, iter_flags: int) -> int:
+        """Flags of a loop/comprehension variable given the iterable's."""
+        return TAINTED if iter_flags & TAINTED else 0
+
+    def display_flags(self, node: ast.expr, element_flags: int) -> int:
+        """Flags of a list/tuple/set/dict literal."""
+        return element_flags & TAINTED
+
+
+_ORDER_PRESERVING = frozenset(
+    ("list", "tuple", "iter", "reversed", "enumerate", "zip", "map",
+     "filter", "next")
+)
+_ORDER_INSENSITIVE = frozenset(
+    ("sum", "min", "max", "len", "any", "all", "abs", "bool", "repr",
+     "sorted", "isinstance", "hash", "id", "print", "format", "getattr",
+     "hasattr", "divmod", "round", "int", "float", "str", "frozenset",
+     "set", "dict", "range")
+)
+_SET_RETURNING_METHODS = frozenset(
+    ("union", "intersection", "difference", "symmetric_difference",
+     "copy")
+)
+_UNORDERED_LISTINGS = frozenset(
+    ("os.listdir", "os.scandir", "glob.glob", "glob.iglob")
+)
+
+
+class IterationSemantics(Semantics):
+    """RL009: nondeterministic-iteration taint."""
+
+    def __init__(self, taint_dict: bool = False) -> None:
+        self.taint_dict = taint_dict
+
+    def literal_flags(self, node: ast.Constant) -> int:
+        return 0
+
+    def call_flags(
+        self,
+        node: ast.Call,
+        dotted: str,
+        arg_flags: int,
+        summary_flags: Optional[int],
+    ) -> int:
+        tail = dotted.rsplit(".", 1)[-1]
+        if dotted in _UNORDERED_LISTINGS:
+            return TAINTED
+        if tail in ("set", "frozenset"):
+            return UNORDERED
+        if self.taint_dict and tail == "dict":
+            return UNORDERED
+        if tail in ("sorted",):
+            return 0
+        if summary_flags is not None:
+            return summary_flags
+        if tail in _ORDER_PRESERVING or tail == "join":
+            # Order-preserving pipelines turn unordered iteration into
+            # a nondeterministically-ordered sequence.
+            if arg_flags & (TAINTED | UNORDERED):
+                return TAINTED
+            return 0
+        if tail == "pop" and arg_flags & UNORDERED:
+            return TAINTED  # set.pop() removes an arbitrary element
+        if tail in _SET_RETURNING_METHODS and arg_flags & UNORDERED:
+            return UNORDERED
+        if tail in _ORDER_INSENSITIVE:
+            return 0
+        if self.taint_dict and tail in ("keys", "values", "items"):
+            return UNORDERED
+        # Unknown callee: tainted arguments flow through, but a plain
+        # set argument is assumed to be consumed order-insensitively.
+        return TAINTED if arg_flags & TAINTED else 0
+
+    def display_flags(self, node: ast.expr, element_flags: int) -> int:
+        if isinstance(node, ast.Set):
+            return UNORDERED
+        if isinstance(node, ast.Dict):
+            return UNORDERED if self.taint_dict else 0
+        return element_flags & TAINTED
+
+    def iteration_flags(self, iter_flags: int) -> int:
+        return TAINTED if iter_flags & (TAINTED | UNORDERED) else 0
+
+
+#: math functions that return ints (or preserve int-ness) — safe.
+_MATH_INT_FUNCS = frozenset(
+    ("floor", "ceil", "trunc", "gcd", "lcm", "isqrt", "comb", "perm",
+     "factorial")
+)
+_FLOAT_SANITIZERS = frozenset(
+    ("int", "len", "bool", "str", "repr", "hash", "id", "isinstance",
+     "range", "ord")
+)
+_FLOAT_PROPAGATORS = frozenset(
+    ("sum", "min", "max", "abs", "sorted", "list", "tuple", "next",
+     "divmod", "pow")
+)
+
+
+class FloatSemantics(Semantics):
+    """RL010: float contamination of integer-exact state."""
+
+    def literal_flags(self, node: ast.Constant) -> int:
+        return TAINTED if isinstance(node.value, float) else 0
+
+    def call_flags(
+        self,
+        node: ast.Call,
+        dotted: str,
+        arg_flags: int,
+        summary_flags: Optional[int],
+    ) -> int:
+        tail = dotted.rsplit(".", 1)[-1]
+        root = dotted.split(".", 1)[0]
+        if tail == "float":
+            return TAINTED
+        if root == "math":
+            return 0 if tail in _MATH_INT_FUNCS else TAINTED
+        if root == "statistics":
+            return TAINTED
+        if tail in _FLOAT_SANITIZERS or tail in _MATH_INT_FUNCS:
+            return 0
+        if tail == "round":
+            # round(x) is an int; round(x, n) keeps the float.
+            return TAINTED if len(node.args) > 1 and arg_flags else 0
+        if summary_flags is not None:
+            return summary_flags
+        if tail in _FLOAT_PROPAGATORS:
+            return arg_flags & TAINTED
+        return arg_flags & TAINTED
+
+    def binop_flags(self, node: ast.BinOp, flags: int) -> int:
+        if isinstance(node.op, ast.Div):
+            return TAINTED  # true division is float-valued, always
+        if isinstance(node.op, (ast.FloorDiv, ast.RShift, ast.LShift,
+                                ast.BitAnd, ast.BitOr, ast.BitXor)):
+            return 0 if not (flags & TAINTED) else flags
+        return flags
+
+    def iteration_flags(self, iter_flags: int) -> int:
+        return iter_flags & TAINTED
+
+
+class Hooks:
+    """Sink callbacks a rule receives during the reporting pass."""
+
+    def on_call(
+        self,
+        pm: ProgramModule,
+        node: ast.Call,
+        arg_flags_list: List[Tuple[Optional[str], int]],
+        resolver: Resolver,
+    ) -> None:
+        """Called at every call site; arg list is (kwarg name, flags)."""
+
+    def on_assign(
+        self,
+        pm: ProgramModule,
+        node: ast.stmt,
+        targets: List[ast.expr],
+        value_flags: int,
+    ) -> None:
+        """Called at every (aug/ann) assignment."""
+
+    def on_return(
+        self,
+        pm: ProgramModule,
+        node: ast.Return,
+        function: str,
+        value_flags: int,
+    ) -> None:
+        """Called at every return with a value."""
+
+
+class DataflowEngine:
+    """Summary computation plus a hook-driven reporting pass."""
+
+    #: fixpoint rounds over the whole program (import cycles are rare
+    #: and shallow; three rounds reach closure on trees twice this size).
+    MAX_ROUNDS = 4
+
+    def __init__(self, program: Program, semantics: Semantics) -> None:
+        self.program = program
+        self.semantics = semantics
+        #: (relpath, function name) -> Summary
+        self.summaries: Dict[Tuple[str, str], Summary] = {}
+        #: (relpath, constant name) -> flags of module-level bindings
+        self.globals: Dict[Tuple[str, str], int] = {}
+        self.resolvers: Dict[str, Resolver] = {
+            relpath: Resolver(pm)
+            for relpath, pm in program.modules.items()
+        }
+
+    # -- summary fixpoint --------------------------------------------------
+
+    def compute_summaries(self) -> None:
+        for _ in range(self.MAX_ROUNDS):
+            changed = False
+            for relpath in sorted(self.program.modules):
+                if self._summarize_module(relpath):
+                    changed = True
+            if not changed:
+                return
+
+    def _summarize_module(self, relpath: str) -> bool:
+        pm = self.program.modules[relpath]
+        changed = False
+        module_env = self._module_env(pm)
+        for name, flags in module_env.items():
+            key = (relpath, name)
+            if self.globals.get(key, 0) != flags:
+                self.globals[key] = flags
+                changed = True
+        for node in pm.module.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            clean = self._analyze_function(
+                pm, node, param_flags=0, base_env=module_env
+            )
+            flagged = self._analyze_function(
+                pm,
+                node,
+                param_flags=TAINTED | UNORDERED,
+                base_env=module_env,
+            )
+            summary = Summary(
+                returns=clean, returns_when_args_flagged=flagged
+            )
+            key = (relpath, node.name)
+            if self.summaries.get(key) != summary:
+                self.summaries[key] = summary
+                changed = True
+        return changed
+
+    def _module_env(self, pm: ProgramModule) -> Dict[str, int]:
+        """Flags of module-level names (imports resolved, body run)."""
+        env: Dict[str, int] = {}
+        resolver = self.resolvers[pm.relpath]
+        for local, (target, symbol) in resolver.bindings.items():
+            if symbol is not None:
+                flags = self.globals.get((target, symbol))
+                if flags:
+                    env[local] = flags
+        walker = _Walker(self, pm, resolver, hooks=None)
+        walker.run_statements(pm.module.tree.body, env, function=None)
+        return env
+
+    def _analyze_function(
+        self,
+        pm: ProgramModule,
+        node: ast.AST,
+        param_flags: int,
+        base_env: Mapping[str, int],
+        hooks: Optional[Hooks] = None,
+    ) -> int:
+        fn = node  # FunctionDef | AsyncFunctionDef
+        env: Dict[str, int] = dict(base_env)
+        args = fn.args  # type: ignore[attr-defined]
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+        ):
+            env[arg.arg] = param_flags
+        if args.vararg is not None:
+            env[args.vararg.arg] = param_flags
+        if args.kwarg is not None:
+            env[args.kwarg.arg] = param_flags
+        walker = _Walker(self, pm, self.resolvers[pm.relpath], hooks)
+        walker.run_statements(
+            fn.body,  # type: ignore[attr-defined]
+            env,
+            function=fn.name,  # type: ignore[attr-defined]
+        )
+        return walker.return_flags
+
+    # -- reporting pass ----------------------------------------------------
+
+    def report(
+        self,
+        hooks: Hooks,
+        in_scope: Callable[[str], bool],
+    ) -> None:
+        """Re-walk in-scope modules with sink hooks enabled.
+
+        Functions are walked with clean parameters — taint must
+        *demonstrably* originate somewhere (a source expression or a
+        flagged callee), not be assumed of every input.
+        """
+        for relpath in sorted(self.program.modules):
+            if not in_scope(relpath):
+                continue
+            pm = self.program.modules[relpath]
+            module_env = self._module_env(pm)
+            resolver = self.resolvers[relpath]
+            walker = _Walker(self, pm, resolver, hooks)
+            walker.run_statements(
+                pm.module.tree.body, dict(module_env), function=None
+            )
+            for node in ast.walk(pm.module.tree):
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    self._analyze_function(
+                        pm, node, 0, module_env, hooks=hooks
+                    )
+
+
+class _Walker:
+    """One statement/expression walk with a mutable environment."""
+
+    def __init__(
+        self,
+        engine: DataflowEngine,
+        pm: ProgramModule,
+        resolver: Resolver,
+        hooks: Optional[Hooks],
+    ) -> None:
+        self.engine = engine
+        self.semantics = engine.semantics
+        self.pm = pm
+        self.resolver = resolver
+        self.hooks = hooks
+        self.return_flags = 0
+        self.function: Optional[str] = None
+
+    # -- statements --------------------------------------------------------
+
+    def run_statements(
+        self,
+        body: Iterable[ast.stmt],
+        env: Dict[str, int],
+        function: Optional[str],
+    ) -> None:
+        self.function = function
+        statements = list(body)
+        # Two passes absorb loop-carried flags (x accumulates taint on
+        # iteration 1, flows into a sink read textually earlier).
+        for _ in range(2):
+            before = dict(env)
+            for statement in statements:
+                self._statement(statement, env)
+            if env == before:
+                break
+
+    def _statement(self, node: ast.stmt, env: Dict[str, int]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are walked separately
+        if isinstance(node, ast.ClassDef):
+            for statement in node.body:
+                self._statement(statement, env)
+            return
+        if isinstance(node, ast.Assign):
+            flags = self._eval(node.value, env)
+            for target in node.targets:
+                self._bind(target, flags, env)
+            if self.hooks is not None:
+                self.hooks.on_assign(self.pm, node, node.targets, flags)
+            return
+        if isinstance(node, ast.AnnAssign):
+            if node.value is None:
+                return
+            flags = self._eval(node.value, env)
+            self._bind(node.target, flags, env)
+            if self.hooks is not None:
+                self.hooks.on_assign(self.pm, node, [node.target], flags)
+            return
+        if isinstance(node, ast.AugAssign):
+            flags = self._eval(node.value, env)
+            if isinstance(node.target, ast.Name):
+                flags |= env.get(node.target.id, 0)
+                env[node.target.id] = flags
+            if self.hooks is not None:
+                self.hooks.on_assign(self.pm, node, [node.target], flags)
+            return
+        if isinstance(node, ast.Return):
+            flags = (
+                self._eval(node.value, env)
+                if node.value is not None
+                else 0
+            )
+            self.return_flags |= flags
+            if (
+                self.hooks is not None
+                and node.value is not None
+                and self.function is not None
+            ):
+                self.hooks.on_return(self.pm, node, self.function, flags)
+            return
+        if isinstance(node, ast.For):
+            iter_flags = self._eval(node.iter, env)
+            self._bind(
+                node.target,
+                self.semantics.iteration_flags(iter_flags),
+                env,
+            )
+            for statement in node.body:
+                self._statement(statement, env)
+            for statement in node.orelse:
+                self._statement(statement, env)
+            return
+        if isinstance(node, (ast.If, ast.While)):
+            self._eval(node.test, env)
+            for statement in node.body:
+                self._statement(statement, env)
+            for statement in node.orelse:
+                self._statement(statement, env)
+            return
+        if isinstance(node, ast.With):
+            for item in node.items:
+                flags = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, flags, env)
+            for statement in node.body:
+                self._statement(statement, env)
+            return
+        if isinstance(node, ast.Try):
+            for statement in node.body:
+                self._statement(statement, env)
+            for handler in node.handlers:
+                for statement in handler.body:
+                    self._statement(statement, env)
+            for statement in node.orelse:
+                self._statement(statement, env)
+            for statement in node.finalbody:
+                self._statement(statement, env)
+            return
+        if isinstance(node, ast.Expr):
+            self._eval(node.value, env)
+            return
+        if isinstance(node, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env)
+            return
+        # Import/Global/Pass/Break/Continue/Delete: no flag flow.
+
+    def _bind(
+        self, target: ast.expr, flags: int, env: Dict[str, int]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if flags:
+                env[target.id] = flags
+            else:
+                env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, flags, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, flags, env)
+        # Attribute/Subscript targets: no field-sensitive tracking.
+
+    # -- expressions -------------------------------------------------------
+
+    def _eval(self, node: ast.expr, env: Dict[str, int]) -> int:
+        semantics = self.semantics
+        if isinstance(node, ast.Name):
+            return env.get(node.id, 0)
+        if isinstance(node, ast.Constant):
+            return semantics.literal_flags(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            flags = self._eval(node.left, env) | self._eval(
+                node.right, env
+            )
+            return semantics.binop_flags(node, flags)
+        if isinstance(node, ast.BoolOp):
+            result = 0
+            for value in node.values:
+                result |= self._eval(value, env)
+            return result
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, ast.Compare):
+            self._eval(node.left, env)
+            for comparator in node.comparators:
+                self._eval(comparator, env)
+            return 0  # comparisons are order-insensitive booleans
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return self._eval(node.body, env) | self._eval(
+                node.orelse, env
+            )
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice, env)
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Attribute):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, (ast.Await, ast.NamedExpr)):
+            inner = self._eval(
+                node.value, env  # type: ignore[union-attr]
+            )
+            if isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                env[node.target.id] = inner
+            return inner
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set, ast.Dict)):
+            element_flags = 0
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    element_flags |= self._eval(child, env)
+            return semantics.display_flags(node, element_flags)
+        if isinstance(
+            node, (ast.ListComp, ast.GeneratorExp, ast.SetComp,
+                   ast.DictComp)
+        ):
+            return self._eval_comprehension(node, env)
+        if isinstance(node, ast.JoinedStr):
+            flags = 0
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    flags |= self._eval(value.value, env)
+            return flags & TAINTED
+        if isinstance(node, ast.Lambda):
+            return 0
+        flags = 0
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                flags |= self._eval(child, env)
+        return flags
+
+    def _eval_call(self, node: ast.Call, env: Dict[str, int]) -> int:
+        arg_flags = 0
+        arg_list: List[Tuple[Optional[str], int]] = []
+        for arg in node.args:
+            flags = self._eval(arg, env)
+            arg_flags |= flags
+            arg_list.append((None, flags))
+        for keyword in node.keywords:
+            flags = self._eval(keyword.value, env)
+            arg_flags |= flags
+            arg_list.append((keyword.arg, flags))
+        # A method receiver feeds the call like an argument.
+        if isinstance(node.func, ast.Attribute):
+            arg_flags |= self._eval(node.func.value, env)
+        summary_flags: Optional[int] = None
+        resolved = self.resolver.resolve_call(node.func)
+        if resolved is not None:
+            summary = self.engine.summaries.get(resolved)
+            if summary is not None:
+                summary_flags = summary.call_flags(bool(arg_flags))
+        elif isinstance(node.func, ast.Name):
+            summary = self.engine.summaries.get(
+                (self.pm.relpath, node.func.id)
+            )
+            if summary is not None:
+                summary_flags = summary.call_flags(bool(arg_flags))
+        if self.hooks is not None:
+            self.hooks.on_call(self.pm, node, arg_list, self.resolver)
+        return self.semantics.call_flags(
+            node, _dotted(node.func), arg_flags, summary_flags
+        )
+
+    def _eval_comprehension(
+        self, node: ast.expr, env: Dict[str, int]
+    ) -> int:
+        local = dict(env)
+        source_flags = 0
+        for generator in node.generators:  # type: ignore[attr-defined]
+            iter_flags = self._eval(generator.iter, local)
+            source_flags |= iter_flags
+            self._bind(
+                generator.target,
+                self.semantics.iteration_flags(iter_flags),
+                local,
+            )
+            for condition in generator.ifs:
+                self._eval(condition, local)
+        if isinstance(node, ast.DictComp):
+            element_flags = self._eval(node.key, local) | self._eval(
+                node.value, local
+            )
+            shell: ast.expr = ast.Dict(keys=[], values=[])
+        elif isinstance(node, ast.SetComp):
+            element_flags = self._eval(node.elt, local)
+            shell = ast.Set(elts=[])
+        else:
+            element_flags = self._eval(
+                node.elt, local  # type: ignore[attr-defined]
+            )
+            shell = ast.List(elts=[], ctx=ast.Load())
+        ordered_taint = self.semantics.iteration_flags(source_flags)
+        return (
+            self.semantics.display_flags(
+                shell, element_flags | ordered_taint
+            )
+        )

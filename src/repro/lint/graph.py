@@ -1,0 +1,227 @@
+"""Project model for the whole-program rules: modules and import graph.
+
+:func:`build_program` parses every module under a source root once and
+resolves its ``import``/``from … import`` statements to *project-internal*
+module paths, producing a :class:`Program` — the substrate RL008–RL011
+and the dataflow core (:mod:`repro.lint.dataflow`) operate on.
+
+Resolution is purely lexical: relative imports are resolved against the
+importing module's package path, absolute imports against the set of
+modules actually present under the root.  ``from pkg.mod import name``
+yields an edge to ``pkg/mod.py`` carrying ``name`` as the imported
+symbol; when ``pkg.mod.name`` is itself a module the edge targets that
+module instead.  Imports of anything not under the root (stdlib, numpy)
+produce no edge.
+
+Imports inside ``if TYPE_CHECKING:`` blocks are recorded with
+``type_checking=True``: they are annotation-only coupling that never
+executes, so the layering contract (RL008) exempts them while the
+symbol table still sees the name binding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .rules import Module, parse_module
+
+__all__ = [
+    "ImportEdge",
+    "ProgramModule",
+    "Program",
+    "build_program",
+    "module_dotted_name",
+]
+
+
+def module_dotted_name(relpath: str) -> Tuple[str, bool]:
+    """``(dotted_name, is_package)`` for a POSIX source relpath."""
+    parts = relpath[: -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        return ".".join(parts[:-1]), True
+    return ".".join(parts), False
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One resolved project-internal import."""
+
+    source: str  #: relpath of the importing module
+    target: str  #: relpath of the imported module
+    symbol: Optional[str]  #: imported name, None for whole-module imports
+    #: local name the import binds (alias-aware), None for ``import a.b``.
+    bound_name: Optional[str]
+    line: int
+    col: int
+    type_checking: bool
+
+
+@dataclass
+class ProgramModule:
+    """One parsed module plus its resolved internal imports."""
+
+    relpath: str
+    dotted: str
+    is_package: bool
+    module: Module
+    imports: List[ImportEdge] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    """Every module under one source root, with the import graph."""
+
+    src_root: Path
+    modules: Dict[str, ProgramModule]  #: relpath -> module
+    #: dotted name -> relpath, for import resolution and lookups.
+    by_dotted: Dict[str, str]
+
+    def edges(self) -> Iterator[ImportEdge]:
+        for relpath in sorted(self.modules):
+            yield from self.modules[relpath].imports
+
+    def module_for_dotted(self, dotted: str) -> Optional[ProgramModule]:
+        relpath = self.by_dotted.get(dotted)
+        return self.modules[relpath] if relpath is not None else None
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """Whether an ``if`` test is (typing.)TYPE_CHECKING."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _under_type_checking(module: Module, node: ast.AST) -> bool:
+    return any(
+        isinstance(ancestor, ast.If)
+        and _is_type_checking_test(ancestor.test)
+        for ancestor in module.ancestors(node)
+    )
+
+
+def _package_parts(dotted: str, is_package: bool) -> List[str]:
+    """The package a module's relative imports are resolved against."""
+    parts = dotted.split(".") if dotted else []
+    return parts if is_package else parts[:-1]
+
+
+def _resolve_from(
+    dotted: str, is_package: bool, node: ast.ImportFrom
+) -> Optional[str]:
+    """Absolute dotted base of a ``from … import`` statement."""
+    if node.level == 0:
+        return node.module
+    package = _package_parts(dotted, is_package)
+    if node.level - 1 > len(package):
+        return None  # escapes the root; nothing internal to resolve
+    base = package[: len(package) - (node.level - 1)]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+class _ImportCollector:
+    """Resolve one module's import statements against the project."""
+
+    def __init__(
+        self, program_module: ProgramModule, by_dotted: Dict[str, str]
+    ) -> None:
+        self.pm = program_module
+        self.by_dotted = by_dotted
+
+    def collect(self) -> None:
+        module = self.pm.module
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                self._collect_import(module, node)
+            elif isinstance(node, ast.ImportFrom):
+                self._collect_import_from(module, node)
+
+    def _add(
+        self,
+        node: ast.stmt,
+        target_dotted: str,
+        symbol: Optional[str],
+        bound_name: Optional[str],
+        type_checking: bool,
+    ) -> None:
+        relpath = self.by_dotted.get(target_dotted)
+        if relpath is None:
+            return  # external module: no project edge
+        self.pm.imports.append(
+            ImportEdge(
+                source=self.pm.relpath,
+                target=relpath,
+                symbol=symbol,
+                bound_name=bound_name,
+                line=node.lineno,
+                col=node.col_offset,
+                type_checking=type_checking,
+            )
+        )
+
+    def _collect_import(self, module: Module, node: ast.Import) -> None:
+        type_checking = _under_type_checking(module, node)
+        for alias in node.names:
+            self._add(
+                node,
+                alias.name,
+                None,
+                alias.asname or alias.name.split(".")[0],
+                type_checking,
+            )
+
+    def _collect_import_from(
+        self, module: Module, node: ast.ImportFrom
+    ) -> None:
+        base = _resolve_from(self.pm.dotted, self.pm.is_package, node)
+        if base is None:
+            return
+        type_checking = _under_type_checking(module, node)
+        for alias in node.names:
+            if alias.name == "*":
+                self._add(node, base, "*", None, type_checking)
+                continue
+            bound = alias.asname or alias.name
+            submodule = f"{base}.{alias.name}"
+            if submodule in self.by_dotted:
+                # ``from pkg import mod`` — the edge is to the module.
+                self._add(node, submodule, None, bound, type_checking)
+            else:
+                self._add(node, base, alias.name, bound, type_checking)
+
+
+def build_program(src_root: Path) -> Program:
+    """Parse every module under ``src_root`` and resolve its imports.
+
+    Unparsable modules are skipped here — the per-module analysis
+    already reports them as RL000, and a whole-program pass over a
+    broken tree would only duplicate that noise.
+    """
+    modules: Dict[str, ProgramModule] = {}
+    by_dotted: Dict[str, str] = {}
+    for path in sorted(src_root.rglob("*.py")):
+        relpath = path.relative_to(src_root).as_posix()
+        try:
+            module = parse_module(
+                path.read_text(encoding="utf-8"), relpath
+            )
+        except (OSError, SyntaxError):
+            continue
+        dotted, is_package = module_dotted_name(relpath)
+        modules[relpath] = ProgramModule(
+            relpath=relpath,
+            dotted=dotted,
+            is_package=is_package,
+            module=module,
+        )
+        by_dotted[dotted] = relpath
+    for pm in modules.values():
+        _ImportCollector(pm, by_dotted).collect()
+    return Program(src_root=src_root, modules=modules, by_dotted=by_dotted)

@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-hosting
+CI surfaces understand natively: uploading the report annotates the
+exact lines in a pull request.  This module maps the linter's model
+onto the minimal conformant subset:
+
+* one ``run`` of one ``tool.driver`` (``repro-lint``), with a rule
+  descriptor per registered rule (``RLxxx`` id + short title);
+* one ``result`` per finding at ``level: error`` — every rule here is a
+  hard contract, there are no warnings;
+* file URIs relative to the repository root (``src/...``) so the
+  annotations line up with the checkout, with 1-based columns as the
+  spec requires (findings carry 0-based ones).
+
+The output is deterministic: findings arrive pre-sorted and the dict is
+serialized with sorted keys by the CLI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+from .._version import __version__
+from .findings import Finding
+from .rules import RULES
+
+__all__ = ["sarif_report"]
+
+#: The SARIF spec version this module emits.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _rule_descriptors() -> List[Dict[str, Any]]:
+    descriptors = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        descriptors.append(
+            {
+                "id": rule_id,
+                "name": getattr(rule, "title", rule_id),
+                "shortDescription": {
+                    "text": (rule.__doc__ or rule_id).strip().splitlines()[0]
+                },
+            }
+        )
+    return descriptors
+
+
+def _result(finding: Finding, uri_prefix: str) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule_id,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f"{uri_prefix}{finding.path}",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def sarif_report(
+    findings: Sequence[Finding], src_root: Path
+) -> Dict[str, Any]:
+    """The findings as one SARIF 2.1.0 document (a plain dict)."""
+    # Repo-relative prefix so PR annotations land on ``src/repro/...``;
+    # fall back to bare relpaths when the root is not named ``src``.
+    uri_prefix = f"{src_root.name}/" if src_root.name else ""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": __version__,
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "results": [
+                    _result(finding, uri_prefix) for finding in findings
+                ],
+            }
+        ],
+    }

@@ -1,0 +1,193 @@
+"""Project symbol table for the whole-program rules.
+
+Per module this extracts, purely from the AST:
+
+* **definitions** — top-level functions, classes and assigned names,
+  with their public/private split (leading underscore);
+* **``__all__``** — the declared export list, when present;
+* **references** — every ``Name`` load and every ``Attribute`` access
+  in the module body (attribute accesses count by attribute name, so
+  ``mod.symbol`` references ``symbol`` without alias tracking).
+
+RL011 (dead exports / ``__all__`` drift) consumes the cross-module
+reference union; the dataflow core resolves imported callees through
+the per-module definition maps.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from .graph import Program, ProgramModule
+
+__all__ = [
+    "SymbolDef",
+    "ModuleSymbols",
+    "module_symbols",
+    "collect_references",
+    "external_references",
+]
+
+
+@dataclass(frozen=True)
+class SymbolDef:
+    """One top-level definition in a module."""
+
+    name: str
+    line: int
+    kind: str  #: "function" | "class" | "constant"
+
+    @property
+    def public(self) -> bool:
+        return not self.name.startswith("_")
+
+
+@dataclass
+class ModuleSymbols:
+    """Top-level definitions, imports and references of one module."""
+
+    relpath: str
+    defs: Dict[str, SymbolDef] = field(default_factory=dict)
+    #: names bound by import statements (alias-aware).
+    imported: Set[str] = field(default_factory=set)
+    #: the ``__all__`` entries in declaration order, None if undeclared.
+    dunder_all: Optional[List[str]] = None
+    dunder_all_line: int = 0
+    #: every Name id / Attribute attr referenced anywhere in the module.
+    references: Set[str] = field(default_factory=set)
+
+
+def _add_def(
+    symbols: ModuleSymbols, name: str, line: int, kind: str
+) -> None:
+    if name not in symbols.defs:
+        symbols.defs[name] = SymbolDef(name=name, line=line, kind=kind)
+
+
+def _assign_names(node: ast.stmt) -> List[Tuple[str, int]]:
+    names: List[Tuple[str, int]] = []
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, ast.AnnAssign):
+        targets = [node.target]
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append((target.id, node.lineno))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    names.append((element.id, node.lineno))
+    return names
+
+
+def _dunder_all_entries(node: ast.stmt) -> Optional[List[str]]:
+    value: Optional[ast.expr] = None
+    if isinstance(node, ast.Assign):
+        if any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in node.targets
+        ):
+            value = node.value
+    elif isinstance(node, ast.AnnAssign):
+        if (
+            isinstance(node.target, ast.Name)
+            and node.target.id == "__all__"
+        ):
+            value = node.value
+    if value is None or not isinstance(value, (ast.List, ast.Tuple)):
+        return None
+    return [
+        element.value
+        for element in value.elts
+        if isinstance(element, ast.Constant)
+        and isinstance(element.value, str)
+    ]
+
+
+def module_symbols(pm: ProgramModule) -> ModuleSymbols:
+    """Extract the symbol table of one parsed module."""
+    symbols = ModuleSymbols(relpath=pm.relpath)
+    for node in pm.module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _add_def(symbols, node.name, node.lineno, "function")
+        elif isinstance(node, ast.ClassDef):
+            _add_def(symbols, node.name, node.lineno, "class")
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            entries = _dunder_all_entries(node)
+            if entries is not None:
+                symbols.dunder_all = entries
+                symbols.dunder_all_line = node.lineno
+                continue
+            for name, line in _assign_names(node):
+                if name != "__all__":
+                    _add_def(symbols, name, line, "constant")
+    for edge in pm.imports:
+        if edge.bound_name is not None:
+            symbols.imported.add(edge.bound_name)
+        elif edge.symbol is not None and edge.symbol != "*":
+            symbols.imported.add(edge.symbol)
+    symbols.references = collect_references(pm.module.tree)
+    return symbols
+
+
+def collect_references(tree: ast.AST) -> Set[str]:
+    """Every bare name and attribute name referenced in a tree."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.ImportFrom):
+            # ``from m import x`` references x (re-export chains).
+            for alias in node.names:
+                names.add(alias.name)
+        elif isinstance(node, ast.Constant) and isinstance(
+            node.value, str
+        ):
+            # Strings count when they look like identifiers: registry
+            # keys, getattr names and __all__ re-export lists all
+            # reference symbols by string.
+            if node.value.isidentifier():
+                names.add(node.value)
+    return names
+
+
+def external_references(
+    program: Program, extra_roots: List[Path]
+) -> Dict[str, Set[str]]:
+    """Reference sets beyond each module's own body.
+
+    Returns ``{relpath: names referenced outside that module}`` — the
+    union of every *other* project module's references plus everything
+    referenced under the extra roots (tests, benchmarks, entrypoint
+    scripts).  A symbol whose name is in its module's set is reachable
+    from outside; one that is not is dead weight.
+    """
+    per_module: Dict[str, Set[str]] = {}
+    for relpath, pm in program.modules.items():
+        per_module[relpath] = module_symbols(pm).references
+    outside: Set[str] = set()
+    for root in extra_roots:
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            try:
+                tree = ast.parse(
+                    path.read_text(encoding="utf-8"), filename=str(path)
+                )
+            except (OSError, SyntaxError):
+                continue
+            outside |= collect_references(tree)
+    result: Dict[str, Set[str]] = {}
+    for relpath in program.modules:
+        others: Set[str] = set(outside)
+        for other_relpath, names in per_module.items():
+            if other_relpath != relpath:
+                others |= names
+        result[relpath] = others
+    return result

@@ -24,7 +24,7 @@ seconds while remaining exact for the modelled semantics.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,11 +46,15 @@ from ..obs.events import (
     SchedulerDecision,
     SIUpgrade,
 )
-from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..workload.trace import HotSpotTrace, Workload
 from .results import LatencyEvent, Segment, SimulationResult
 from .vector import VectorExecutor
+
+if TYPE_CHECKING:
+    # Annotation-only: the deterministic core touches obs solely via
+    # the tracer protocol; the metrics registry is injected by callers.
+    from ..obs.metrics import MetricsRegistry
 
 __all__ = ["SystemSimulator", "ENGINES"]
 

@@ -1,0 +1,1 @@
+"""Dead-code fixture package root."""

@@ -1,0 +1,15 @@
+"""One live export, one dead one, and a drifting ``__all__``."""
+
+__all__ = ["used_helper", "gone_helper", "used_helper"]  # expect: RL011 RL011
+
+
+def used_helper():
+    return 1
+
+
+def dead_helper():  # expect: RL011
+    return 2
+
+
+def _private_helper():
+    return 3

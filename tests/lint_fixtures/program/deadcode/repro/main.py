@@ -1,0 +1,7 @@
+"""The only consumer: keeps ``used_helper`` alive, nothing else."""
+
+from .api import used_helper
+
+
+def _entry():
+    return used_helper()

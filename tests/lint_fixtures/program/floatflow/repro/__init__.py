@@ -1,0 +1,1 @@
+"""Float-flow fixture package root."""

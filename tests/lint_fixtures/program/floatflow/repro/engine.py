@@ -1,0 +1,21 @@
+"""Integer-exact zone: cycle counters and deadline arithmetic."""
+
+from .model import scale_factor, whole_steps
+
+
+def advance(budget):
+    cycle_budget = scale_factor(budget)  # expect: RL010
+    return int(cycle_budget)
+
+
+def advance_exact(budget):
+    cycle_budget = whole_steps(budget)
+    return cycle_budget
+
+
+def deadline_margin(total, parts):
+    return total / parts  # expect: RL010
+
+
+def deadline_margin_exact(total, parts):
+    return total // parts

@@ -1,0 +1,9 @@
+"""Cross-module float source: the float literal lives *here*."""
+
+
+def scale_factor(value):
+    return value * 1.5
+
+
+def whole_steps(value):
+    return value // 4

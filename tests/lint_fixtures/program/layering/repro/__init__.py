@@ -1,0 +1,1 @@
+"""Layering fixture package root."""

@@ -1,0 +1,5 @@
+"""Lowest fixture layer: a plain function the upper layer may use."""
+
+
+def step(state: int) -> int:
+    return state + 1

@@ -1,0 +1,8 @@
+"""A core module reaching *up* into the exec layer — the violation."""
+
+from ..exec.runner import run  # expect: RL008
+from .api import step
+
+
+def tick(state: int) -> int:
+    return run(step(state))

@@ -1,0 +1,10 @@
+"""Annotation-only upward coupling is exempt (TYPE_CHECKING)."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..exec.runner import Runner
+
+
+def describe(runner: "Runner") -> str:
+    return repr(runner)

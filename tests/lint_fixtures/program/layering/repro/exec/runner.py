@@ -1,0 +1,11 @@
+"""Upper fixture layer: may import core, never the reverse."""
+
+from ..core.api import step
+
+
+class Runner:
+    pass
+
+
+def run(state: int) -> int:
+    return step(state)

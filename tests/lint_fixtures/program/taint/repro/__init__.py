@@ -1,0 +1,1 @@
+"""Taint fixture package root."""

@@ -1,0 +1,22 @@
+"""Determinism sinks one module away from the taint source."""
+
+from .pool import stable_names, unstable_names
+
+
+def canonical_json(payload):
+    return repr(payload)
+
+
+def write_entry(table):
+    names = unstable_names(table)
+    return canonical_json(names)  # expect: RL009
+
+
+def write_sorted_entry(table):
+    names = stable_names(table)
+    return canonical_json(names)
+
+
+def write_locally_sorted(table):
+    names = sorted(unstable_names(table))
+    return canonical_json(names)

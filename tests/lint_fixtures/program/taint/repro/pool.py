@@ -1,0 +1,10 @@
+"""Cross-module taint source: the set iteration happens *here*."""
+
+
+def unstable_names(table):
+    names = set(table)
+    return list(names)
+
+
+def stable_names(table):
+    return sorted(set(table))

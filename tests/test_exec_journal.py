@@ -18,7 +18,7 @@ from repro.exec import (
     cell_key,
     read_journal,
 )
-from repro.exec.journal import JOURNAL_FORMAT
+from repro.exec.journal import JOURNAL_FORMAT, JournalState
 
 
 def make_cell(num_acs=4):
@@ -50,6 +50,7 @@ def test_round_trip(tmp_path):
         )
         journal.record_interrupted(pending=1)
     state = read_journal(path, salt="s1")
+    assert isinstance(state, JournalState)
     assert state.payload_for(cell, "s1") == PAYLOAD
     assert state.attempts[cell_key(cell, "s1")] == 2
     assert state.quarantined == {cell_key(other, "s1"): "timeout"}
