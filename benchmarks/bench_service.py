@@ -11,7 +11,10 @@ Runs a fixed, fully deterministic overload scenario through
   behaviour changed, not the machine),
 * ``shed_rate`` and the shed taxonomy,
 * ``service_digest`` — the run's identity; a digest change without an
-  intentional semantic change is a regression.
+  intentional semantic change is a regression,
+* ``snapshot_overhead`` / ``recovery_wall_seconds`` — wall-clock cost
+  of journaling with periodic snapshots, and of a snapshot-anchored
+  recovery after a mid-soak crash (both informational, never gated).
 
 Usage::
 
@@ -32,9 +35,11 @@ a recording harness, not part of the benchmark smoke suite.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -44,9 +49,11 @@ BENCH_PATH = REPO_ROOT / "BENCH_service.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.errors import ServiceCrash  # noqa: E402
 from repro.service import (  # noqa: E402
     ServiceConfig,
     make_tenant_fleet,
+    recover_service,
     run_service,
 )
 
@@ -93,6 +100,9 @@ def run_scenario() -> Dict[str, Any]:
     report = run_service(fleet, config=config, cache=None)
     wall = time.perf_counter() - start
     payload = report.to_json_dict()
+    snap_overhead, recovery_wall = measure_crash_recovery(
+        fleet, config, wall, payload["service_digest"]
+    )
     return {
         "scenario": dict(SCENARIO),
         "wall_seconds": round(wall, 3),
@@ -109,7 +119,57 @@ def run_scenario() -> Dict[str, Any]:
         "p99_latency": payload["p99_latency"],
         "breaker_trips": payload["breaker_trips"],
         "service_digest": payload["service_digest"],
+        "snapshot_overhead": snap_overhead,
+        "recovery_wall_seconds": recovery_wall,
     }
+
+
+def measure_crash_recovery(
+    fleet: Any, config: ServiceConfig, plain_wall: float, digest: str
+) -> tuple:
+    """Wall-clock cost of snapshotting and of crash recovery.
+
+    Runs the scenario again with a journal and periodic snapshots to
+    price the durability machinery (overhead relative to the bare run),
+    then crashes a third run mid-soak and times ``recover_service``.
+    Both numbers are wall-clock and therefore informational only; the
+    recovered digest is still asserted identical so the harness never
+    records timings for a broken recovery.
+    """
+    snapshot_every = max(1, int(config.duration) // 8)
+    crash_at = int(config.duration) // 2
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        journal = Path(tmp) / "service.jsonl"
+        snap_config = dataclasses.replace(
+            config, snapshot_every=snapshot_every
+        )
+        start = time.perf_counter()
+        run_service(fleet, config=snap_config, journal_path=journal)
+        snap_wall = time.perf_counter() - start
+
+        crash_journal = Path(tmp) / "crash.jsonl"
+        try:
+            run_service(
+                fleet,
+                config=snap_config,
+                journal_path=crash_journal,
+                crash_at_tick=crash_at,
+                crash_mode="raise",
+            )
+        except ServiceCrash:
+            pass
+        start = time.perf_counter()
+        report = recover_service(
+            fleet, config=snap_config, journal_path=crash_journal
+        )
+        recovery_wall = time.perf_counter() - start
+        if report.service_digest() != digest:
+            raise SystemExit(
+                "crash recovery diverged from the reference run; "
+                "refusing to record timings"
+            )
+    overhead = (snap_wall - plain_wall) / plain_wall if plain_wall else 0.0
+    return round(overhead, 3), round(recovery_wall, 3)
 
 
 def git_label() -> str:

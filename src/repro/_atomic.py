@@ -1,0 +1,92 @@
+"""Shared durable-file primitives: atomic publish and torn-tail repair.
+
+Every on-disk artifact whose readers must never observe a half-written
+file — sweep-cache payloads, lint-cache entries, service snapshots —
+goes through :func:`atomic_write_text`: write to a same-directory
+temporary file, optionally ``fsync``, then ``os.replace`` onto the
+destination.  POSIX rename atomicity guarantees readers see either the
+old complete file or the new complete file, never a prefix.
+
+Append-only journals cannot be replaced wholesale; their crash mode is
+a *torn final line* (the writer died mid-``write``).  They share
+:func:`trim_torn_tail` instead: truncate the file back to its last
+newline so the intact prefix is all that remains before appending
+resumes.
+
+This module sits in the ``base`` lint layer (RL008) so every layer —
+including ``lint`` itself — may import it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_text", "trim_torn_tail"]
+
+
+def atomic_write_text(
+    path: Union[str, Path],
+    text: str,
+    *,
+    fsync: bool = False,
+    suffix: str = ".tmp",
+) -> Path:
+    """Publish ``text`` at ``path`` atomically; returns the path.
+
+    The temporary file lives in ``path``'s directory (``os.replace``
+    across filesystems is not atomic).  With ``fsync=True`` the data is
+    forced to stable storage before the rename, so a power loss cannot
+    leave the new name pointing at zero-length or stale blocks.  On any
+    failure the temp file is unlinked best-effort and the original
+    error propagates — the destination is never touched.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=".tmp-", suffix=suffix
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        # Best-effort cleanup of the temp file; the original error is
+        # what matters and must propagate.
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    return target
+
+
+def trim_torn_tail(path: Union[str, Path]) -> int:
+    """Truncate a line-oriented file back to its last complete line.
+
+    A writer killed mid-line leaves a file that does not end in a
+    newline; appending onto it would fuse the next record into the
+    garbage.  Truncating to the byte after the last ``\\n`` keeps
+    writer and reader agreeing on the intact prefix — a fully-torn
+    first line means an empty file.  Returns the number of bytes
+    dropped (0 when the file is absent, empty, or already clean).
+    """
+    target = Path(path)
+    try:
+        size = target.stat().st_size
+    except OSError:
+        return 0
+    if size == 0:
+        return 0
+    with open(target, "rb+") as handle:
+        handle.seek(-1, 2)
+        if handle.read(1) == b"\n":
+            return 0
+        handle.seek(0)
+        data = handle.read()
+        keep = data.rfind(b"\n") + 1
+        handle.truncate(keep)
+        return len(data) - keep

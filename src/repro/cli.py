@@ -103,7 +103,7 @@ from .exec import (
     policy_from_env,
     run_sweep,
 )
-from .errors import ObservabilityError, RisppError, SweepError
+from .errors import ObservabilityError, RisppError, ServiceError, SweepError
 from .fabric.faults import BernoulliLoadFaults, FaultModel, RetryPolicy
 from .h264.silibrary import build_atom_registry, build_si_library
 from .obs import TRACE_FORMATS, RecordingTracer, export_events
@@ -365,6 +365,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             journal_path=journal_path,
             resume_from=resume_from,
             chaos=chaos,
+            fsync=args.fsync,
         )
     else:
         report = run_sweep(spec, jobs=jobs, cache=cache)
@@ -587,6 +588,46 @@ def _serve_parser() -> argparse.ArgumentParser:
         help="write the canonical JSONL service journal to PATH",
     )
     parser.add_argument(
+        "--snapshot-every",
+        type=_non_negative_int,
+        default=0,
+        metavar="TICKS",
+        help="write a recovery snapshot every N virtual ticks "
+        "(sidecar files under <journal>.snap/; default 0 = disabled; "
+        "needs --journal)",
+    )
+    parser.add_argument(
+        "--recover",
+        action="store_true",
+        help="resume a crashed run from --journal (and its snapshots) "
+        "instead of starting fresh; every other flag must match the "
+        "crashed invocation",
+    )
+    parser.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every journal line and snapshot to stable storage "
+        "(survives power loss, not just process death)",
+    )
+    parser.add_argument(
+        "--reconfig-at",
+        action="append",
+        default=[],
+        metavar="TICK:ACTION[:ARG]",
+        help="schedule a live reconfiguration (repeatable): "
+        "TICK:tenant_join:NAME, TICK:tenant_leave:NAME, "
+        "TICK:ac_add[:COUNT], TICK:ac_remove[:COUNT]",
+    )
+    parser.add_argument(
+        "--chaos-kill-at",
+        type=_non_negative_int,
+        default=0,
+        metavar="TICK",
+        help="chaos harness: SIGKILL the process just before the first "
+        "event at or after TICK (0 = disabled; recover afterwards "
+        "with --recover)",
+    )
+    parser.add_argument(
         "--report-json",
         default="",
         metavar="PATH",
@@ -616,8 +657,17 @@ def _serve_parser() -> argparse.ArgumentParser:
 
 def serve_main(argv: List[str]) -> int:
     """``repro serve``: run the fabric service and report; exit 0/1."""
+    import dataclasses as _dataclasses
+
     from .obs.metrics import MetricsRegistry
-    from .service import ServiceConfig, make_tenant_fleet, run_service
+    from .service import (
+        ServiceConfig,
+        derive_join_tenant,
+        make_tenant_fleet,
+        parse_reconfig_spec,
+        recover_service,
+        run_service,
+    )
 
     args = _serve_parser().parse_args(argv)
     if args.no_cache:
@@ -632,6 +682,19 @@ def serve_main(argv: List[str]) -> int:
     )
     metrics = MetricsRegistry()
     try:
+        if (args.recover or args.chaos_kill_at) and not args.journal:
+            raise ServiceError(
+                "--recover and --chaos-kill-at need --journal"
+            )
+        control_events = []
+        for text in args.reconfig_at:
+            event = parse_reconfig_spec(text)
+            if event.action == "tenant_join":
+                event = _dataclasses.replace(
+                    event,
+                    spec=derive_join_tenant(event.name, args.seed),
+                )
+            control_events.append(event)
         fleet = make_tenant_fleet(
             args.tenants,
             seed=args.seed,
@@ -644,14 +707,29 @@ def serve_main(argv: List[str]) -> int:
             duration=args.duration,
             seed=args.seed,
             fault_ticks=fault_ticks,
+            snapshot_every=args.snapshot_every,
         )
-        report = run_service(
-            fleet,
-            config,
-            cache=cache,
-            metrics=metrics,
-            journal_path=args.journal or None,
-        )
+        if args.recover:
+            report = recover_service(
+                fleet,
+                config,
+                cache=cache,
+                metrics=metrics,
+                journal_path=args.journal,
+                control_events=control_events,
+                fsync=args.fsync,
+            )
+        else:
+            report = run_service(
+                fleet,
+                config,
+                cache=cache,
+                metrics=metrics,
+                journal_path=args.journal or None,
+                control_events=control_events,
+                crash_at_tick=args.chaos_kill_at or None,
+                fsync=args.fsync,
+            )
     except RisppError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -804,6 +882,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="JOURNAL",
         help="supervised sweep: replay completed cells from a previous "
         "journal bit-identically and run only what is missing",
+    )
+    parser.add_argument(
+        "--fsync",
+        action="store_true",
+        help="supervised sweep: fsync every journal commit line "
+        "(completed/quarantined/interrupted) to stable storage",
     )
     parser.add_argument(
         "--chaos",

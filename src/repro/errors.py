@@ -26,6 +26,8 @@ __all__ = [
     "SweepError",
     "JournalError",
     "ServiceError",
+    "ServiceCrash",
+    "RecoveryError",
 ]
 
 
@@ -146,6 +148,28 @@ class ServiceError(RisppError):
     admitted request that neither completed nor was accounted for).
     Individual *request* failures never raise this — overload is handled
     by shedding at admission and degraded answers, not by exceptions.
+    """
+
+
+class ServiceCrash(ServiceError):
+    """The service was deliberately crashed by the chaos harness.
+
+    Raised by the in-process ``crash_mode="raise"`` variant of the
+    crash injector (the SIGKILL variant never raises — the process is
+    simply gone).  Tests catch this where a real deployment would see a
+    dead process, then exercise ``--recover`` on what is left on disk.
+    """
+
+
+class RecoveryError(ServiceError):
+    """Crash recovery could not reproduce the journaled timeline.
+
+    Raised when re-execution from a restored snapshot (or from scratch)
+    diverges from the on-disk journal tail, or when the journal being
+    recovered is structurally unusable (bad header, wrong salt or
+    format, config fingerprint mismatch).  Divergence means the journal
+    was written by different code, config or cache state — continuing
+    would silently fork history, so the recovery refuses instead.
     """
 
 

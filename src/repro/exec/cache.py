@@ -28,14 +28,12 @@ so workers, resumed sessions and different machines agree on them.
 
 from __future__ import annotations
 
-import contextlib
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
+from .._atomic import atomic_write_text
 from .._version import __version__
 from .spec import SweepCell
 
@@ -193,19 +191,7 @@ class ResultCache:
             "result": result_payload,
         }
         text = json.dumps(artifact, sort_keys=True, indent=1)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp_name, path)
-        except BaseException:
-            # Best-effort cleanup of the temp file; the original error is
-            # what matters and must propagate.
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
+        atomic_write_text(path, text, suffix=".json")
         self.stores += 1
         return path
 

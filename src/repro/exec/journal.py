@@ -26,10 +26,12 @@ Integrity story
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Any, Dict, List, Optional, Union
 
+from .._atomic import trim_torn_tail
 from ..errors import JournalError
 from .cache import CODE_VERSION_SALT, canonical_json, cell_key
 from .spec import SweepCell
@@ -76,17 +78,26 @@ class SweepJournal:
 
     Lines are flushed immediately after each ``record_*`` call, so the
     journal's intact prefix always reflects every *finished* cell even
-    if the supervisor process is killed without warning.
+    if the supervisor process is killed without warning.  With
+    ``fsync=True`` the *commit* lines (completed, quarantined,
+    interrupted — the ones resume decisions hang on) are additionally
+    forced to stable storage, surviving power loss as well as process
+    death; retry lines stay flush-only, they are advisory.
     """
 
     def __init__(
-        self, path: Union[str, Path], salt: str = CODE_VERSION_SALT
+        self,
+        path: Union[str, Path],
+        salt: str = CODE_VERSION_SALT,
+        *,
+        fsync: bool = False,
     ) -> None:
         self.path = Path(path)
         self.salt = str(salt)
+        self.fsync = bool(fsync)
         self._handle: Optional[IO[str]] = None
 
-    def _write(self, record: Dict[str, Any]) -> None:
+    def _write(self, record: Dict[str, Any], commit: bool = False) -> None:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._trim_truncated_tail()
@@ -105,6 +116,8 @@ class SweepJournal:
                 )
         self._handle.write(canonical_json(record) + "\n")
         self._handle.flush()
+        if commit and self.fsync:
+            os.fsync(self._handle.fileno())
 
     def _trim_truncated_tail(self) -> None:
         """Drop a partial final line before appending to the journal.
@@ -117,20 +130,7 @@ class SweepJournal:
         journal contains — a fully-truncated header means an empty file,
         which is then rewritten fresh.
         """
-        try:
-            size = self.path.stat().st_size
-        except OSError:
-            return
-        if size == 0:
-            return
-        with open(self.path, "rb+") as handle:
-            handle.seek(-1, 2)
-            if handle.read(1) == b"\n":
-                return
-            handle.seek(0)
-            data = handle.read()
-            keep = data.rfind(b"\n") + 1
-            handle.truncate(keep)
+        trim_torn_tail(self.path)
 
     def record_completed(
         self,
@@ -150,7 +150,8 @@ class SweepJournal:
                 "attempts": int(attempts),
                 "wall_time": float(wall_time),
                 "result": payload,
-            }
+            },
+            commit=True,
         )
 
     def record_retry(
@@ -186,12 +187,13 @@ class SweepJournal:
                 "attempts": quarantined.attempts,
                 "failure": quarantined.failure,
                 "message": quarantined.message,
-            }
+            },
+            commit=True,
         )
 
     def record_interrupted(self, pending: int) -> None:
         """The sweep drained after SIGINT/SIGTERM with cells pending."""
-        self._write({"kind": "interrupted", "pending": int(pending)})
+        self._write({"kind": "interrupted", "pending": int(pending)}, commit=True)
 
     def close(self) -> None:
         if self._handle is not None:

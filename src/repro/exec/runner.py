@@ -301,6 +301,7 @@ def run_sweep(
     chaos: Optional["ChaosSpec"] = None,
     tracer: Optional["Tracer"] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    fsync: bool = False,
 ) -> SweepReport:
     """Execute a sweep: every cell of ``spec``, cache-first, in parallel.
 
@@ -364,6 +365,7 @@ def run_sweep(
             progress=progress,
             tracer=tracer,
             metrics=metrics,
+            fsync=fsync,
         )
     cells = list(spec.cells() if isinstance(spec, SweepSpec) else spec)
     jobs = max(1, int(jobs))

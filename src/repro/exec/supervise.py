@@ -586,6 +586,7 @@ def run_supervised(
     progress: Optional[Callable[["CellOutcome"], None]] = None,
     tracer: Optional["Tracer"] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    fsync: bool = False,
 ) -> "SweepReport":
     """Execute a sweep under full supervision.
 
@@ -613,6 +614,9 @@ def run_supervised(
     tracer / metrics:
         Supervisor-level observability: retry, quarantine and resume
         events plus ``supervisor.*`` counters.
+    fsync:
+        Force every journal *commit* line (completed / quarantined /
+        interrupted) to stable storage before continuing.
     """
     from ..obs.events import CellResumed
     from .runner import SweepReport
@@ -624,7 +628,7 @@ def run_supervised(
     salt = cache.salt if cache is not None else CODE_VERSION_SALT
     journal: Optional[SweepJournal] = None
     if journal_path is not None:
-        journal = SweepJournal(journal_path, salt=salt)
+        journal = SweepJournal(journal_path, salt=salt, fsync=fsync)
     resume_state = None
     if resume_from is not None:
         resume_state = read_journal(resume_from, salt=salt)

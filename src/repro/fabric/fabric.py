@@ -16,7 +16,7 @@ selection bug, not an expected run-time condition.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.molecule import AtomSpace, Molecule
 from ..errors import CapacityError, ContainerFaultError, FabricError
@@ -65,6 +65,13 @@ class Fabric:
         self._evictions = 0
         self._reserved = 0
         self._dead = 0
+        self._retired = 0
+        #: Index trails for state capture: which containers died (hard
+        #: faults) and which were retired (administrative shrink), in
+        #: order.  A fabric rebuilt by replaying these trails onto a
+        #: fresh array is state-identical for arbitration purposes.
+        self._dead_indices: List[int] = []
+        self._retired_indices: List[int] = []
         #: Loaded containers grouped by atom type, kept current by the
         #: containers' owner notifications (so it stays exact even when
         #: containers are driven directly).  ``_loaded_ver`` bumps on
@@ -131,13 +138,34 @@ class Fabric:
         return self._dead
 
     @property
+    def retired_count(self) -> int:
+        """Number of administratively retired (shrunk-away) containers.
+
+        Kept separate from :attr:`dead_count` so fault accounting —
+        breaker trips, degradation flags — is untouched by deliberate
+        fleet reconfiguration.
+        """
+        return self._retired
+
+    @property
+    def dead_indices(self) -> Tuple[int, ...]:
+        """Indices of hard-faulted containers, in kill order."""
+        return tuple(self._dead_indices)
+
+    @property
+    def retired_indices(self) -> Tuple[int, ...]:
+        """Indices of retired containers, in retirement order."""
+        return tuple(self._retired_indices)
+
+    @property
     def usable_acs(self) -> int:
-        """The *effective* AC budget: total minus dead containers.
+        """The *effective* AC budget: total minus dead and retired.
 
         The Run-Time Manager plans molecule selections against this
-        number, so plans keep fitting as containers die.
+        number, so plans keep fitting as containers die or the fleet
+        is shrunk live.
         """
-        return self.num_acs - self.dead_count
+        return self.num_acs - self.dead_count - self._retired
 
     @property
     def is_degraded(self) -> bool:
@@ -265,6 +293,61 @@ class Fabric:
             container.fail_load()
         container.mark_faulty()
         self._dead += 1
+        self._dead_indices.append(index)
+
+    # -- live reconfiguration --------------------------------------------------
+
+    def retire_container(self, index: int) -> None:
+        """Administratively remove one container from the fleet.
+
+        Retirement reuses the fault plumbing — the container is marked
+        FAULTY so placement, availability and fault injection all skip
+        it — but it is counted separately: :attr:`dead_count`,
+        :attr:`is_degraded` and everything breaker-related see only
+        genuine faults.  A loading atom is lost, exactly as for a kill.
+
+        Raises
+        ------
+        ContainerFaultError
+            For an unknown index or an already dead/retired container.
+        """
+        if not 0 <= index < self.num_acs:
+            raise ContainerFaultError(
+                f"cannot retire AC{index}: fabric has {self.num_acs} "
+                f"containers"
+            )
+        container = self.containers[index]
+        if container.is_faulty:
+            raise ContainerFaultError(
+                f"cannot retire AC{index}: container already "
+                f"dead or retired"
+            )
+        if container.is_loading:
+            container.fail_load()
+        container.mark_faulty()
+        self._retired += 1
+        self._retired_indices.append(index)
+
+    def add_containers(self, count: int) -> Tuple[int, ...]:
+        """Grow the fleet by ``count`` fresh EMPTY containers.
+
+        Returns the indices of the new containers.  New capacity is
+        immediately plannable: :attr:`usable_acs` and :attr:`free_acs`
+        grow by ``count``.
+        """
+        if count < 0:
+            raise FabricError(f"negative AC growth: {count}")
+        new_indices = []
+        for _ in range(count):
+            container = AtomContainer(self.num_acs)
+            container.owner = self
+            self.containers.append(container)
+            self._empty.add(container.index)
+            new_indices.append(container.index)
+            self.num_acs += 1
+        if count:
+            self._loaded_ver += 1
+        return tuple(new_indices)
 
     # -- placement / eviction ----------------------------------------------------
 
@@ -364,6 +447,9 @@ class Fabric:
         self._evictions = 0
         self._reserved = 0
         self._dead = 0
+        self._retired = 0
+        self._dead_indices = []
+        self._retired_indices = []
         self._loaded_groups = {}
         self._avail_counts = [0] * self.registry.space.size
         self._empty = {c.index for c in self.containers}
@@ -373,8 +459,11 @@ class Fabric:
         loaded = sum(1 for c in self.containers if c.is_loaded)
         loading = sum(1 for c in self.containers if c.is_loading)
         dead = self.dead_count
-        empty = self.num_acs - loaded - loading - dead
+        retired = self.retired_count
+        empty = self.num_acs - loaded - loading - dead - retired
         desc = f"{loaded} loaded, {loading} loading, {empty} empty"
         if dead:
             desc += f", {dead} dead"
+        if retired:
+            desc += f", {retired} retired"
         return f"Fabric({self.num_acs} ACs: {desc})"

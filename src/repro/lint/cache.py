@@ -29,11 +29,10 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .._atomic import atomic_write_text
 from .findings import Finding
 
 __all__ = ["LintCache", "ruleset_fingerprint"]
@@ -111,16 +110,7 @@ class LintCache:
         """
         with contextlib.suppress(OSError):
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=self.cache_dir, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(entry, handle, sort_keys=True)
-                os.replace(tmp_name, path)
-            finally:
-                with contextlib.suppress(OSError):
-                    os.unlink(tmp_name)
+            atomic_write_text(path, json.dumps(entry, sort_keys=True))
 
     @staticmethod
     def _decode_findings(raw: Any) -> Optional[List[Finding]]:

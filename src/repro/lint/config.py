@@ -126,6 +126,7 @@ RULE_DEFAULTS: Dict[str, Dict[str, Any]] = {
                 "repro/errors.py",
                 "repro/calibration.py",
                 "repro/_version.py",
+                "repro/_atomic.py",
             ],
             # Workload trace *types* sit below both producers (h264)
             # and generators (workload) — that is what keeps the

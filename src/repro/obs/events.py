@@ -52,6 +52,11 @@ __all__ = [
     "RequestCompleted",
     "DegradedServed",
     "BreakerTransition",
+    "SnapshotWritten",
+    "ServiceRecovered",
+    "TenantJoined",
+    "TenantDrained",
+    "AcRetired",
     "event_from_json_dict",
     "event_kinds",
 ]
@@ -541,9 +546,10 @@ class RequestPreempted(TraceEvent):
     """An in-flight request lost its fabric lease and was re-queued.
 
     ``reason`` is ``priority`` (a higher-priority tenant claimed the
-    capacity) or ``fault`` (container deaths shrank the fabric below
-    the granted leases).  ``backoff`` is the seeded-jitter delay in
-    virtual ticks before the request may be re-dispatched.
+    capacity), ``fault`` (container deaths shrank the fabric below the
+    granted leases) or ``retire`` (a live ``ac_remove`` reconfiguration
+    shrank it).  ``backoff`` is the seeded-jitter delay in virtual
+    ticks before the request may be re-dispatched.
     """
 
     kind = "request_preempted"
@@ -598,3 +604,84 @@ class BreakerTransition(TraceEvent):
 
     state: str
     faults: int
+
+
+@_register
+@dataclass(frozen=True)
+class SnapshotWritten(TraceEvent):
+    """The arbiter persisted a recovery snapshot.
+
+    ``journal_offset`` is the logical length, in bytes, of the journal
+    prefix the snapshot is anchored to — recovery re-executes from here.
+    Snapshot traffic is observability-only: it never enters the journal
+    itself, so digests are independent of the snapshot cadence.
+    """
+
+    kind = "snapshot_written"
+
+    tick: int
+    path: str
+    journal_offset: int
+
+
+@_register
+@dataclass(frozen=True)
+class ServiceRecovered(TraceEvent):
+    """A crashed service run was restored and resumed.
+
+    ``source`` says what the restore started from: ``snapshot`` (latest
+    valid snapshot) or ``replay`` (no usable snapshot — full journal
+    re-execution from tick 0).  ``resume_tick`` is the virtual tick
+    re-execution resumed at; ``tail_lines`` is how many journal lines
+    were re-verified against the regenerated timeline.
+    """
+
+    kind = "service_recovered"
+
+    source: str
+    resume_tick: int
+    tail_lines: int
+
+
+@_register
+@dataclass(frozen=True)
+class TenantJoined(TraceEvent):
+    """A tenant joined the fleet through a live reconfiguration event."""
+
+    kind = "tenant_joined"
+
+    tenant: str
+    priority: str
+    lease_acs: int
+
+
+@_register
+@dataclass(frozen=True)
+class TenantDrained(TraceEvent):
+    """A leaving tenant finished draining: no queued or in-flight work.
+
+    Emitted once per departing tenant, at the tick its last admitted
+    request completed (immediately at the leave tick when it was idle).
+    New arrivals after the leave event are shed as ``draining``.
+    """
+
+    kind = "tenant_drained"
+
+    tenant: str
+    completed: int
+
+
+@_register
+@dataclass(frozen=True)
+class AcRetired(TraceEvent):
+    """A live ``ac_remove`` reconfiguration retired one container.
+
+    ``usable_acs`` is the fleet capacity *after* the retirement;
+    over-committed leases are preempted through the normal preemption
+    path with reason ``retire``.
+    """
+
+    kind = "ac_retired"
+
+    index: int
+    usable_acs: int

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ObservabilityError
 from .events import (
+    AcRetired,
     BreakerTransition,
     CellQuarantined,
     CellResumed,
@@ -52,7 +53,11 @@ from .events import (
     RunEnd,
     RunStart,
     SchedulerDecision,
+    ServiceRecovered,
     SIUpgrade,
+    SnapshotWritten,
+    TenantDrained,
+    TenantJoined,
     TraceEvent,
     event_from_json_dict,
 )
@@ -84,7 +89,10 @@ OBS_SCHEMA = "repro.obs/event-log"
 #: breaker_transition).
 #: v4: cross-hot-spot prefetch events (prefetch_issued / prefetch_hit /
 #: prefetch_wasted) and the ``speculative`` flag on load_start.
-OBS_SCHEMA_VERSION = 4
+#: v5: crash-recovery and live-reconfiguration events
+#: (snapshot_written / service_recovered / tenant_joined /
+#: tenant_drained / ac_retired).
+OBS_SCHEMA_VERSION = 5
 
 #: The formats :func:`export_events` (and the CLI) understand.
 TRACE_FORMATS = ("json", "chrome", "summary")
@@ -408,6 +416,11 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, Any]:
                 RequestCompleted,
                 DegradedServed,
                 BreakerTransition,
+                SnapshotWritten,
+                ServiceRecovered,
+                TenantJoined,
+                TenantDrained,
+                AcRetired,
             ),
         ):
             # Service events live on the arbiter's virtual-tick clock;
@@ -440,6 +453,30 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, Any]:
             elif isinstance(event, DegradedServed):
                 name = f"degraded {event.tenant}/{event.request_id}"
                 args = {"reason": event.reason}
+            elif isinstance(event, SnapshotWritten):
+                name = f"snapshot @{event.tick}"
+                args = {
+                    "path": event.path,
+                    "journal_offset": event.journal_offset,
+                }
+            elif isinstance(event, ServiceRecovered):
+                name = f"recovered ({event.source})"
+                args = {
+                    "resume_tick": event.resume_tick,
+                    "tail_lines": event.tail_lines,
+                }
+            elif isinstance(event, TenantJoined):
+                name = f"join {event.tenant}"
+                args = {
+                    "priority": event.priority,
+                    "lease_acs": event.lease_acs,
+                }
+            elif isinstance(event, TenantDrained):
+                name = f"drained {event.tenant}"
+                args = {"completed": event.completed}
+            elif isinstance(event, AcRetired):
+                name = f"retire AC{event.index}"
+                args = {"usable_acs": event.usable_acs}
             else:
                 name = f"breaker {event.state}"
                 args = {"faults": event.faults}
@@ -697,6 +734,37 @@ def to_summary_text(events: Sequence[TraceEvent]) -> str:
                 prefix
                 + f"breaker -> {event.state} ({event.faults} faults "
                 f"in window)"
+            )
+        elif isinstance(event, SnapshotWritten):
+            lines.append(
+                prefix
+                + f"snapshot @{event.tick} "
+                f"(journal offset {event.journal_offset})"
+            )
+        elif isinstance(event, ServiceRecovered):
+            lines.append(
+                prefix
+                + f"RECOVERED from {event.source} at tick "
+                f"{event.resume_tick} ({event.tail_lines} tail lines "
+                f"verified)"
+            )
+        elif isinstance(event, TenantJoined):
+            lines.append(
+                prefix
+                + f"tenant join {event.tenant} ({event.priority}, "
+                f"{event.lease_acs} ACs)"
+            )
+        elif isinstance(event, TenantDrained):
+            lines.append(
+                prefix
+                + f"tenant drained {event.tenant} "
+                f"({event.completed} completed)"
+            )
+        elif isinstance(event, AcRetired):
+            lines.append(
+                prefix
+                + f"AC{event.index} retired "
+                f"({event.usable_acs} ACs usable)"
             )
         elif isinstance(event, RunEnd):
             lines.append(prefix + f"run end: {event.total_cycles:,} cycles")

@@ -71,6 +71,13 @@ REPLAY_IGNORED_EVENTS: Tuple[str, ...] = (
     "RequestCompleted",
     "DegradedServed",
     "BreakerTransition",
+    # Crash-recovery and live-reconfiguration events: control-plane
+    # bookkeeping on the same virtual-tick clock.
+    "SnapshotWritten",
+    "ServiceRecovered",
+    "TenantJoined",
+    "TenantDrained",
+    "AcRetired",
 )
 
 

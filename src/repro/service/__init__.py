@@ -14,21 +14,48 @@ Entry points: build a fleet with :func:`make_tenant_fleet` (or
 hand-craft :class:`TenantSpec` instances), then call
 :func:`run_service`; the :class:`ServiceReport` it returns carries the
 shed taxonomy, the never-drop invariant and the determinism digests.
+A crashed run (the journal survives; see ``snapshot_every``) is resumed
+with :func:`recover_service`; live reconfiguration is scheduled with
+:class:`ControlEvent` instances (or ``--reconfig-at`` strings parsed by
+:func:`parse_reconfig_spec`).
 """
 
 from .admission import SHED_REASONS, AdmissionController, TokenBucket
-from .arbiter import SERVICE_JOURNAL_FORMAT, ServiceConfig, run_service
+from .arbiter import (
+    SERVICE_JOURNAL_FORMAT,
+    ServiceConfig,
+    recover_service,
+    run_service,
+)
 from .breaker import CircuitBreaker
+from .control import (
+    CONTROL_ACTIONS,
+    ControlEvent,
+    derive_join_tenant,
+    parse_reconfig_spec,
+    validate_control_events,
+)
 from .report import ServiceReport, TenantStats
 from .request import RequestRecord, ServiceRequest, generate_requests
+from .snapshot import (
+    SNAPSHOT_FORMAT,
+    config_fingerprint,
+    list_snapshots,
+    load_latest_snapshot,
+    snapshot_dir,
+    write_snapshot,
+)
 from .tenant import PRIORITY_CLASSES, TenantSpec, make_tenant_fleet
 
 __all__ = [
+    "CONTROL_ACTIONS",
     "PRIORITY_CLASSES",
     "SERVICE_JOURNAL_FORMAT",
     "SHED_REASONS",
+    "SNAPSHOT_FORMAT",
     "AdmissionController",
     "CircuitBreaker",
+    "ControlEvent",
     "RequestRecord",
     "ServiceConfig",
     "ServiceReport",
@@ -36,7 +63,16 @@ __all__ = [
     "TenantSpec",
     "TenantStats",
     "TokenBucket",
+    "config_fingerprint",
+    "derive_join_tenant",
     "generate_requests",
+    "list_snapshots",
+    "load_latest_snapshot",
     "make_tenant_fleet",
+    "parse_reconfig_spec",
+    "recover_service",
     "run_service",
+    "snapshot_dir",
+    "validate_control_events",
+    "write_snapshot",
 ]

@@ -21,11 +21,14 @@ from .tenant import TenantSpec
 
 __all__ = ["SHED_REASONS", "TokenBucket", "AdmissionController"]
 
-#: The shedding taxonomy, in gate order.  ``rate_limited`` /
-#: ``in_flight_cap`` / ``atom_budget`` / ``queue_full`` are the
-#: over-budget reasons; ``deadline`` sheds requests that could not
-#: finish in time even if admitted (per the backlog estimate).
+#: The shedding taxonomy.  ``draining`` is checked first (a leaving
+#: tenant's new arrivals are refused outright); then the gates in
+#: order: ``rate_limited`` / ``in_flight_cap`` / ``atom_budget`` /
+#: ``queue_full`` are the over-budget reasons; ``deadline`` sheds
+#: requests that could not finish in time even if admitted (per the
+#: backlog estimate).
 SHED_REASONS = (
+    "draining",
     "rate_limited",
     "in_flight_cap",
     "atom_budget",
@@ -114,6 +117,18 @@ class AdmissionController:
 
     def ledger_for(self, tenant: str) -> _TenantLedger:
         return self._ledgers[tenant]
+
+    def add_tenant(self, spec: TenantSpec) -> None:
+        """Open a fresh ledger for a tenant joining mid-run."""
+        if spec.name in self._ledgers:
+            raise ServiceError(
+                f"tenant {spec.name!r} already has an admission ledger"
+            )
+        self._ledgers[spec.name] = _TenantLedger(
+            spec=spec,
+            bucket=TokenBucket(spec.burst, spec.rate_interval),
+            est_ticks=self.default_est_ticks,
+        )
 
     def estimate(self, tenant: str) -> int:
         """Current service-time estimate (ticks) for one tenant."""

@@ -26,11 +26,24 @@ scheduling/simulation requests with deadlines, and the service decides
 * **Answer reuse** — results are content-addressed: an in-run memo plus
   the optional :class:`~repro.exec.cache.ResultCache` (read-through)
   serve repeated requests as admission-free cache hits.
+* **Live reconfiguration** — a deterministic
+  :class:`~repro.service.control.ControlEvent` schedule joins/drains
+  tenants and grows/shrinks the AC pool mid-run; leaving tenants finish
+  their admitted work (new arrivals shed as ``draining``), removed
+  containers evict over-committed leases through the normal preemption
+  path (reason ``retire``).
+* **Crash safety** — with ``snapshot_every`` set (and a journal on
+  disk), the arbiter periodically persists its complete state
+  (:mod:`repro.service.snapshot`); :func:`recover_service` restores the
+  newest valid snapshot — or replays from tick 0 — and re-executes,
+  verifying every regenerated journal line byte-for-byte against the
+  on-disk tail, so a run killed at *any* tick recovers to bit-identical
+  digests and reports.
 
 Everything runs on an integer virtual clock with a ``(tick, kind, seq)``
 event heap and seeded randomness only, so a rerun with the same fleet,
-config and a cold cache produces a bit-identical journal and identical
-per-tenant digests.
+config, control schedule and a cold cache produces a bit-identical
+journal and identical per-tenant digests.
 """
 
 from __future__ import annotations
@@ -38,14 +51,18 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import heapq
+import json
+import os
 import random
+import signal
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, TextIO, Tuple, Union
 
+from .._atomic import trim_torn_tail
 from ..core.runtime import RuntimeManager
 from ..core.schedulers import get_scheduler
-from ..errors import ServiceError
+from ..errors import RecoveryError, ServiceCrash, ServiceError
 from ..exec.cache import CODE_VERSION_SALT, ResultCache, canonical_json, cell_key
 from ..exec.runner import execute_cell
 from ..exec.spec import SweepCell
@@ -54,6 +71,7 @@ from ..fabric.fabric import Fabric
 from ..fabric.faults import backoff_delay
 from ..h264.silibrary import HOT_SPOT_SIS, build_atom_registry, build_si_library
 from ..obs.events import (
+    AcRetired,
     BreakerTransition,
     ContainerDead,
     DegradedServed,
@@ -61,24 +79,42 @@ from ..obs.events import (
     RequestCompleted,
     RequestPreempted,
     RequestShed,
+    ServiceRecovered,
+    SnapshotWritten,
+    TenantDrained,
+    TenantJoined,
 )
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer
 from .admission import AdmissionController
 from .breaker import CircuitBreaker
+from .control import ControlEvent, validate_control_events
 from .report import ServiceReport, TenantStats
 from .request import RequestRecord, ServiceRequest, generate_requests
+from .snapshot import (
+    SNAPSHOT_FORMAT,
+    config_fingerprint,
+    load_latest_snapshot,
+    write_snapshot,
+)
 from .tenant import TenantSpec
 
-__all__ = ["SERVICE_JOURNAL_FORMAT", "ServiceConfig", "run_service"]
+__all__ = [
+    "SERVICE_JOURNAL_FORMAT",
+    "ServiceConfig",
+    "run_service",
+    "recover_service",
+]
 
-#: Format tag of the service journal's header line.
-SERVICE_JOURNAL_FORMAT = 1
+#: Format tag of the service journal's header line.  v2 added the
+#: config ``fingerprint`` field (crash recovery cross-checks it).
+SERVICE_JOURNAL_FORMAT = 2
 
 #: Event-kind ranks: at one tick, faults land first (capacity shrinks
-#: before new work), then completions free leases, then arrivals are
-#: admitted, then backoff-gated dispatch polls run.
-_FAULT, _COMPLETE, _ARRIVAL, _DISPATCH = 0, 1, 2, 3
+#: before new work), then control events reshape the fleet, then
+#: completions free leases, then arrivals are admitted, then
+#: backoff-gated dispatch polls run.
+_FAULT, _CONTROL, _COMPLETE, _ARRIVAL, _DISPATCH = 0, 1, 2, 3, 4
 
 #: Fallback admission estimate (ticks) before planning seeds better ones.
 _DEFAULT_EST_TICKS = 24
@@ -89,6 +125,11 @@ _EST_TICKS_PER_ATOM = 6
 
 #: Virtual latency of serving an answer straight from the cache.
 _HIT_LATENCY_TICKS = 1
+
+#: Crash-injection modes: ``sigkill`` kills the process outright (the
+#: subprocess/CI path), ``raise`` throws :class:`ServiceCrash` so
+#: in-process tests can observe the post-crash disk state.
+_CRASH_MODES = ("sigkill", "raise")
 
 
 @dataclass(frozen=True)
@@ -114,6 +155,10 @@ class ServiceConfig:
     breaker_cooldown: int = 800
     #: Virtual ticks at which one container dies (hard-fault storm).
     fault_ticks: Tuple[int, ...] = ()
+    #: Snapshot cadence in virtual ticks; 0 disables snapshots.  The
+    #: cadence is operational only — journal bytes and digests are
+    #: identical whatever its value (snapshots are sidecar files).
+    snapshot_every: int = 0
 
     def __post_init__(self) -> None:
         if self.num_acs < 1:
@@ -150,6 +195,11 @@ class ServiceConfig:
             raise ServiceError(
                 f"fault_ticks must be non-negative: {self.fault_ticks}"
             )
+        if self.snapshot_every < 0:
+            raise ServiceError(
+                f"snapshot_every must be >= 0, got "
+                f"{self.snapshot_every}"
+            )
 
 
 class _ServiceJournal:
@@ -157,20 +207,84 @@ class _ServiceJournal:
 
     The digest is computed over the exact bytes written, so two runs
     agree on the journal digest iff the files are bit-identical —
-    whether or not a file was actually requested.
+    whether or not a file was actually requested.  Every line is
+    flushed as it is written (a SIGKILLed run leaves its complete
+    prefix on disk); ``fsync=True`` additionally forces each line to
+    stable storage.
+
+    In **recovery mode** (:meth:`for_recovery`) the journal starts from
+    an already-on-disk prefix and verifies each regenerated line
+    byte-for-byte against the remaining on-disk tail before switching
+    to appending: any divergence raises :class:`RecoveryError` instead
+    of silently forking history.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]]) -> None:
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]],
+        *,
+        fsync: bool = False,
+    ) -> None:
         self._hash = hashlib.sha256()
         self._handle: Optional[TextIO] = None
+        self._fsync = bool(fsync)
+        #: Logical bytes hashed so far (== file length when on disk).
+        self.offset = 0
+        self._tail: List[str] = []
+        self._tail_pos = 0
         if path is not None:
             self._handle = Path(path).open("w", encoding="ascii")
 
+    @classmethod
+    def for_recovery(
+        cls,
+        path: Union[str, Path],
+        prefix: bytes,
+        tail: List[str],
+        *,
+        fsync: bool = False,
+    ) -> "_ServiceJournal":
+        """A journal resuming an existing file.
+
+        ``prefix`` is the byte region a snapshot anchors to (already
+        hashed, never re-verified here — the snapshot loader checked
+        its SHA); ``tail`` is the list of complete journal lines after
+        the prefix, to be verified against re-execution.  New lines are
+        appended to the file only once the tail is fully consumed.
+        """
+        journal = cls(None, fsync=fsync)
+        journal._hash.update(prefix)
+        journal.offset = len(prefix)
+        journal._tail = list(tail)
+        journal._handle = Path(path).open("a", encoding="ascii")
+        return journal
+
     def write(self, record: Dict[str, Any]) -> None:
         line = canonical_json(record)
-        self._hash.update(line.encode("ascii") + b"\n")
+        data = line.encode("ascii") + b"\n"
+        self._hash.update(data)
+        self.offset += len(data)
+        if self._tail_pos < len(self._tail):
+            expected = self._tail[self._tail_pos]
+            if line != expected:
+                raise RecoveryError(
+                    f"recovery diverged from the journal at line "
+                    f"{self._tail_pos}: regenerated {line!r} but the "
+                    f"journal says {expected!r} — the journal was "
+                    f"written by a different config, code version or "
+                    f"cache state"
+                )
+            self._tail_pos += 1
+            return  # these bytes are already on disk
         if self._handle is not None:
             self._handle.write(line + "\n")
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+
+    def tail_remaining(self) -> int:
+        """Journal tail lines not yet re-verified by re-execution."""
+        return len(self._tail) - self._tail_pos
 
     def digest(self) -> str:
         return self._hash.hexdigest()
@@ -192,6 +306,11 @@ class _Arbiter:
         tracer: Tracer,
         metrics: Optional[MetricsRegistry],
         journal: _ServiceJournal,
+        control_events: Sequence[ControlEvent] = (),
+        crash_at_tick: Optional[int] = None,
+        crash_mode: str = "sigkill",
+        journal_path: Optional[Union[str, Path]] = None,
+        fsync: bool = False,
     ) -> None:
         self.tenants = {tenant.name: tenant for tenant in tenants}
         if len(self.tenants) != len(tenants):
@@ -201,6 +320,18 @@ class _Arbiter:
         self.tracer = tracer
         self.metrics = metrics
         self.journal = journal
+        #: Control schedule in deterministic processing order (tick,
+        #: then position in the caller's list).
+        self.controls: List[ControlEvent] = [
+            event
+            for _, event in sorted(
+                enumerate(control_events),
+                key=lambda item: (item[1].tick, item[0]),
+            )
+        ]
+        self.fingerprint = config_fingerprint(
+            tenants, config, self.controls
+        )
         self.fabric = Fabric(self._registry(), config.num_acs)
         self.admission = AdmissionController(
             tenants,
@@ -219,6 +350,7 @@ class _Arbiter:
             )
             for tenant in tenants
         }
+        self.requests: List[ServiceRequest] = []
         self.records: List[RequestRecord] = []
         self.queue: List[RequestRecord] = []
         self.running: List[RequestRecord] = []
@@ -227,45 +359,66 @@ class _Arbiter:
         self.faults = 0
         self.end_tick = 0
         self._push_seq = 0
+        #: Tenants whose ``tenant_leave`` landed; arrivals shed as
+        #: ``draining``.  ``drained`` ⊆ ``draining``: the subset whose
+        #: admitted work has fully completed.
+        self.draining: Set[str] = set()
+        self.drained: Set[str] = set()
+        self._crash_at = crash_at_tick
+        self._crash_mode = crash_mode
+        self._journal_path = (
+            Path(journal_path) if journal_path is not None else None
+        )
+        self._fsync = bool(fsync)
+        #: True while re-executing a recovered timeline: disk-cache
+        #: reads outside the restored memo are suppressed so the rerun
+        #: cannot see answers the crashed run stored *after* the
+        #: resume point (which would flip misses into hits and diverge
+        #: the journal).
+        self._replaying = False
+        self._next_snapshot = config.snapshot_every
 
     # -- setup -------------------------------------------------------------
 
     def _registry(self) -> AtomRegistry:
         return build_atom_registry()
 
-    def seed_estimates(self) -> None:
-        """Seed per-tenant admission estimates from leased planning.
+    def _planning_estimate(self, tenant: TenantSpec) -> int:
+        """One tenant's plan-derived admission estimate (ticks).
 
-        For each tenant and each of its hot spots, the run-time manager
-        plans against the tenant's *lease* (zero included — that is the
-        pure-software plan); the scheduled-atom count prices the
-        request.  This is the paper's planning machinery answering the
-        service's triage question before any traffic flows.
+        For each of the tenant's hot spots, the run-time manager plans
+        against the tenant's *lease* (zero included — that is the pure
+        software plan); the scheduled-atom count prices the request.
+        This is the paper's planning machinery answering the service's
+        triage question before any traffic flows.
         """
         registry = build_atom_registry()
         library = build_si_library(registry)
         empty = library.space.molecule({})
-        for name in sorted(self.tenants):
-            tenant = self.tenants[name]
-            manager = RuntimeManager(
-                library,
-                get_scheduler(tenant.scheduler),
-                num_acs=self.config.num_acs,
+        manager = RuntimeManager(
+            library,
+            get_scheduler(tenant.scheduler),
+            num_acs=self.config.num_acs,
+        )
+        estimates: List[int] = []
+        for hot_spot in tenant.hot_spots:
+            plan = manager.plan_with_lease(
+                hot_spot,
+                HOT_SPOT_SIS[hot_spot],
+                empty,
+                tenant.lease_acs,
             )
-            estimates: List[int] = []
-            for hot_spot in tenant.hot_spots:
-                plan = manager.plan_with_lease(
-                    hot_spot,
-                    HOT_SPOT_SIS[hot_spot],
-                    empty,
-                    tenant.lease_acs,
-                )
-                estimates.append(
-                    _EST_BASE_TICKS
-                    + _EST_TICKS_PER_ATOM * plan.num_scheduled_atoms
-                )
+            estimates.append(
+                _EST_BASE_TICKS
+                + _EST_TICKS_PER_ATOM * plan.num_scheduled_atoms
+            )
+        return sum(estimates) // len(estimates)
+
+    def seed_estimates(self) -> None:
+        """Seed every tenant's admission estimate from leased planning."""
+        for name in sorted(self.tenants):
             self.admission.seed_estimate(
-                name, sum(estimates) // len(estimates)
+                name, self._planning_estimate(self.tenants[name])
             )
 
     # -- event plumbing ----------------------------------------------------
@@ -308,6 +461,12 @@ class _Arbiter:
         payload = self.memo.get(key)
         if payload is not None:
             return payload
+        if self._replaying:
+            # Recovery: the disk cache may hold answers the crashed run
+            # stored after the resume point.  The original run saw a
+            # miss here (every disk hit is memoised, and the memo was
+            # restored), so the rerun must miss too.
+            return None
         if self.cache is not None and self.cache.contains(cell):
             payload = self.cache.get(cell)
             if payload is not None:
@@ -321,12 +480,18 @@ class _Arbiter:
         memoised = self.memo.get(key)
         if memoised is not None:
             return memoised, True
-        if self.cache is not None:
+        if self.cache is not None and not self._replaying:
             payload, hit = self.cache.read_through(
                 cell, lambda: execute_cell(cell).to_json_dict()
             )
         else:
+            # No cache — or recovering, where a disk read could surface
+            # post-crash answers the original run computed itself.  The
+            # original's read-through miss computed and stored; do the
+            # same, so the cache stays complete and ``hit`` agrees.
             payload, hit = execute_cell(cell).to_json_dict(), False
+            if self.cache is not None:
+                self.cache.put(cell, payload)
         self.memo[key] = payload
         return payload, hit
 
@@ -349,16 +514,19 @@ class _Arbiter:
     # -- the event loop ----------------------------------------------------
 
     def run(self) -> ServiceReport:
-        requests = generate_requests(
-            list(self.tenants.values()),
-            self.config.duration,
-            self.config.seed,
+        self.requests = list(
+            generate_requests(
+                list(self.tenants.values()),
+                self.config.duration,
+                self.config.seed,
+            )
         )
         self.journal.write(
             {
                 "kind": "header",
                 "format": SERVICE_JOURNAL_FORMAT,
                 "salt": self._salt(),
+                "fingerprint": self.fingerprint,
                 "seed": self.config.seed,
                 "duration": self.config.duration,
                 "num_acs": self.config.num_acs,
@@ -366,26 +534,47 @@ class _Arbiter:
             }
         )
         self.seed_estimates()
-        for index, request in enumerate(requests):
+        for index, request in enumerate(self.requests):
             self.push(request.arrival, _ARRIVAL, index)
         for tick in self.config.fault_ticks:
             self.push(tick, _FAULT)
+        for index, _event in enumerate(self.controls):
+            self.push(self.controls[index].tick, _CONTROL, index)
+        return self._run_loop()
+
+    def run_recovered(self) -> ServiceReport:
+        """Resume a restored timeline: the heap already holds the rest."""
+        return self._run_loop()
+
+    def _run_loop(self) -> ServiceReport:
         while self.heap:
             tick, kind, _seq, a, b = heapq.heappop(self.heap)
             now = self.end_tick = max(self.end_tick, tick)
+            if self._crash_at is not None and now >= self._crash_at:
+                self._crash(now)
             transition = self.breaker.poll(now)
             if transition is not None:
                 self._breaker_event(now, transition)
             if kind == _FAULT:
                 self._on_fault(now)
+            elif kind == _CONTROL:
+                self._on_control(now, self.controls[a])
             elif kind == _COMPLETE:
                 self._on_complete(now, a, b)
             elif kind == _ARRIVAL:
-                self._on_arrival(now, requests[a])
+                self._on_arrival(now, self.requests[a])
             # _DISPATCH events carry no payload: the dispatch pass below
             # runs after *every* event anyway; the heap entry only
             # guarantees the loop wakes up when a backoff gate opens.
             self._dispatch(now)
+            if (
+                self._journal_path is not None
+                and self.config.snapshot_every > 0
+                and not self._replaying
+                and now >= self._next_snapshot
+                and self.heap
+            ):
+                self._write_snapshot(now)
         if self.queue or self.running:
             raise ServiceError(
                 f"arbiter drained its event heap with {len(self.queue)} "
@@ -393,12 +582,54 @@ class _Arbiter:
             )
         return self._report()
 
+    def _crash(self, now: int) -> None:
+        """The chaos hook: die *before* processing this tick's event.
+
+        Journal lines are flushed as written, so the on-disk prefix is
+        exactly the lines the run produced before this tick — the state
+        recovery re-executes against.
+        """
+        if self._crash_mode == "raise":
+            raise ServiceCrash(
+                f"injected crash at tick {now} (crash_mode=raise)"
+            )
+        os.kill(os.getpid(), signal.SIGKILL)
+
     # -- event handlers ----------------------------------------------------
+
+    def _shed(self, now: int, request: ServiceRequest, reason: str) -> None:
+        stats = self.stats[request.tenant]
+        stats.shed[reason] = stats.shed.get(reason, 0) + 1
+        self._count(f"service.shed.{reason}")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                RequestShed(
+                    cycle=now,
+                    tenant=request.tenant,
+                    request_id=request.request_id,
+                    reason=reason,
+                )
+            )
+        self.journal.write(
+            {
+                "kind": "shed",
+                "tick": now,
+                "tenant": request.tenant,
+                "request": request.request_id,
+                "reason": reason,
+            }
+        )
 
     def _on_arrival(self, now: int, request: ServiceRequest) -> None:
         stats = self.stats[request.tenant]
         stats.submitted += 1
         self._count("service.submitted")
+        if request.tenant in self.draining:
+            # Graceful drain: a leaving tenant's new arrivals are shed
+            # before any cache probe — the tenant is *going away*, not
+            # entitled to admission-free answers.
+            self._shed(now, request, "draining")
+            return
         cell = self._cell_for(request, degraded=False)
         payload = self._probe(cell)
         if payload is not None:
@@ -442,26 +673,7 @@ class _Arbiter:
             ),
         )
         if reason is not None:
-            stats.shed[reason] = stats.shed.get(reason, 0) + 1
-            self._count(f"service.shed.{reason}")
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    RequestShed(
-                        cycle=now,
-                        tenant=request.tenant,
-                        request_id=request.request_id,
-                        reason=reason,
-                    )
-                )
-            self.journal.write(
-                {
-                    "kind": "shed",
-                    "tick": now,
-                    "tenant": request.tenant,
-                    "request": request.request_id,
-                    "reason": reason,
-                }
-            )
+            self._shed(now, request, reason)
             return
         stats.admitted += 1
         self._count("service.admitted")
@@ -514,8 +726,11 @@ class _Arbiter:
         transition = self.breaker.on_fault(now)
         if transition is not None:
             self._breaker_event(now, transition)
-        # Shrunken fabric: force-preempt the lowest-priority leases
-        # until the granted leases fit the remaining capacity again.
+        self._preempt_overcommitted(now, "fault")
+
+    def _preempt_overcommitted(self, now: int, reason: str) -> None:
+        """Shrunken fabric: force-preempt the lowest-priority leases
+        until the granted leases fit the remaining capacity again."""
         while self.fabric.overcommitted_acs > 0:
             holders = [r for r in self.running if r.holds_lease]
             if not holders:
@@ -527,7 +742,161 @@ class _Arbiter:
                     -r.request.seq,
                 )
             )
-            self._preempt(holders[0], now, "fault")
+            self._preempt(holders[0], now, reason)
+
+    # -- live reconfiguration ----------------------------------------------
+
+    def _on_control(self, now: int, event: ControlEvent) -> None:
+        if event.action == "tenant_join":
+            self._control_join(now, event)
+        elif event.action == "tenant_leave":
+            self._control_leave(now, event)
+        elif event.action == "ac_add":
+            self._control_ac_add(now, event)
+        else:
+            self._control_ac_remove(now, event)
+
+    def _control_join(self, now: int, event: ControlEvent) -> None:
+        spec = event.spec
+        assert spec is not None  # validate_control_events enforced it
+        self.tenants[spec.name] = spec
+        self.stats[spec.name] = TenantStats(
+            name=spec.name, priority=spec.priority
+        )
+        self.admission.add_tenant(spec)
+        self.admission.seed_estimate(
+            spec.name, self._planning_estimate(spec)
+        )
+        self._count("service.tenants_joined")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TenantJoined(
+                    cycle=now,
+                    tenant=spec.name,
+                    priority=spec.priority,
+                    lease_acs=spec.lease_acs,
+                )
+            )
+        self.journal.write(
+            {
+                "kind": "control",
+                "action": "tenant_join",
+                "tick": now,
+                "tenant": spec.name,
+            }
+        )
+        # The joining tenant's request stream: seeded from the service
+        # seed and the tenant *name* (exactly like the initial fleet's
+        # streams), started relative to the join tick.  Global sequence
+        # numbers continue from the current request table, so the
+        # stream — and every arbitration tie-break — is a pure function
+        # of (fleet, config, control schedule).
+        rng = random.Random(f"{self.config.seed}:{spec.name}")
+        low = max(1, spec.mean_gap // 2)
+        high = max(low, spec.mean_gap * 3 // 2)
+        tick = now + low + rng.randrange(high - low + 1)
+        counter = 0
+        while tick < self.config.duration:
+            hot_spot = spec.hot_spots[rng.randrange(len(spec.hot_spots))]
+            variant = rng.randrange(spec.variants)
+            request = ServiceRequest(
+                tenant=spec.name,
+                request_id=f"{spec.name}-r{counter:04d}",
+                hot_spot=hot_spot,
+                variant=variant,
+                arrival=tick,
+                deadline=tick + spec.deadline_slack,
+                lease_acs=spec.lease_acs,
+                priority=spec.priority_rank,
+                seq=len(self.requests),
+            )
+            self.requests.append(request)
+            self.push(tick, _ARRIVAL, request.seq)
+            counter += 1
+            tick += low + rng.randrange(high - low + 1)
+
+    def _control_leave(self, now: int, event: ControlEvent) -> None:
+        self.draining.add(event.name)
+        self._count("service.tenants_leaving")
+        self.journal.write(
+            {
+                "kind": "control",
+                "action": "tenant_leave",
+                "tick": now,
+                "tenant": event.name,
+            }
+        )
+        self._check_drained(now, event.name)
+
+    def _control_ac_add(self, now: int, event: ControlEvent) -> None:
+        self.fabric.add_containers(event.count)
+        self._count("service.acs_added", event.count)
+        self.journal.write(
+            {
+                "kind": "control",
+                "action": "ac_add",
+                "tick": now,
+                "count": event.count,
+                "num_acs": self.fabric.num_acs,
+            }
+        )
+
+    def _control_ac_remove(self, now: int, event: ControlEvent) -> None:
+        for _ in range(event.count):
+            candidates = [
+                c.index
+                for c in self.fabric.containers
+                if not c.is_faulty
+            ]
+            if not candidates:
+                break
+            index = candidates[-1]  # stale-victim style: highest live
+            self.fabric.retire_container(index)
+            self._count("service.acs_retired")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    AcRetired(
+                        cycle=now,
+                        index=index,
+                        usable_acs=self.fabric.usable_acs,
+                    )
+                )
+            self.journal.write(
+                {
+                    "kind": "control",
+                    "action": "ac_remove",
+                    "tick": now,
+                    "container": index,
+                    "usable_acs": self.fabric.usable_acs,
+                }
+            )
+        self._preempt_overcommitted(now, "retire")
+
+    def _check_drained(self, now: int, name: str) -> None:
+        """Emit the drain completion once a leaver has no work left."""
+        if name not in self.draining or name in self.drained:
+            return
+        if any(r.request.tenant == name for r in self.queue):
+            return
+        if any(r.request.tenant == name for r in self.running):
+            return
+        self.drained.add(name)
+        completed = self.stats[name].completed
+        self._count("service.tenants_drained")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TenantDrained(
+                    cycle=now, tenant=name, completed=completed
+                )
+            )
+        self.journal.write(
+            {
+                "kind": "drained",
+                "tick": now,
+                "tenant": name,
+                "completed": completed,
+            }
+        )
 
     def _on_complete(self, now: int, index: int, epoch: int) -> None:
         record = self.records[index]
@@ -592,6 +961,7 @@ class _Arbiter:
                 "digest": record.digest,
             }
         )
+        self._check_drained(now, request.tenant)
 
     def _breaker_event(self, now: int, state: str) -> None:
         if state == "open":
@@ -791,6 +1161,227 @@ class _Arbiter:
             }
         )
 
+    # -- snapshot / restore ------------------------------------------------
+
+    _RECORD_FIELDS = (
+        "status",
+        "admitted",
+        "index",
+        "est_ticks",
+        "not_before",
+        "preemptions",
+        "epoch",
+        "started",
+        "completed",
+        "degraded",
+        "cache_hit",
+        "holds_lease",
+        "service_ticks",
+        "digest",
+        "degrade_reason",
+    )
+
+    def _capture_state(self, now: int) -> Dict[str, Any]:
+        """The complete mutable state of the run at ``now`` (JSON-able).
+
+        Captured *between* heap events: the heap holds everything still
+        pending, so restoring this dict and re-entering the loop is the
+        exact continuation of the original run.
+        """
+        rng_state = self.rng.getstate()
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "salt": self._salt(),
+            "fingerprint": self.fingerprint,
+            "tick": now,
+            "journal_offset": self.journal.offset,
+            "journal_sha": self.journal.digest(),
+            "end_tick": self.end_tick,
+            "push_seq": self._push_seq,
+            "heap": [list(entry) for entry in self.heap],
+            "requests": [
+                dataclasses.asdict(request) for request in self.requests
+            ],
+            "records": [
+                dict(
+                    {"seq": record.request.seq},
+                    **{
+                        name: getattr(record, name)
+                        for name in self._RECORD_FIELDS
+                    },
+                )
+                for record in self.records
+            ],
+            "queue": [record.index for record in self.queue],
+            "running": [record.index for record in self.running],
+            "active_tenants": sorted(self.tenants),
+            "stats": {
+                name: {
+                    "priority": stats.priority,
+                    "submitted": stats.submitted,
+                    "admitted": stats.admitted,
+                    "completed": stats.completed,
+                    "degraded": stats.degraded,
+                    "cache_hits": stats.cache_hits,
+                    "preemptions": stats.preemptions,
+                    "shed": stats.shed,
+                    "latencies": stats.latencies,
+                    "completions": stats.completions,
+                }
+                for name, stats in self.stats.items()
+            },
+            "admission": {
+                name: {
+                    "tokens": ledger.bucket.tokens,
+                    "bucket_last": ledger.bucket._last,
+                    "in_flight": ledger.in_flight,
+                    "leased_atoms": ledger.leased_atoms,
+                    "est_ticks": ledger.est_ticks,
+                }
+                for name, ledger in (
+                    (name, self.admission.ledger_for(name))
+                    for name in sorted(self.tenants)
+                )
+            },
+            "breaker": {
+                "trips": self.breaker.trips,
+                "state": self.breaker.state,
+                "open_until": self.breaker._open_until,
+                "faults": list(self.breaker._faults),
+            },
+            "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+            "memo": self.memo,
+            "fabric": {
+                "num_acs": self.fabric.num_acs,
+                "dead": list(self.fabric.dead_indices),
+                "retired": list(self.fabric.retired_indices),
+                "reserved": self.fabric.reserved_acs,
+            },
+            "faults": self.faults,
+            "draining": sorted(self.draining),
+            "drained": sorted(self.drained),
+        }
+
+    def _write_snapshot(self, now: int) -> None:
+        assert self._journal_path is not None
+        state = self._capture_state(now)
+        path = write_snapshot(
+            self._journal_path, state, fsync=self._fsync
+        )
+        self._next_snapshot = now + self.config.snapshot_every
+        self._count("service.snapshots")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SnapshotWritten(
+                    cycle=now,
+                    tick=now,
+                    path=str(path),
+                    journal_offset=int(state["journal_offset"]),
+                )
+            )
+
+    def _restore_state(self, state: Dict[str, Any]) -> None:
+        """Rebuild the arbiter from a validated snapshot dict.
+
+        Immutable structure (tenant specs) is *re-derived* from the
+        initial fleet plus the control schedule's join specs; only
+        mutable state is deserialised.
+        """
+        spec_by_name: Dict[str, TenantSpec] = dict(self.tenants)
+        for event in self.controls:
+            if event.action == "tenant_join" and event.spec is not None:
+                spec_by_name[event.name] = event.spec
+        try:
+            active: List[str] = list(state["active_tenants"])
+            self.tenants = {
+                name: spec_by_name[name] for name in active
+            }
+            self.requests = [
+                ServiceRequest(**raw) for raw in state["requests"]
+            ]
+            by_seq = {
+                request.seq: request for request in self.requests
+            }
+            self.records = []
+            for raw in state["records"]:
+                record = RequestRecord(request=by_seq[raw["seq"]])
+                for name in self._RECORD_FIELDS:
+                    setattr(record, name, raw[name])
+                self.records.append(record)
+            self.queue = [self.records[i] for i in state["queue"]]
+            self.running = [self.records[i] for i in state["running"]]
+            self.heap = [
+                (
+                    int(e[0]),
+                    int(e[1]),
+                    int(e[2]),
+                    int(e[3]),
+                    int(e[4]),
+                )
+                for e in state["heap"]
+            ]
+            self._push_seq = int(state["push_seq"])
+            self.end_tick = int(state["end_tick"])
+            self.faults = int(state["faults"])
+            self.draining = set(state["draining"])
+            self.drained = set(state["drained"])
+            self.memo = dict(state["memo"])
+            self.stats = {}
+            for name, raw_stats in state["stats"].items():
+                stats = TenantStats(
+                    name=name, priority=raw_stats["priority"]
+                )
+                stats.submitted = raw_stats["submitted"]
+                stats.admitted = raw_stats["admitted"]
+                stats.completed = raw_stats["completed"]
+                stats.degraded = raw_stats["degraded"]
+                stats.cache_hits = raw_stats["cache_hits"]
+                stats.preemptions = raw_stats["preemptions"]
+                stats.shed = dict(raw_stats["shed"])
+                stats.latencies = list(raw_stats["latencies"])
+                stats.completions = list(raw_stats["completions"])
+                self.stats[name] = stats
+            self.admission = AdmissionController(
+                [spec_by_name[name] for name in active],
+                queue_limit=self.config.queue_limit,
+                default_est_ticks=_DEFAULT_EST_TICKS,
+            )
+            for name, raw_ledger in state["admission"].items():
+                ledger = self.admission.ledger_for(name)
+                ledger.bucket.tokens = int(raw_ledger["tokens"])
+                ledger.bucket._last = int(raw_ledger["bucket_last"])
+                ledger.in_flight = int(raw_ledger["in_flight"])
+                ledger.leased_atoms = int(raw_ledger["leased_atoms"])
+                ledger.est_ticks = int(raw_ledger["est_ticks"])
+            raw_breaker = state["breaker"]
+            self.breaker.trips = int(raw_breaker["trips"])
+            self.breaker._state = str(raw_breaker["state"])
+            self.breaker._open_until = int(raw_breaker["open_until"])
+            self.breaker._faults = [
+                int(t) for t in raw_breaker["faults"]
+            ]
+            raw_rng = state["rng"]
+            self.rng.setstate(
+                (raw_rng[0], tuple(raw_rng[1]), raw_rng[2])
+            )
+            raw_fabric = state["fabric"]
+            self.fabric = Fabric(self._registry(), self.config.num_acs)
+            grown = int(raw_fabric["num_acs"]) - self.config.num_acs
+            if grown > 0:
+                self.fabric.add_containers(grown)
+            for index in raw_fabric["dead"]:
+                self.fabric.kill_container(int(index))
+            for index in raw_fabric["retired"]:
+                self.fabric.retire_container(int(index))
+            # Leases are restored verbatim: reserve_acs() would reject
+            # the over-committed case a fault storm legitimately leaves
+            # behind, so the counter is set directly.
+            self.fabric._reserved = int(raw_fabric["reserved"])
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise RecoveryError(
+                f"snapshot is structurally invalid: {exc!r}"
+            ) from exc
+
     # -- reporting ---------------------------------------------------------
 
     def _report(self) -> ServiceReport:
@@ -819,15 +1410,35 @@ def run_service(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     journal_path: Optional[Union[str, Path]] = None,
+    control_events: Sequence[ControlEvent] = (),
+    crash_at_tick: Optional[int] = None,
+    crash_mode: str = "sigkill",
+    fsync: bool = False,
 ) -> ServiceReport:
     """Run the multi-tenant fabric arbitration service to completion.
 
     Arrivals stop at ``config.duration`` ticks; the run then drains
     every admitted request (the virtual clock keeps advancing), so the
     report's never-drop invariant is checked over the *whole* stream.
+
+    ``control_events`` schedules live reconfiguration; it is validated
+    up front and enters the journal header's config fingerprint.
+    ``crash_at_tick`` arms the chaos crash injector: the run dies
+    immediately before processing the first event at or after that tick
+    (``crash_mode="sigkill"`` kills the process, ``"raise"`` raises
+    :class:`~repro.errors.ServiceCrash`).  ``fsync`` forces every
+    journal line to stable storage.
     """
     config = config if config is not None else ServiceConfig()
-    journal = _ServiceJournal(journal_path)
+    if crash_mode not in _CRASH_MODES:
+        raise ServiceError(
+            f"unknown crash_mode {crash_mode!r}; known: "
+            f"{list(_CRASH_MODES)}"
+        )
+    validate_control_events(
+        [tenant.name for tenant in tenants], control_events
+    )
+    journal = _ServiceJournal(journal_path, fsync=fsync)
     try:
         arbiter = _Arbiter(
             tenants=tenants,
@@ -836,7 +1447,153 @@ def run_service(
             tracer=tracer if tracer is not None else NULL_TRACER,
             metrics=metrics,
             journal=journal,
+            control_events=control_events,
+            crash_at_tick=crash_at_tick,
+            crash_mode=crash_mode,
+            journal_path=journal_path,
+            fsync=fsync,
         )
         return arbiter.run()
+    finally:
+        journal.close()
+
+
+def recover_service(
+    tenants: Sequence[TenantSpec],
+    config: Optional[ServiceConfig] = None,
+    cache: Optional[ResultCache] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    journal_path: Union[str, Path] = "",
+    control_events: Sequence[ControlEvent] = (),
+    fsync: bool = False,
+) -> ServiceReport:
+    """Recover a crashed service run from its journal (and snapshots).
+
+    Must be invoked with the *same* fleet, config, control schedule and
+    cache setup as the crashed run — the journal header's salt and
+    config fingerprint are cross-checked and a mismatch raises
+    :class:`~repro.errors.RecoveryError`.
+
+    The newest snapshot whose journal anchor still matches the on-disk
+    bytes is restored and the run re-executed from its tick; with no
+    usable snapshot the whole timeline replays from tick 0.  Either
+    way, every regenerated journal line is verified byte-for-byte
+    against the on-disk tail before new lines are appended, so the
+    recovered run's final journal — and therefore every digest and
+    per-tenant report — is bit-identical to what the uninterrupted run
+    would have produced.
+
+    Determinism caveat: recovery re-executes with disk-cache reads
+    suppressed outside the restored memo (see ``_Arbiter._probe``).
+    For the supported setups — ``--no-cache`` or a cache directory
+    private to the run — this is exactly the original timeline.  A
+    cache shared with *other* writers that warmed keys before the
+    original run started is not reconstructible; such divergence is
+    detected and raised, never silently absorbed.
+    """
+    config = config if config is not None else ServiceConfig()
+    validate_control_events(
+        [tenant.name for tenant in tenants], control_events
+    )
+    path = Path(journal_path)
+    if not path.is_file():
+        raise RecoveryError(
+            f"cannot recover: journal {str(path)!r} does not exist"
+        )
+    trim_torn_tail(path)
+    data = path.read_bytes()
+    lines = data.decode("ascii").splitlines()
+    if not lines:
+        raise RecoveryError(
+            f"cannot recover: journal {str(path)!r} is empty (not even "
+            f"a header survived)"
+        )
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        raise RecoveryError(
+            f"cannot recover: journal header is not valid JSON: {exc}"
+        ) from exc
+    salt = cache.salt if cache is not None else CODE_VERSION_SALT
+    ordered_controls = [
+        event
+        for _, event in sorted(
+            enumerate(control_events),
+            key=lambda item: (item[1].tick, item[0]),
+        )
+    ]
+    fingerprint = config_fingerprint(tenants, config, ordered_controls)
+    if not isinstance(header, dict) or header.get("kind") != "header":
+        raise RecoveryError(
+            "cannot recover: journal does not start with a header line"
+        )
+    if header.get("format") != SERVICE_JOURNAL_FORMAT:
+        raise RecoveryError(
+            f"cannot recover: journal format "
+            f"{header.get('format')!r} != {SERVICE_JOURNAL_FORMAT} "
+            f"(written by a different code version)"
+        )
+    if header.get("salt") != salt:
+        raise RecoveryError(
+            f"cannot recover: journal salt {header.get('salt')!r} does "
+            f"not match this code version / cache setup"
+        )
+    if header.get("fingerprint") != fingerprint:
+        raise RecoveryError(
+            "cannot recover: config fingerprint mismatch — the fleet, "
+            "config or control schedule differs from the crashed run"
+        )
+    state = load_latest_snapshot(
+        path, salt=salt, fingerprint=fingerprint, journal_bytes=data
+    )
+    resolved_tracer = tracer if tracer is not None else NULL_TRACER
+    if state is not None:
+        offset = int(state["journal_offset"])
+        tail = data[offset:].decode("ascii").splitlines()
+        journal = _ServiceJournal.for_recovery(
+            path, prefix=data[:offset], tail=tail, fsync=fsync
+        )
+        source = "snapshot"
+        resume_tick = int(state["tick"])
+    else:
+        tail = lines
+        journal = _ServiceJournal.for_recovery(
+            path, prefix=b"", tail=tail, fsync=fsync
+        )
+        source = "replay"
+        resume_tick = 0
+    try:
+        arbiter = _Arbiter(
+            tenants=tenants,
+            config=config,
+            cache=cache,
+            tracer=resolved_tracer,
+            metrics=metrics,
+            journal=journal,
+            control_events=control_events,
+        )
+        arbiter._replaying = True
+        if resolved_tracer.enabled:
+            resolved_tracer.emit(
+                ServiceRecovered(
+                    cycle=resume_tick,
+                    source=source,
+                    resume_tick=resume_tick,
+                    tail_lines=len(tail),
+                )
+            )
+        if state is not None:
+            arbiter._restore_state(state)
+            report = arbiter.run_recovered()
+        else:
+            report = arbiter.run()
+        if journal.tail_remaining() > 0:
+            raise RecoveryError(
+                f"recovery finished with {journal.tail_remaining()} "
+                f"journal lines never regenerated — the journal holds "
+                f"history this configuration does not produce"
+            )
+        return report
     finally:
         journal.close()

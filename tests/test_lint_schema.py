@@ -137,7 +137,7 @@ def test_missing_fingerprint_file_is_flagged(obs_tree):
 def test_write_fingerprint_output_shape(obs_tree):
     target = write_fingerprint(obs_tree, LintConfig().rule("RL004"))
     recorded = json.loads(target.read_text())
-    assert recorded["schema_version"] == 4
+    assert recorded["schema_version"] == 5
     assert recorded["fingerprint"].startswith("sha256:")
     # Must be byte-identical to the committed one (same inputs).
     committed = (REPO_SRC / "repro" / "obs" / "event_schema.json")
